@@ -1,0 +1,29 @@
+# Convenience targets. `install` prefers pip's editable mode and falls back
+# to `setup.py develop` on toolchains without the `wheel` package (pip needs
+# it to build PEP 660 editable wheels).
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples docs clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do echo "== $$script"; $(PYTHON) $$script || exit 1; done
+
+docs:
+	$(PYTHON) docs/generate_api.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,45 @@
+"""Figure 3 / Example 5.1: an And-Or network N and its augmentation N'.
+
+Rebuilds the figure's network, checks the worked number N(x)=0.28, augments
+it, and benchmarks exact marginal inference on the augmented network.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.inference import compute_marginal
+from repro.core.network import AndOrNetwork, NodeKind
+
+from repro.bench.reporting import format_table
+from benchmarks.conftest import bench_report
+
+
+def test_fig3(benchmark):
+    net = AndOrNetwork()
+    u = net.add_leaf(0.3)
+    v = net.add_leaf(0.8)
+    w = net.add_gate(NodeKind.OR, [(u, 0.5), (v, 0.5)])
+    # Example 5.1's worked value
+    assert net.joint_probability({u: 0, v: 1, w: 0}) == pytest.approx(0.28)
+
+    # Figure 3 right: augment with y, parents u and w
+    y = net.add_gate(NodeKind.AND, [(u, 0.9), (w, 0.4)])
+    net.validate()
+
+    marg = benchmark(compute_marginal, net, y)
+    assert marg == pytest.approx(net.brute_force_marginal({y: 1}))
+    rows = [
+        ("u (leaf, P=.3)", compute_marginal(net, u)),
+        ("v (leaf, P=.8)", compute_marginal(net, v)),
+        ("w (Or of u,v; edges .5)", compute_marginal(net, w)),
+        ("y (And of u,w; edges .9,.4)", marg),
+    ]
+    bench_report(
+        "fig3",
+        format_table(
+            ("node", "marginal Pr(node=1)"),
+            rows,
+            title="Figure 3: And-Or network N, augmented to N' (Example 5.1)",
+        ),
+    )

@@ -1,0 +1,85 @@
+"""Figure 5: scalability with 1% offending tuples.
+
+Paper setting: N=100, m=10000, r_f=0.01, r_d=1, fanout=4 — partial lineage
+beats MayBMS by an order of magnitude and more as lineage complexity grows
+(P1 → P3, S1 → S3); MayBMS cannot exploit the near-safety of the data.
+
+Reproduced shape at reduced scale: for every Table 1 query, partial lineage
+finishes fast and beats the full-lineage competitor consistently. The
+magnitude differs from the paper (ours is ~2-3x rather than 10-100x) because
+the competitor here is a modern DPLL with independent-component decomposition
+and memoisation running on the same substrate, not 2008 MayBMS/PostgreSQL —
+see EXPERIMENTS.md. The separation widens with data unsafety (Fig. 6/7).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (
+    agreement,
+    run_full_lineage,
+    run_partial_lineage,
+    run_partial_lineage_sqlite,
+)
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import TABLE1_QUERIES
+
+from repro.bench.reporting import format_table
+from benchmarks.conftest import bench_report
+
+
+def test_fig5(benchmark, bench_scale):
+    n, m = bench_scale["fig5"]
+    params = WorkloadParams(N=n, m=m, fanout=4, r_f=0.01, r_d=1.0, seed=100)
+    db = generate_database(params)
+
+    rows = []
+    speedups = []
+    for name, bench in TABLE1_QUERIES.items():
+        pl = run_partial_lineage(db, bench, max_calls=400_000)
+        sq = run_partial_lineage_sqlite(db, bench)
+        fl = run_full_lineage(db, bench, max_calls=400_000)
+        assert not pl.timed_out, name
+        if not fl.timed_out:
+            assert agreement(pl, fl), name
+            speedups.append(fl.seconds / max(pl.seconds, 1e-9))
+        assert agreement(pl, sq)
+        rows.append(
+            (
+                name,
+                round(pl.seconds, 4),
+                round(sq.seconds, 4),
+                "dnf" if fl.timed_out else round(fl.seconds, 4),
+                pl.offending,
+                pl.network_nodes,
+            )
+        )
+
+    # The headline claim, shape-level: partial lineage never fails, and where
+    # the competitor finishes it is slower on average (the gap magnitude vs
+    # the paper is discussed in EXPERIMENTS.md).
+    assert speedups, "full lineage finished on no query at all"
+    assert sum(speedups) / len(speedups) > 1.2
+    assert max(speedups) > 1.5
+
+    # time one representative query for the pytest-benchmark table
+    benchmark(lambda: run_partial_lineage(db, TABLE1_QUERIES["P1"]))
+
+    bench_report(
+        "fig5",
+        format_table(
+            (
+                "query",
+                "partial-lineage s",
+                "pl-sqlite s",
+                "full-lineage(MayBMS-proxy) s",
+                "#offending",
+                "net nodes",
+            ),
+            rows,
+            title=(
+                f"Figure 5: scalability at r_f=0.01, r_d=1, fanout=4 "
+                f"(N={n}, m={m}; paper: N=100, m=10000). "
+                f"'dnf' = exceeded exact-inference budget, like MayBMS on S2."
+            ),
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Proposition 4.3 / Corollary 4.4: the partial-lineage network is a minor of
+the Sen-Deshpande factor graph, so its treewidth is bounded by
+``tw(M(D(G_f)))`` — the quantity governing factor-graph inference.
+
+Measured on generated workload instances: for every Table 1 query,
+``tw(G_n) ≤ tw(G_f) ≤ tw(M(D(G_f)))`` (heuristic upper bounds), and the
+network is (usually far) smaller than the factor graph.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.plan import left_deep_plan
+from repro.factorgraph import build_factor_graph, network_to_graph
+from repro.factorgraph.moralize import decompose, moralize, treewidth_bound
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import TABLE1_QUERIES
+
+from repro.bench.reporting import format_table
+from benchmarks.conftest import bench_report
+
+
+def test_prop43(benchmark):
+    db = generate_database(WorkloadParams(N=2, m=10, r_f=0.3, fanout=3, seed=43))
+    rows = []
+    for name, bench in TABLE1_QUERIES.items():
+        plan = left_deep_plan(bench.query, list(bench.join_order))
+        gf = build_factor_graph(plan, db)
+        result = PartialLineageEvaluator(db).evaluate(plan)
+        gn = network_to_graph(result.network)
+        tw_gn = treewidth_bound(gn)
+        tw_gf = treewidth_bound(gf.undirected())
+        tw_mdgf = treewidth_bound(moralize(decompose(gf.graph)))
+        assert gn.number_of_nodes() <= gf.graph.number_of_nodes(), name
+        assert tw_gn <= tw_mdgf, name
+        rows.append(
+            (
+                name,
+                gn.number_of_nodes(),
+                gf.graph.number_of_nodes(),
+                tw_gn,
+                tw_gf,
+                tw_mdgf,
+            )
+        )
+
+    plan = left_deep_plan(
+        TABLE1_QUERIES["P1"].query, list(TABLE1_QUERIES["P1"].join_order)
+    )
+    benchmark(build_factor_graph, plan, db)
+
+    bench_report(
+        "prop43",
+        format_table(
+            ("query", "|G_n|", "|G_f|", "tw(G_n)", "tw(G_f)", "tw(M(D(G_f)))"),
+            rows,
+            title=(
+                "Prop 4.3 / Cor 4.4: partial-lineage network vs factor graph "
+                "(N=2, m=10, r_f=0.3; heuristic treewidth upper bounds)"
+            ),
+        ),
+    )

@@ -1,0 +1,65 @@
+"""Extension bench: scaling in the data size m at fixed (near-)safety.
+
+The paper's Fig. 5 claim rests on partial lineage degenerating to an
+extensional — hence (near-)linear — computation on nearly-safe data. This
+bench measures the evaluator's cost as m doubles at r_f = 0.01 and asserts
+sub-quadratic growth: time(4m) well below 16 × time(m), offending count
+growing linearly with m.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_partial_lineage
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import benchmark_query
+
+from repro.bench.reporting import ascii_chart, format_table
+from benchmarks.conftest import bench_report
+
+M_SWEEP = (100, 200, 400, 800)
+
+
+def measure(m: int) -> tuple[float, int]:
+    db = generate_database(
+        WorkloadParams(N=2, m=m, fanout=4, r_f=0.01, r_d=1.0, seed=500)
+    )
+    # average two runs to damp timer noise
+    bench = benchmark_query("P2")
+    a = run_partial_lineage(db, bench)
+    b = run_partial_lineage(db, bench)
+    return min(a.seconds, b.seconds), a.offending
+
+
+def test_scaling_in_m(benchmark):
+    rows = []
+    times = []
+    for m in M_SWEEP:
+        seconds, offending = measure(m)
+        times.append(seconds)
+        rows.append((m, round(seconds, 4), offending,
+                     round(offending / (2 * m) * 100, 2)))
+
+    # sub-quadratic growth across the 8x size range (16x would be quadratic;
+    # generous slack for timer noise and dict resizing)
+    assert times[-1] < 30 * times[0] + 0.05
+    # offending fraction stays at the r_f level: near-linear absolute counts
+    assert rows[-1][2] < 8 * max(rows[0][2], 1) * 2
+
+    db = generate_database(
+        WorkloadParams(N=2, m=M_SWEEP[0], fanout=4, r_f=0.01, r_d=1.0, seed=500)
+    )
+    benchmark(lambda: run_partial_lineage(db, benchmark_query("P2")))
+
+    bench_report(
+        "scaling_m",
+        format_table(
+            ("m", "partial-lineage s", "#offending", "offending %"),
+            rows,
+            title="Scaling in m at r_f=0.01 (query P2, N=2): near-linear cost",
+        )
+        + "\n\n"
+        + ascii_chart(
+            {"partial-lineage P2": [(m, t) for m, t in zip(M_SWEEP, times)]},
+            title="time vs m (log scale)",
+        ),
+    )

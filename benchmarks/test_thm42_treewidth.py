@@ -1,0 +1,92 @@
+"""Theorem 4.2: strictly hierarchical queries are exactly those with
+instance-independent bounded lineage treewidth.
+
+Regenerates the separating examples as measured tables:
+
+* ``R(x), S(x,y)`` — strictly hierarchical: lineage treewidth stays ≤ 1 as
+  the instance grows;
+* ``R(x,y), S(x,z)`` — safe but not strictly hierarchical: the lineage embeds
+  ``K_{n,n}`` (Fact 5.18), so treewidth grows linearly;
+* ``R(x), S(x,y), T(y)`` — unsafe: treewidth grows too.
+"""
+
+from __future__ import annotations
+
+from repro.db import ProbabilisticDatabase
+from repro.lineage.dnf import lineage_of_query
+from repro.lineage.treewidth import primal_graph, treewidth_exact
+from repro.query.hierarchy import is_hierarchical, is_strictly_hierarchical
+from repro.query.parser import parse_query
+
+from repro.bench.reporting import format_table
+from benchmarks.conftest import bench_report
+
+
+def strict_db(size: int) -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(a,): 0.5 for a in range(size)})
+    db.add_relation(
+        "S", ("A", "B"), {(a, b): 0.5 for a in range(size) for b in range(2)}
+    )
+    return db
+
+
+def nonstrict_db(size: int) -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A", "B"), {(0, b): 0.5 for b in range(size)})
+    db.add_relation("S", ("A", "C"), {(0, c): 0.5 for c in range(size)})
+    return db
+
+
+def unsafe_db(size: int) -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(a,): 0.5 for a in range(size)})
+    db.add_relation(
+        "S", ("A", "B"), {(a, b): 0.5 for a in range(size) for b in range(size)}
+    )
+    db.add_relation("T", ("B",), {(b,): 0.5 for b in range(size)})
+    return db
+
+
+CASES = [
+    # sizes are capped so the unsafe query's lineage (size + size² + size
+    # variables) stays within the exact-treewidth DP limit
+    ("R(x), S(x,y)", strict_db, True, True, (2, 3, 4)),
+    ("R(x,y), S(x,z)", nonstrict_db, True, False, (2, 3, 4)),
+    ("R(x), S(x,y), T(y)", unsafe_db, False, False, (2, 3)),
+]
+
+
+def test_thm42(benchmark):
+    rows = []
+    widths_by_case: dict[str, list[int]] = {}
+    for text, make_db, hierarchical, strict, sizes in CASES:
+        q = parse_query(text)
+        assert is_hierarchical(q) == hierarchical
+        assert is_strictly_hierarchical(q) == strict
+        widths = []
+        for size in sizes:
+            f, _ = lineage_of_query(q, make_db(size))
+            tw = treewidth_exact(primal_graph(f))
+            widths.append(tw)
+            rows.append((text, "strict" if strict else
+                         ("hierarchical" if hierarchical else "unsafe"),
+                         size, tw))
+        widths_by_case[text] = widths
+        if strict:
+            assert max(widths) <= 1  # bounded, below #subgoals
+        else:
+            assert widths[-1] > widths[0]  # grows with the instance
+
+    big = nonstrict_db(5)
+    f, _ = lineage_of_query(parse_query("R(x,y), S(x,z)"), big)
+    benchmark(lambda: treewidth_exact(primal_graph(f)))
+
+    bench_report(
+        "thm42",
+        format_table(
+            ("query", "class", "instance size", "lineage treewidth (exact)"),
+            rows,
+            title="Theorem 4.2: bounded lineage treewidth ⇔ strictly hierarchical",
+        ),
+    )

@@ -1,0 +1,108 @@
+"""Generate docs/api.md from the package's docstrings.
+
+Run:  python docs/generate_api.py
+
+Walks every public module of ``repro``, collecting public classes and
+functions with their signatures and docstring summaries into a single
+markdown reference. ``tests/test_api_doc.py`` regenerates the document and
+fails if it drifts from the committed copy, so the reference cannot go
+stale.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+
+def _summary(obj) -> str:
+    doc = inspect.getdoc(obj) or ""
+    first = doc.split("\n\n", 1)[0].replace("\n", " ").strip()
+    return first
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _public_members(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        obj = getattr(module, name, None)
+        if obj is None:
+            continue
+        if inspect.ismodule(obj):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home module
+        yield name, obj
+
+
+def generate() -> str:
+    """Build the full API markdown text."""
+    import repro
+
+    lines = [
+        "# API reference",
+        "",
+        "Generated from docstrings by `python docs/generate_api.py` "
+        "(checked by `tests/test_api_doc.py`). One section per module; "
+        "re-exports are documented at their home module.",
+    ]
+    module_names = ["repro"] + sorted(
+        name
+        for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    )
+    for module_name in module_names:
+        module = importlib.import_module(module_name)
+        members = list(_public_members(module))
+        header = f"\n## `{module_name}`\n"
+        body = [_summary(module)] if _summary(module) else []
+        for name, obj in members:
+            if inspect.isclass(obj):
+                body.append(f"\n### class `{name}{_signature(obj)}`\n")
+                body.append(_summary(obj))
+                for mname, method in inspect.getmembers(obj):
+                    if mname.startswith("_") or not (
+                        inspect.isfunction(method) or isinstance(
+                            getattr(obj, mname, None), property
+                        )
+                    ):
+                        continue
+                    if isinstance(getattr(obj, mname), property):
+                        body.append(
+                            f"- `.{mname}` (property) — "
+                            f"{_summary(getattr(obj, mname).fget)}"
+                        )
+                    else:
+                        body.append(
+                            f"- `.{mname}{_signature(method)}` — "
+                            f"{_summary(method)}"
+                        )
+            elif inspect.isfunction(obj):
+                body.append(
+                    f"\n### `{name}{_signature(obj)}`\n\n{_summary(obj)}"
+                )
+            else:
+                body.append(f"\n### `{name}`\n\n{_summary(obj) or repr(obj)}")
+        if body:
+            lines.append(header)
+            lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+def main() -> None:
+    target = pathlib.Path(__file__).parent / "api.md"
+    target.write_text(generate())
+    print(f"wrote {target} ({len(target.read_text().splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

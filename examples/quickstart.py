@@ -1,0 +1,73 @@
+"""Quickstart: evaluating safe and unsafe queries with partial lineage.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    PartialLineageEvaluator,
+    ProbabilisticDatabase,
+    brute_force_probability,
+    dnf_probability,
+    is_hierarchical,
+    lifted_probability,
+    lineage_of_query,
+    parse_query,
+)
+from repro.query.grounding import world_satisfies
+
+
+def main() -> None:
+    # A tuple-independent probabilistic database: each tuple carries the
+    # probability that it is present.
+    db = ProbabilisticDatabase()
+    db.add_relation("Person", ("name",), {
+        ("ann",): 0.9,
+        ("bob",): 0.7,
+        ("carl",): 1.0,          # certain tuple
+    })
+    db.add_relation("Visited", ("name", "city"), {
+        ("ann", "paris"): 0.8,
+        ("ann", "tokyo"): 0.5,
+        ("bob", "paris"): 0.6,
+        ("carl", "tokyo"): 0.95,
+    })
+    db.add_relation("Capital", ("city",), {
+        ("paris",): 1.0,
+        ("tokyo",): 0.9,
+    })
+
+    # ---------------------------------------------------------- safe query
+    q_safe = parse_query("Person(x), Visited(x, y)")
+    print(f"q_safe = {q_safe}")
+    print(f"  hierarchical (safe)? {is_hierarchical(q_safe)}")
+    print(f"  lifted (extensional) Pr = {lifted_probability(q_safe, db):.6f}")
+
+    # -------------------------------------------------------- unsafe query
+    # The pattern R(x), S(x,y), T(y) — #P-hard in general (Section 4.1).
+    q_unsafe = parse_query("Person(x), Visited(x, y), Capital(y)")
+    print(f"\nq_unsafe = {q_unsafe}")
+    print(f"  hierarchical (safe)? {is_hierarchical(q_unsafe)}")
+
+    result = PartialLineageEvaluator(db).evaluate_query(q_unsafe)
+    print(f"  partial lineage Pr   = {result.boolean_probability():.6f}")
+    print(f"  offending tuples     = {result.offending_count} "
+          f"(conditioned; the rest was handled extensionally)")
+    print(f"  And-Or network size  = {len(result.network)} nodes")
+
+    # Cross-check against the intensional baseline and the ground truth.
+    f, probs = lineage_of_query(q_unsafe, db)
+    print(f"  full-lineage DPLL Pr = {dnf_probability(f, probs):.6f} "
+          f"({len(f)} clauses over {len(f.variables())} tuple variables)")
+    oracle = brute_force_probability(db, lambda w: world_satisfies(q_unsafe, w))
+    print(f"  possible worlds Pr   = {oracle:.6f}   (exhaustive enumeration)")
+
+    # ----------------------------------------------- per-answer probabilities
+    q_heads = parse_query("q(y) :- Person(x), Visited(x, y), Capital(y)")
+    answers = PartialLineageEvaluator(db).evaluate_query(q_heads)
+    print(f"\n{q_heads}")
+    for row, p in sorted(answers.answer_probabilities().items()):
+        print(f"  Pr[{row[0]}] = {p:.6f}")
+
+
+if __name__ == "__main__":
+    main()

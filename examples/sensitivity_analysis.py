@@ -1,0 +1,84 @@
+"""What-if analysis: which dirty tuples drive an answer?
+
+Partial lineage makes sensitivity analysis nearly free: after one
+evaluation, each answer is a function of the *offending tuples only*
+(everything clean was folded into constants), and compiling that function to
+an OBDD lets us re-evaluate under hypothetical probabilities in microseconds.
+
+Scenario: an insurance fraud screen. Claims link to incidents through
+probabilistic entity resolution; some claimants match several incidents
+(resolution conflicts = offending tuples). For the flagged region we ask:
+*which unresolved match, if confirmed or refuted, would move the fraud
+probability the most?* — i.e. where should a human reviewer spend time.
+
+Run:  python examples/sensitivity_analysis.py
+"""
+
+import random
+
+from repro import (
+    PartialLineageEvaluator,
+    ProbabilisticDatabase,
+    WhatIfAnalysis,
+    parse_query,
+)
+
+
+def build_database(seed: int = 4) -> ProbabilisticDatabase:
+    rng = random.Random(seed)
+    db = ProbabilisticDatabase()
+    claimants = [f"c{i}" for i in range(10)]
+    incidents = [f"i{i}" for i in range(14)]
+
+    suspicious = {
+        (c,): rng.uniform(0.2, 0.8) for c in claimants if rng.random() < 0.6
+    }
+    db.add_relation("Suspicious", ("claimant",), suspicious)
+
+    matched = {}
+    for c in claimants:
+        # entity resolution: usually one incident, sometimes conflicts
+        n = 1 if rng.random() < 0.7 else rng.randint(2, 3)
+        for i in rng.sample(incidents, n):
+            matched[(c, i)] = rng.uniform(0.3, 0.9)
+    db.add_relation("MatchedTo", ("claimant", "incident"), matched)
+
+    flagged = {
+        (i,): rng.uniform(0.5, 1.0) for i in incidents if rng.random() < 0.5
+    }
+    db.add_relation("FlaggedIncident", ("incident",), flagged)
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    q = parse_query(
+        "q() :- Suspicious(c), MatchedTo(c, i), FlaggedIncident(i)"
+    )
+    result = PartialLineageEvaluator(db).evaluate_query(
+        q, ["Suspicious", "MatchedTo", "FlaggedIncident"]
+    )
+    base = result.boolean_probability()
+    print(f"Pr[some suspicious claimant matches a flagged incident] "
+          f"= {base:.4f}")
+    print(f"offending tuples (unresolved conflicts): "
+          f"{result.offending_count}\n")
+
+    analysis = WhatIfAnalysis(result)
+    print("review priorities (largest probability swing first):")
+    print(f"{'source':24s} {'row':16s} {'if refuted':>10s} "
+          f"{'if confirmed':>12s} {'swing':>7s}")
+    for s in analysis.sensitivities(())[:6]:
+        print(f"{s.tuple.source:24s} {str(s.tuple.row):16s} "
+              f"{s.when_absent:10.4f} {s.when_certain:12.4f} "
+              f"{s.swing:7.4f}")
+
+    top = analysis.sensitivities(())[0]
+    confirmed = analysis.probability((), {top.tuple: 1.0})
+    print(f"\nconfirming {top.tuple.source}{top.tuple.row} would move the "
+          f"answer from {base:.4f} to {confirmed:.4f} — "
+          f"recomputed via the compiled OBDD, no re-evaluation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Sensor-network monitoring — one of the paper's motivating applications.
+
+A building has rooms instrumented with sensors. Sensor deployment records are
+uncertain (installation logs are stale), readings are probabilistic event
+detections, and the event catalogue marks which events are alarms with a
+confidence. We ask: *for each room, what is the probability that some sensor
+in it detected an alarm-class event?*
+
+    q(room) :- Deployed(room, sensor), Detected(sensor, event), Alarm(event)
+
+This is the P1/S1 pattern of Table 1 — unsafe in general, but *nearly* data
+safe here: most sensors detected at most one event (the functional dependency
+sensor -> event mostly holds), so partial lineage conditions only a handful
+of offending tuples while the bulk of the computation is extensional.
+
+Run:  python examples/sensor_network.py
+"""
+
+import random
+
+from repro import PartialLineageEvaluator, ProbabilisticDatabase, parse_query
+from repro.bench.harness import run_full_lineage
+from repro.lineage.dnf import answer_lineages
+from repro.lineage.exact import dnf_probability
+
+
+def build_database(seed: int = 42) -> ProbabilisticDatabase:
+    rng = random.Random(seed)
+    rooms = [f"room{i}" for i in range(6)]
+    sensors = [f"s{i}" for i in range(30)]
+    events = [f"e{i}" for i in range(40)]
+
+    db = ProbabilisticDatabase()
+    deployed = {}
+    for i, sensor in enumerate(sensors):
+        room = rooms[i % len(rooms)]
+        # installation logs: mostly reliable, occasionally uncertain
+        deployed[(room, sensor)] = 1.0 if rng.random() < 0.6 else rng.uniform(0.6, 0.95)
+    db.add_relation("Deployed", ("room", "sensor"), deployed)
+
+    detected = {}
+    for sensor in sensors:
+        # most sensors saw one event; ~15% are noisy and saw several
+        count = 1 if rng.random() < 0.85 else rng.randint(2, 3)
+        for event in rng.sample(events, count):
+            detected[(sensor, event)] = rng.uniform(0.3, 0.99)
+    db.add_relation("Detected", ("sensor", "event"), detected)
+
+    alarm = {}
+    for event in events:
+        if rng.random() < 0.5:
+            alarm[(event,)] = rng.uniform(0.5, 1.0)
+    db.add_relation("Alarm", ("event",), alarm)
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    q = parse_query("q(room) :- Deployed(room, sensor), "
+                    "Detected(sensor, event), Alarm(event)")
+    result = PartialLineageEvaluator(db).evaluate_query(
+        q, ["Deployed", "Detected", "Alarm"]
+    )
+    answers = result.answer_probabilities()
+
+    print("Alarm probability per room (partial lineage):")
+    for room, p in sorted(answers.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(p * 40)
+        print(f"  {room[0]:8s} {p:6.4f}  {bar}")
+
+    total = db.total_tuples()
+    print(f"\n{total} tuples; {result.offending_count} offending "
+          f"({100 * result.offending_count / total:.1f}% conditioned — the "
+          f"rest was pure in-database arithmetic)")
+    print(f"And-Or network: {len(result.network)} nodes")
+
+    # cross-check against full intensional evaluation
+    dnfs, probs = answer_lineages(q, db)
+    for room, f in dnfs.items():
+        exact = dnf_probability(f, probs)
+        assert abs(exact - answers[room]) < 1e-9, room
+    print("Cross-checked against full-lineage DPLL: all rooms agree.")
+
+
+if __name__ == "__main__":
+    main()

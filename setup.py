@@ -1,0 +1,22 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work on
+environments whose setuptools predates PEP 660 editable wheels (the offline
+toolchain this project targets).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Bridging intensional and extensional query evaluation in "
+        "probabilistic databases (EDBT 2010 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

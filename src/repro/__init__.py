@@ -1,0 +1,204 @@
+"""repro — bridging intensional and extensional probabilistic query evaluation.
+
+A faithful Python reproduction of *Jha, Olteanu, Suciu: "Bridging the Gap
+Between Intensional and Extensional Query Evaluation in Probabilistic
+Databases" (EDBT 2010)*.
+
+Quickstart
+----------
+>>> from repro import ProbabilisticDatabase, parse_query, PartialLineageEvaluator
+>>> db = ProbabilisticDatabase()
+>>> _ = db.add_relation("R", ("A",), {(1,): 0.5})
+>>> _ = db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (1, 2): 0.5})
+>>> _ = db.add_relation("T", ("B",), {(1,): 0.9, (2,): 0.9})
+>>> q = parse_query("q() :- R(x), S(x,y), T(y)")     # the unsafe q_u of Sec. 4.1
+>>> result = PartialLineageEvaluator(db).evaluate_query(q)
+>>> round(result.boolean_probability(), 6)
+0.34875
+
+The public surface re-exports the main types from each layer; see DESIGN.md
+for the complete system inventory.
+"""
+
+from repro.core import (
+    AndOrNetwork,
+    EPSILON,
+    EvaluationResult,
+    Join,
+    NodeKind,
+    PartialLineageEvaluator,
+    PLRelation,
+    PlanChoice,
+    Project,
+    RankedAnswer,
+    Scan,
+    Select,
+    TopKReport,
+    choose_join_order,
+    compute_marginal,
+    compute_marginals,
+    forward_sample_marginal,
+    hoeffding_samples,
+    karp_luby_marginal,
+    left_deep_plan,
+    optimized_plan,
+    partial_lineage_dnf,
+    plan_schema,
+    top_k_answers,
+)
+from repro.core.whatif import Sensitivity, WhatIfAnalysis
+from repro.core.executor import OffendingTuple
+from repro.core.explain import explain, network_to_dot, result_to_dot
+from repro.io import load_database, save_database
+from repro.lineage.events import (
+    conditional_probability,
+    conjunction_probability,
+    ucq_probability,
+)
+from repro.mc import mc_answer_probabilities, mc_query_probability
+from repro.bid import BIDDatabase, BIDRelation, bid_query_probability
+from repro.core.safety import PlanSafetyReport, analyze_plan, join_is_data_safe
+from repro.db import (
+    ProbabilisticDatabase,
+    ProbabilisticRelation,
+    RelationSchema,
+    brute_force_answer_probabilities,
+    brute_force_probability,
+    fanout_profile,
+    fd_violation_count,
+    relation_statistics,
+)
+from repro.errors import (
+    CapacityError,
+    InferenceError,
+    PlanError,
+    ProbabilityError,
+    QuerySemanticsError,
+    QuerySyntaxError,
+    ReproError,
+    SchemaError,
+    UnsafePlanError,
+)
+from repro.extensional import lifted_answer_probabilities, lifted_probability, safe_plan
+from repro.lineage import (
+    DNF,
+    EventVar,
+    Interval,
+    OBDD,
+    answer_lineages,
+    approximate_probability,
+    build_obdd,
+    dnf_probability,
+    karp_luby,
+    lineage_of_query,
+    naive_monte_carlo,
+    obdd_probability,
+    read_once_probability,
+)
+from repro.query import (
+    Atom,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+    is_hierarchical,
+    is_strictly_hierarchical,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # substrate
+    "RelationSchema",
+    "ProbabilisticRelation",
+    "ProbabilisticDatabase",
+    "brute_force_probability",
+    "brute_force_answer_probabilities",
+    # query language
+    "Variable",
+    "Constant",
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_query",
+    "is_hierarchical",
+    "is_strictly_hierarchical",
+    # core contribution
+    "AndOrNetwork",
+    "NodeKind",
+    "EPSILON",
+    "PLRelation",
+    "Scan",
+    "Select",
+    "Project",
+    "Join",
+    "left_deep_plan",
+    "plan_schema",
+    "PartialLineageEvaluator",
+    "EvaluationResult",
+    "compute_marginal",
+    "compute_marginals",
+    "analyze_plan",
+    "join_is_data_safe",
+    "PlanSafetyReport",
+    # extensional baselines
+    "lifted_probability",
+    "lifted_answer_probabilities",
+    "safe_plan",
+    # intensional baselines
+    "DNF",
+    "EventVar",
+    "lineage_of_query",
+    "answer_lineages",
+    "dnf_probability",
+    "read_once_probability",
+    "naive_monte_carlo",
+    "karp_luby",
+    "OBDD",
+    "build_obdd",
+    "obdd_probability",
+    "Interval",
+    "approximate_probability",
+    # statistics & optimiser
+    "fanout_profile",
+    "fd_violation_count",
+    "relation_statistics",
+    "PlanChoice",
+    "choose_join_order",
+    "optimized_plan",
+    # approximate inference & ranking
+    "partial_lineage_dnf",
+    "forward_sample_marginal",
+    "karp_luby_marginal",
+    "hoeffding_samples",
+    "top_k_answers",
+    "TopKReport",
+    "RankedAnswer",
+    "WhatIfAnalysis",
+    "Sensitivity",
+    "OffendingTuple",
+    "explain",
+    "network_to_dot",
+    "result_to_dot",
+    "load_database",
+    "save_database",
+    # block-independent-disjoint extension
+    "BIDRelation",
+    "BIDDatabase",
+    "bid_query_probability",
+    # UCQs / conditionals / Monte-Carlo worlds
+    "ucq_probability",
+    "conjunction_probability",
+    "conditional_probability",
+    "mc_query_probability",
+    "mc_answer_probabilities",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "ProbabilityError",
+    "QuerySyntaxError",
+    "QuerySemanticsError",
+    "PlanError",
+    "UnsafePlanError",
+    "InferenceError",
+    "CapacityError",
+]

@@ -1,0 +1,26 @@
+"""Benchmark harness: timed evaluation of the competing methods.
+
+``harness`` wraps each evaluation strategy — partial lineage (this paper),
+full lineage + exact DPLL (the MayBMS-style competitor), lifted inference
+(safe queries only), and sampling — in a uniform timed interface; it is the
+engine behind every ``benchmarks/test_fig*.py``. ``reporting`` renders the
+rows/series the paper's tables and figures show.
+"""
+
+from repro.bench.harness import (
+    MethodResult,
+    run_full_lineage,
+    run_partial_lineage,
+    run_partial_lineage_sqlite,
+    run_sampling,
+)
+from repro.bench.reporting import format_table
+
+__all__ = [
+    "MethodResult",
+    "run_partial_lineage",
+    "run_partial_lineage_sqlite",
+    "run_full_lineage",
+    "run_sampling",
+    "format_table",
+]

@@ -1,0 +1,154 @@
+"""Timed evaluation wrappers for the competing methods.
+
+Every wrapper returns a :class:`MethodResult` carrying the per-answer
+probabilities, wall-clock seconds, and method-specific work counters, so the
+benchmark scripts can both assert agreement between methods and print the
+paper-shaped comparison rows.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.db.database import ProbabilisticDatabase
+from repro.db.schema import Row
+from repro.errors import InferenceError
+from repro.lineage.dnf import answer_lineages
+from repro.lineage.exact import DPLLStats, dnf_probability
+from repro.lineage.sampling import karp_luby
+from repro.sqlbackend.executor import SQLitePartialLineageEvaluator
+from repro.workload.queries import BenchmarkQuery
+
+
+@dataclass
+class MethodResult:
+    """Outcome of one timed evaluation."""
+
+    method: str
+    answers: dict[Row, float]
+    seconds: float
+    #: Number of conditioned (offending) tuples — partial lineage only.
+    offending: int = 0
+    #: Network size — partial lineage only.
+    network_nodes: int = 0
+    #: DPLL work — full lineage only.
+    dpll_calls: int = 0
+    #: True when the method hit its work budget and gave up.
+    timed_out: bool = False
+    extra: dict = field(default_factory=dict)
+
+
+def run_partial_lineage(
+    db: ProbabilisticDatabase,
+    bench: BenchmarkQuery,
+    max_calls: int = 2_000_000,
+) -> MethodResult:
+    """This paper's method: pL evaluation + And-Or network inference.
+
+    *max_calls* bounds the final-inference DPLL exactly like the competitor's
+    budget in :func:`run_full_lineage`, keeping comparisons symmetric.
+    """
+    start = time.perf_counter()
+    result = PartialLineageEvaluator(db).evaluate_query(
+        bench.query, list(bench.join_order)
+    )
+    try:
+        answers = result.answer_probabilities(dpll_max_calls=max_calls)
+        timed_out = False
+    except InferenceError:
+        answers = {}
+        timed_out = True
+    seconds = time.perf_counter() - start
+    return MethodResult(
+        "partial-lineage",
+        answers,
+        seconds,
+        offending=result.offending_count,
+        network_nodes=len(result.network),
+        timed_out=timed_out,
+    )
+
+
+def run_partial_lineage_sqlite(
+    db: ProbabilisticDatabase, bench: BenchmarkQuery
+) -> MethodResult:
+    """Partial lineage with the extensional work pushed into SQLite."""
+    evaluator = SQLitePartialLineageEvaluator(db)
+    try:
+        start = time.perf_counter()
+        result = evaluator.evaluate_query(bench.query, list(bench.join_order))
+        try:
+            answers = result.answer_probabilities()
+            timed_out = False
+        except InferenceError:
+            answers = {}
+            timed_out = True
+        seconds = time.perf_counter() - start
+    finally:
+        evaluator.close()
+    return MethodResult(
+        "partial-lineage-sqlite",
+        answers,
+        seconds,
+        offending=result.offending_count,
+        network_nodes=len(result.network),
+        timed_out=timed_out,
+    )
+
+
+def run_full_lineage(
+    db: ProbabilisticDatabase,
+    bench: BenchmarkQuery,
+    max_calls: int = 2_000_000,
+) -> MethodResult:
+    """The MayBMS-style competitor: ground full lineage, solve each DNF exactly."""
+    start = time.perf_counter()
+    dnfs, probs = answer_lineages(bench.query, db)
+    answers: dict[Row, float] = {}
+    stats = DPLLStats()
+    calls = 0
+    timed_out = False
+    for answer, dnf in dnfs.items():
+        try:
+            answers[answer] = dnf_probability(
+                dnf, probs, max_calls=max_calls, stats=stats
+            )
+        except InferenceError:
+            timed_out = True
+            break
+        calls += stats.calls
+    seconds = time.perf_counter() - start
+    return MethodResult(
+        "full-lineage-dpll",
+        answers,
+        seconds,
+        dpll_calls=calls,
+        timed_out=timed_out,
+    )
+
+
+def run_sampling(
+    db: ProbabilisticDatabase,
+    bench: BenchmarkQuery,
+    samples: int = 5000,
+    seed: int = 0,
+) -> MethodResult:
+    """Approximate baseline: Karp-Luby on the full lineage of every answer."""
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    dnfs, probs = answer_lineages(bench.query, db)
+    answers = {
+        answer: karp_luby(dnf, probs, samples, rng) for answer, dnf in dnfs.items()
+    }
+    seconds = time.perf_counter() - start
+    return MethodResult("karp-luby", answers, seconds)
+
+
+def agreement(a: MethodResult, b: MethodResult, tolerance: float = 1e-6) -> bool:
+    """Do two exact methods produce the same answers (within float noise)?"""
+    if set(a.answers) != set(b.answers):
+        return False
+    return all(abs(a.answers[k] - b.answers[k]) <= tolerance for k in a.answers)

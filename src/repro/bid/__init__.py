@@ -1,0 +1,31 @@
+"""Block-independent-disjoint (BID) probabilistic relations.
+
+Section 8 lists "evaluate queries over more complicated models" as future
+work. The standard next model up from tuple-independence is BID (the model
+underlying MystiQ [4] and the dichotomy work [9]): tuples are grouped into
+*blocks* sharing a key; tuples in one block are mutually exclusive
+(at most one alternative is real), distinct blocks are independent.
+
+This subpackage provides:
+
+* ``relation`` — :class:`BIDRelation` / :class:`BIDDatabase`, with validation
+  (block probabilities sum to ≤ 1) and possible-worlds enumeration;
+* ``inference`` — exact query evaluation: ground the lineage as usual (each
+  alternative is an event variable), then run a *block-aware* DPLL whose
+  Shannon expansion branches over a block's alternatives (plus "none")
+  instead of a single variable's true/false, preserving the independent-
+  component and memoisation machinery.
+
+Tuple-independent relations embed as BID relations with singleton blocks, in
+which case the block-DPLL coincides with the plain one — tested.
+"""
+
+from repro.bid.relation import BIDDatabase, BIDRelation
+from repro.bid.inference import bid_query_probability, block_dnf_probability
+
+__all__ = [
+    "BIDRelation",
+    "BIDDatabase",
+    "block_dnf_probability",
+    "bid_query_probability",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface.
+
+Three subcommands, mirroring how the paper's system is exercised:
+
+``repro query``
+    Evaluate a conjunctive query over a CSV-backed probabilistic database
+    and print per-answer probabilities plus the data-safety report.
+``repro workload``
+    Generate a Section 6.1 benchmark instance and run a Table 1 query with
+    the competing methods, printing the comparison row.
+``repro analyze``
+    Static analysis of a query: hierarchy (safety), strict hierarchy
+    (bounded lineage treewidth), and the safe plan if one exists.
+
+Database directory format: one ``<Relation>.csv`` per relation, first line a
+header of attribute names, a trailing ``p`` column with the tuple
+probability. Values that parse as integers/floats are loaded as numbers.
+
+Run ``python -m repro.cli --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.harness import (
+    run_full_lineage,
+    run_partial_lineage,
+    run_partial_lineage_sqlite,
+    run_sampling,
+)
+from repro.bench.reporting import format_table
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.explain import explain
+from repro.core.optimizer import choose_join_order
+from repro.core.plan import left_deep_plan
+from repro.errors import ReproError, UnsafePlanError
+from repro.io import load_database, save_database
+from repro.extensional import safe_plan
+from repro.query.hierarchy import is_hierarchical, is_strictly_hierarchical
+from repro.query.parser import parse_query
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import TABLE1_QUERIES, benchmark_query
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = load_database(args.database)
+    query = parse_query(args.query)
+    evaluator = PartialLineageEvaluator(db)
+    if args.optimize:
+        choice = choose_join_order(query, db)
+        order = list(choice.order)
+        print(f"optimised join order: {' , '.join(order)} "
+              f"({choice.offending} offending)")
+    else:
+        order = args.join_order.split(",") if args.join_order else None
+    if args.explain:
+        print(explain(left_deep_plan(query, order), db))
+        print()
+    start = time.perf_counter()
+    result = evaluator.evaluate_query(query, order)
+    answers = result.answer_probabilities()
+    elapsed = time.perf_counter() - start
+    rows = [(", ".join(map(str, row)) or "()", round(p, args.digits))
+            for row, p in sorted(answers.items())]
+    print(format_table(("answer", "probability"), rows, title=str(query)))
+    print(f"\n{len(answers)} answers in {elapsed:.3f}s; "
+          f"{result.offending_count} offending tuples; "
+          f"network of {len(result.network)} nodes; "
+          f"{'data safe (fully extensional)' if result.is_data_safe else 'mixed evaluation'}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    hierarchical = is_hierarchical(query)
+    strict = is_strictly_hierarchical(query)
+    print(f"query: {query}")
+    print(f"  hierarchical (safe):      {hierarchical}")
+    print(f"  strictly hierarchical:    {strict} "
+          f"({'bounded' if strict else 'unbounded'} lineage treewidth, Thm 4.2)")
+    if hierarchical:
+        try:
+            plan = safe_plan(query)
+            print(f"  safe plan:                {plan}")
+        except UnsafePlanError as exc:
+            print(f"  safe plan:                n/a ({exc})")
+    else:
+        print("  safe plan:                none (unsafe query; evaluation is "
+              "data-dependent)")
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    params = WorkloadParams(
+        N=args.n, m=args.m, fanout=args.fanout,
+        r_f=args.rf, r_d=args.rd, seed=args.seed,
+    )
+    db = generate_database(params)
+    bench = benchmark_query(args.query)
+    print(f"generated {db.total_tuples()} tuples "
+          f"(N={args.n}, m={args.m}, r_f={args.rf}, r_d={args.rd})")
+    if args.save:
+        save_database(db, args.save)
+        print(f"saved the instance to {args.save}")
+    methods = [run_partial_lineage, run_partial_lineage_sqlite]
+    if args.baseline:
+        methods.append(run_full_lineage)
+    if args.sample:
+        methods.append(run_sampling)
+    rows = []
+    for method in methods:
+        outcome = method(db, bench)
+        rows.append(
+            (
+                outcome.method,
+                "dnf" if outcome.timed_out else f"{outcome.seconds:.4f}",
+                outcome.offending or "-",
+                len(outcome.answers),
+            )
+        )
+    print(format_table(
+        ("method", "seconds", "#offending", "#answers"),
+        rows,
+        title=f"query {args.query}: {bench.text}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Partial-lineage query evaluation over probabilistic "
+                    "databases (EDBT 2010 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="evaluate a query over a CSV database")
+    q.add_argument("database", help="directory of <Relation>.csv files")
+    q.add_argument("query", help="datalog-style query text")
+    q.add_argument("--join-order", help="comma-separated relation names")
+    q.add_argument("--optimize", action="store_true",
+                   help="search join orders minimising offending tuples")
+    q.add_argument("--digits", type=int, default=6)
+    q.add_argument("--explain", action="store_true",
+                   help="print the annotated plan tree before evaluating")
+    q.set_defaults(func=cmd_query)
+
+    a = sub.add_parser("analyze", help="static safety analysis of a query")
+    a.add_argument("query")
+    a.set_defaults(func=cmd_analyze)
+
+    w = sub.add_parser("workload", help="run a Table 1 benchmark query")
+    w.add_argument("query", choices=sorted(TABLE1_QUERIES))
+    w.add_argument("--n", type=int, default=2)
+    w.add_argument("--m", type=int, default=50)
+    w.add_argument("--fanout", type=int, default=3)
+    w.add_argument("--rf", type=float, default=0.1)
+    w.add_argument("--rd", type=float, default=1.0)
+    w.add_argument("--seed", type=int, default=0)
+    w.add_argument("--baseline", action="store_true",
+                   help="also run the full-lineage DPLL competitor")
+    w.add_argument("--sample", action="store_true",
+                   help="also run Karp-Luby sampling")
+    w.add_argument("--save", metavar="DIR",
+                   help="persist the generated instance as CSV files")
+    w.set_defaults(func=cmd_workload)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Compiling partial lineage back to DNF form.
+
+Section 4.2 presents partial lineage as a *formula* mixing Boolean variables
+(offending tuples) and numbers (anonymous independent events); the And-Or
+network is its graph representation. This module performs the reverse
+translation: the sub-network rooted at a lineage node becomes a monotone DNF
+whose variables are
+
+* the network's symbolic leaves (one per conditioned/offending tuple), and
+* one anonymous variable per *noisy* edge (edge probability < 1), carrying
+  that probability — the "numbers" of the paper's partial lineage.
+
+The result is exactly the partial-lineage DNF: a strict simplification of the
+full lineage (Section 4.2: "the partial lineage is always a strict subset of
+the full lineage"), so any DNF inference engine — we use the exact DPLL of
+:mod:`repro.lineage.exact` — runs on it at least as easily as on the full
+lineage. The evaluator uses this as the fallback when the network's treewidth
+exceeds the variable-elimination budget, mirroring the paper's "on this we
+run any general purpose probabilistic inference algorithm".
+"""
+
+from __future__ import annotations
+
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.errors import CapacityError
+from repro.lineage.dnf import DNF, EventVar
+
+#: Refuse to materialise partial-lineage DNFs beyond this many clauses.
+MAX_CLAUSES = 500_000
+
+
+def partial_lineage_dnf(
+    net: AndOrNetwork, node: int, max_clauses: int = MAX_CLAUSES
+) -> tuple[DNF, dict[EventVar, float]]:
+    """The partial-lineage DNF of *node*, with its variable probabilities.
+
+    Variables named ``("leaf", (id,))`` are the network's leaves; variables
+    ``("edge", (child, index))`` are the anonymous events of noisy edges
+    (index positions into the child's parent list). ε contributes no
+    variable: it is the constant true.
+
+    Raises
+    ------
+    CapacityError
+        If the expansion exceeds *max_clauses* (And gates multiply clause
+        counts; query-plan networks stay within the full-lineage size, but
+        adversarial networks need the guard).
+
+    Examples
+    --------
+    >>> net = AndOrNetwork()
+    >>> x = net.add_leaf(0.5)
+    >>> g = net.add_gate(NodeKind.OR, [(x, 0.25), (EPSILON, 0.1)])
+    >>> f, probs = partial_lineage_dnf(net, g)
+    >>> len(f)                      # x ∧ anon(.25)  ∨  anon(.1)
+    2
+    >>> sorted(probs.values())
+    [0.1, 0.25, 0.5]
+    """
+    probs: dict[EventVar, float] = {}
+    memo: dict[int, frozenset[frozenset[EventVar]]] = {
+        EPSILON: frozenset([frozenset()])
+    }
+
+    def leaf_var(v: int) -> EventVar:
+        var = EventVar("leaf", (v,))
+        probs[var] = net.leaf_probability(v)
+        return var
+
+    def edge_var(child: int, index: int, q: float) -> EventVar:
+        var = EventVar("edge", (child, index))
+        probs[var] = q
+        return var
+
+    def expand(v: int) -> frozenset[frozenset[EventVar]]:
+        hit = memo.get(v)
+        if hit is not None:
+            return hit
+        kind = net.kind(v)
+        if kind is NodeKind.LEAF:
+            result = frozenset([frozenset([leaf_var(v)])])
+        else:
+            branches: list[frozenset[frozenset[EventVar]]] = []
+            for i, (w, q) in enumerate(net.parents(v)):
+                sub = expand(w)
+                if q < 1.0:
+                    anon = edge_var(v, i, q)
+                    sub = frozenset(c | {anon} for c in sub)
+                branches.append(sub)
+            if kind is NodeKind.OR:
+                result = frozenset().union(*branches)
+            else:  # AND: cross product of the parents' clause sets
+                acc: frozenset[frozenset[EventVar]] = frozenset([frozenset()])
+                for sub in branches:
+                    acc = frozenset(a | b for a in acc for b in sub)
+                    if len(acc) > max_clauses:
+                        raise CapacityError(
+                            f"partial-lineage DNF for node {v} exceeds "
+                            f"{max_clauses} clauses"
+                        )
+                result = acc
+        if len(result) > max_clauses:
+            raise CapacityError(
+                f"partial-lineage DNF for node {v} exceeds {max_clauses} clauses"
+            )
+        memo[v] = result
+        return result
+
+    clauses = expand(node)
+    used = {var for clause in clauses for var in clause}
+    return DNF(clauses), {v: p for v, p in probs.items() if v in used}

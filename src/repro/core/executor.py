@@ -1,0 +1,275 @@
+"""Plan evaluation with partial lineage.
+
+:class:`PartialLineageEvaluator` walks a plan bottom-up over a probabilistic
+database, maintaining pL-relations over one shared And-Or network:
+
+* ``Scan`` lifts a base relation (all lineage ε), applying the atom's
+  constant and repeated-variable selections;
+* ``Select`` / ``Project`` apply the Section 5.3 operators;
+* ``Join`` applies Theorem 5.16: condition both inputs on their cSets, then
+  ``⋈_pL``.
+
+The result bundles the output pL-relation, the network, and per-operator
+offending-tuple counts; :meth:`EvaluationResult.answer_probabilities` runs
+exact inference (Theorem 5.17's variable-elimination counterpart) to turn
+partial lineage into probabilities.
+
+When the plan is *data safe* on the instance, no tuples are conditioned, the
+network never grows beyond ε, and the evaluation is purely extensional — the
+method degenerates to a safe plan, exactly as Section 4 promises. When every
+tuple offends, it degenerates to full intensional lineage. The common case
+sits in between.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.inference import compute_marginal
+from repro.core.network import EPSILON, AndOrNetwork
+from repro.core.operators import pl_join, project, select_eq
+from repro.core.plan import Join, Plan, Project, Scan, Select, left_deep_plan, plan_schema
+from repro.core.plrelation import PLRelation
+from repro.db.database import ProbabilisticDatabase
+from repro.db.schema import Row
+from repro.errors import PlanError
+from repro.query.syntax import ConjunctiveQuery, Constant, Variable
+
+
+@dataclass
+class OperatorStat:
+    """Per-operator accounting recorded during evaluation."""
+
+    operator: str
+    output_size: int
+    conditioned: int = 0
+
+
+@dataclass(frozen=True)
+class OffendingTuple:
+    """Provenance of one conditioned tuple: which relation (base or
+    intermediate, by display name), which row, and the network leaf/gate the
+    conditioning created."""
+
+    source: str
+    row: Row
+    node: int
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating a plan with partial lineage."""
+
+    relation: PLRelation
+    network: AndOrNetwork
+    stats: list[OperatorStat] = field(default_factory=list)
+    #: provenance per conditioning, in evaluation order
+    conditioned_tuples: list[OffendingTuple] = field(default_factory=list)
+
+    @property
+    def offending_count(self) -> int:
+        """Total number of tuples conditioned across all joins.
+
+        Zero iff the plan was data safe on this instance (Definition 3.1),
+        in which case the evaluation was purely extensional.
+        """
+        return sum(s.conditioned for s in self.stats)
+
+    @property
+    def is_data_safe(self) -> bool:
+        """True when no conditioning happened anywhere in the plan."""
+        return self.offending_count == 0
+
+    def answer_probabilities(
+        self, engine: str = "auto", dpll_max_calls: int = 5_000_000
+    ) -> dict[Row, float]:
+        """Exact probability of each output tuple.
+
+        An output tuple with lineage ``l`` and probability column ``p`` exists
+        with probability ``p · Pr(l = 1)`` — the anonymous event is
+        independent of the network by construction.
+
+        *engine* selects the final inference path: ``"auto"`` (linear-time
+        tree propagation when the network is tree-factorable, otherwise
+        per-node as in :func:`repro.core.inference.compute_marginal`),
+        ``"ve"``, ``"dpll"``, ``"tree"`` (bottom-up propagation, rejects
+        non-tree-factorable networks), or ``"junction"`` (one clique-tree
+        calibration per component, all marginals shared).
+        """
+        from repro.core.junction import all_marginals
+        from repro.core.treeprop import is_tree_factorable, tree_marginals
+
+        rows = list(self.relation.items())
+        nodes = [l for _, l, _ in rows]
+        marginals: dict[int, float]
+        if engine == "tree" or (
+            engine == "auto" and is_tree_factorable(self.network)
+        ):
+            marginals = tree_marginals(self.network, check=engine == "tree")
+        elif engine == "junction":
+            marginals = all_marginals(self.network, nodes)
+        else:
+            marginals = {EPSILON: 1.0}
+            for l in nodes:
+                if l not in marginals:
+                    marginals[l] = compute_marginal(
+                        self.network, l, engine, dpll_max_calls
+                    )
+        return {row: p * marginals[l] for row, l, p in rows}
+
+    def approximate_answer_probabilities(
+        self,
+        samples: int,
+        rng=None,
+        method: str = "forward",
+    ) -> dict[Row, float]:
+        """Monte-Carlo answer probabilities (Section 7's approximate regime).
+
+        ``method="forward"`` estimates all answers jointly from shared forward
+        samples of the network; ``method="karp-luby"`` runs the FPRAS on each
+        answer's partial-lineage DNF (better for small probabilities).
+        """
+        from repro.core.approximate import (
+            forward_sample_marginals,
+            karp_luby_marginal,
+        )
+
+        rows = list(self.relation.items())
+        if method == "forward":
+            marginals = forward_sample_marginals(
+                self.network, [l for _, l, _ in rows], samples, rng
+            )
+        elif method == "karp-luby":
+            marginals = {}
+            for _, l, _ in rows:
+                if l not in marginals:
+                    marginals[l] = karp_luby_marginal(
+                        self.network, l, samples, rng
+                    )
+        else:
+            raise ValueError(f"unknown approximation method {method!r}")
+        return {row: p * marginals[l] for row, l, p in rows}
+
+    def boolean_probability(
+        self, engine: str = "auto", dpll_max_calls: int = 5_000_000
+    ) -> float:
+        """Probability of a Boolean (empty-schema) query answer."""
+        if self.relation.attributes:
+            raise PlanError(
+                f"boolean_probability on a relation with attributes "
+                f"{self.relation.attributes}; project to ∅ first"
+            )
+        probs = self.answer_probabilities(engine, dpll_max_calls)
+        return probs.get((), 0.0)
+
+
+class PartialLineageEvaluator:
+    """Evaluates plans over a probabilistic database with partial lineage.
+
+    Examples
+    --------
+    >>> from repro.db import ProbabilisticDatabase
+    >>> from repro.query import parse_query
+    >>> db = ProbabilisticDatabase()
+    >>> _ = db.add_relation("R", ("A",), {(1,): 0.5})
+    >>> _ = db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (1, 2): 0.5})
+    >>> _ = db.add_relation("T", ("B",), {(1,): 1.0, (2,): 1.0})
+    >>> res = PartialLineageEvaluator(db).evaluate_query(
+    ...     parse_query("q() :- R(x), S(x,y), T(y)"))
+    >>> round(res.boolean_probability(), 6)
+    0.375
+    """
+
+    def __init__(self, db: ProbabilisticDatabase, *, hashing: bool = True) -> None:
+        self.db = db
+        #: Pass-through to :class:`AndOrNetwork`: disable to ablate the
+        #: Section 5.4 node-reuse optimisation.
+        self.hashing = hashing
+
+    # ------------------------------------------------------------ entry points
+    def evaluate(self, plan: Plan) -> EvaluationResult:
+        """Evaluate an explicit plan; validates its schema first."""
+        plan_schema(plan, self.db)
+        network = AndOrNetwork(hashing=self.hashing)
+        stats: list[OperatorStat] = []
+        conditioned: list[OffendingTuple] = []
+        rel = self._eval(plan, network, stats, conditioned)
+        return EvaluationResult(rel, network, stats, conditioned)
+
+    def evaluate_query(
+        self, query: ConjunctiveQuery, join_order: list[str] | None = None
+    ) -> EvaluationResult:
+        """Build the left-deep plan for *query* and evaluate it."""
+        return self.evaluate(left_deep_plan(query, join_order))
+
+    # --------------------------------------------------------------- recursion
+    def _eval(
+        self,
+        plan: Plan,
+        network: AndOrNetwork,
+        stats: list[OperatorStat],
+        provenance: list[OffendingTuple],
+    ) -> PLRelation:
+        if isinstance(plan, Scan):
+            rel = self._scan(plan, network)
+        elif isinstance(plan, Select):
+            child = self._eval(plan.child, network, stats, provenance)
+            rel = select_eq(child, dict(plan.conditions))
+        elif isinstance(plan, Project):
+            child = self._eval(plan.child, network, stats, provenance)
+            rel = project(child, plan.attributes)
+        elif isinstance(plan, Join):
+            left = self._eval(plan.left, network, stats, provenance)
+            right = self._eval(plan.right, network, stats, provenance)
+            rel, conditioned = pl_join(
+                left,
+                right,
+                plan.on,
+                recorder=lambda node, source, row: provenance.append(
+                    OffendingTuple(source, row, node)
+                ),
+            )
+            stats.append(
+                OperatorStat(str(plan), output_size=len(rel), conditioned=conditioned)
+            )
+            return rel
+        else:
+            raise PlanError(f"unknown plan node {plan!r}")
+        stats.append(OperatorStat(str(plan), output_size=len(rel)))
+        return rel
+
+    def _scan(self, scan: Scan, network: AndOrNetwork) -> PLRelation:
+        base = self.db[scan.relation]
+        if scan.terms is None:
+            return PLRelation.from_base(base, network)
+        if len(scan.terms) != base.schema.arity:
+            raise PlanError(
+                f"scan of {scan.relation}: {len(scan.terms)} terms for arity "
+                f"{base.schema.arity}"
+            )
+        var_first: dict[str, int] = {}
+        for i, t in enumerate(scan.terms):
+            if isinstance(t, Variable) and t.name not in var_first:
+                var_first[t.name] = i
+        out = PLRelation(tuple(var_first), network, name=str(scan))
+        for row, p in base.items():
+            binding: dict[str, object] = {}
+            ok = True
+            for i, t in enumerate(scan.terms):
+                if isinstance(t, Constant):
+                    if row[i] != t.value:
+                        ok = False
+                        break
+                else:
+                    bound = binding.get(t.name, _UNSET)
+                    if bound is _UNSET:
+                        binding[t.name] = row[i]
+                    elif bound != row[i]:
+                        ok = False
+                        break
+            if ok:
+                out.add(tuple(row[i] for i in var_first.values()), EPSILON, p)
+        return out
+
+
+_UNSET = object()

@@ -1,0 +1,158 @@
+"""EXPLAIN for partial-lineage plans.
+
+Renders a plan as an annotated tree and — given a database — predicts each
+join's data safety *before* running it, using the Proposition 3.2 predicate
+on the base relations and conservative propagation through the plan. The
+prediction is exact for joins whose inputs are base scans (the common first
+join, where most conditioning happens) and marked "≤" (an upper bound of
+"safe") elsewhere.
+
+Also exports And-Or networks and plans to Graphviz DOT text for inspection.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import EvaluationResult
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.core.plan import Join, Plan, Project, Scan, Select, plan_schema
+from repro.db.database import ProbabilisticDatabase
+from repro.db.statistics import fanout_profile
+from repro.query.syntax import Variable
+
+
+def _scan_base_key(scan: Scan, db: ProbabilisticDatabase, on: tuple[str, ...]):
+    """Map join attributes (variable names) back to base columns of a scan."""
+    rel = db[scan.relation]
+    if scan.terms is None:
+        return rel, tuple(on)
+    cols = []
+    for name in on:
+        for i, t in enumerate(scan.terms):
+            if isinstance(t, Variable) and t.name == name:
+                cols.append(rel.schema.attributes[i])
+                break
+        else:
+            return None
+    return rel, tuple(cols)
+
+
+def _join_annotation(join: Join, db: ProbabilisticDatabase) -> str:
+    """Predict the join's offending counts where both sides are base scans."""
+    if not (isinstance(join.left, Scan) and isinstance(join.right, Scan)):
+        return "offending: data-dependent (inputs are derived)"
+    left = _scan_base_key(join.left, db, join.on)
+    right = _scan_base_key(join.right, db, join.on)
+    if left is None or right is None:
+        return "offending: data-dependent"
+    (lrel, lkey), (rrel, rkey) = left, right
+    lprof = fanout_profile(rrel, rkey)
+    rprof = fanout_profile(lrel, lkey)
+    loff = sum(
+        1
+        for row, p in lrel.items()
+        if p < 1.0
+        and lprof.expected_partners(
+            tuple(row[i] for i in lrel.schema.indices_of(lkey))
+        )
+        > 1
+    )
+    roff = sum(
+        1
+        for row, p in rrel.items()
+        if p < 1.0
+        and rprof.expected_partners(
+            tuple(row[i] for i in rrel.schema.indices_of(rkey))
+        )
+        > 1
+    )
+    if loff == roff == 0:
+        return "data safe (no offending tuples)"
+    return f"offending: {loff} left + {roff} right tuples will be conditioned"
+
+
+def explain(plan: Plan, db: ProbabilisticDatabase | None = None) -> str:
+    """An indented tree rendering of *plan*, annotated when *db* is given.
+
+    Examples
+    --------
+    >>> from repro.core.plan import left_deep_plan
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query("R(x), S(x,y)")
+    >>> print(explain(left_deep_plan(q)))
+    π[∅]
+    └─ ⋈[x]
+       ├─ scan R(x)
+       └─ scan S(x, y)
+    """
+    lines: list[str] = []
+
+    def annotate(node: Plan) -> str:
+        if db is None:
+            return ""
+        if isinstance(node, Join):
+            return f"   -- {_join_annotation(node, db)}"
+        if isinstance(node, Scan):
+            rel = db[node.relation]
+            uncertain = len(rel.uncertain_rows())
+            return f"   -- {len(rel)} tuples, {uncertain} uncertain"
+        return ""
+
+    def walk(node: Plan, prefix: str, connector: str) -> None:
+        if isinstance(node, Project):
+            label = f"π[{', '.join(node.attributes) or '∅'}]"
+            children = [node.child]
+        elif isinstance(node, Select):
+            conds = ", ".join(f"{a}={v!r}" for a, v in node.conditions)
+            label = f"σ[{conds}]"
+            children = [node.child]
+        elif isinstance(node, Join):
+            label = f"⋈[{','.join(node.on)}]"
+            children = [node.left, node.right]
+        else:
+            label = f"scan {node}"
+            children = []
+        lines.append(f"{prefix}{connector}{label}{annotate(node)}")
+        child_prefix = prefix
+        if connector == "└─ ":
+            child_prefix += "   "
+        elif connector == "├─ ":
+            child_prefix += "│  "
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            walk(child, child_prefix, "└─ " if last else "├─ ")
+
+    if db is not None:
+        plan_schema(plan, db)  # validate before annotating
+    walk(plan, "", "")
+    return "\n".join(lines)
+
+
+def network_to_dot(net: AndOrNetwork, highlight: set[int] | None = None) -> str:
+    """Graphviz DOT text for an And-Or network.
+
+    Leaves are ellipses labelled with their probability; gates are boxes
+    (``∨`` / ``∧``); edges carry their probability when below 1. Nodes in
+    *highlight* (e.g. answer lineage nodes) are drawn bold.
+    """
+    highlight = highlight or set()
+    lines = ["digraph andor {", "  rankdir=BT;"]
+    for v in net.nodes():
+        kind = net.kind(v)
+        style = ", style=bold" if v in highlight else ""
+        if kind is NodeKind.LEAF:
+            label = "ε" if v == EPSILON else f"n{v}\\np={net.leaf_probability(v):g}"
+            lines.append(f'  n{v} [label="{label}", shape=ellipse{style}];')
+        else:
+            symbol = "∨" if kind is NodeKind.OR else "∧"
+            lines.append(f'  n{v} [label="n{v} {symbol}", shape=box{style}];')
+        for w, q in net.parents(v):
+            attr = "" if q == 1.0 else f' [label="{q:g}"]'
+            lines.append(f"  n{w} -> n{v}{attr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def result_to_dot(result: EvaluationResult) -> str:
+    """DOT text for a result's network, highlighting the answers' lineage."""
+    answers = {l for _, l, _ in result.relation.items() if l != EPSILON}
+    return network_to_dot(result.network, highlight=answers)

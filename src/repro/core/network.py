@@ -1,0 +1,292 @@
+"""And-Or networks (Section 5.1 of the paper).
+
+An And-Or network is a directed acyclic graph whose nodes are Boolean random
+variables labelled ``Leaf``, ``And``, or ``Or``, with a probability on every
+leaf and on every edge. The conditional distribution of a gate given its
+parents is a *noisy* gate::
+
+    Or:   Pr(v=1 | parents) = 1 - prod_w (1 - x_w * P(w, v))
+    And:  Pr(v=1 | parents) = prod_w (x_w * P(w, v))
+    Leaf: Pr(v=1)           = P(v)
+
+This is a special case of a Bayesian network. Or nodes encode the dependency
+introduced by duplicate elimination, And nodes the one introduced by joins,
+and leaves are the *conditioned* (offending) tuples.
+
+Node reuse by hashing
+---------------------
+The paper builds gate nodes by hashing the set of ``(parent, probability)``
+pairs, so that structurally identical gates collapse to one node — Section 5.4
+shows this can shrink treewidth from ``n`` to a tree. The merge is sound
+exactly when the gate is a *deterministic* function of its parents, i.e. when
+every edge probability is 1: then two gates with the same parent set denote
+the same Boolean event. With an edge probability below 1 the gate involves a
+fresh anonymous event per tuple, and merging two such gates would wrongly
+identify independent events (this is checkable against brute-force worlds;
+see ``tests/core/test_network.py``). We therefore memoise deterministic gates
+only — fresh nodes are allocated for noisy gates.
+
+The distinguished node :data:`EPSILON` (id 0) is a leaf with probability 1.
+It plays the role of the paper's ``ε``: the trivial lineage of tuples that
+carry no symbolic part.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import CapacityError, ProbabilityError
+
+
+class NodeKind(enum.Enum):
+    """Label of an And-Or network node."""
+
+    LEAF = "leaf"
+    AND = "and"
+    OR = "or"
+
+
+#: The trivial lineage node: a leaf that is true with probability 1.
+EPSILON = 0
+
+#: Refuse brute-force enumeration beyond this many non-epsilon nodes.
+_MAX_BRUTE_FORCE = 22
+
+
+@dataclass(frozen=True)
+class _Node:
+    kind: NodeKind
+    #: For leaves: the prior probability. For gates: unused (0.0).
+    prob: float
+    #: For gates: ``(parent id, edge probability)`` pairs. Empty for leaves.
+    parents: tuple[tuple[int, float], ...]
+
+
+class AndOrNetwork:
+    """A growable And-Or network.
+
+    The network starts with the single :data:`EPSILON` leaf. Operators augment
+    it (the paper's ``∪̊`` operation) through :meth:`add_leaf` and
+    :meth:`add_gate`; nodes are immutable once created, so the DAG invariant
+    holds by construction (a gate's parents must already exist).
+
+    Examples
+    --------
+    Example 5.1 of the paper — ``N(x) = 0.28`` for ``x = {u:0, v:1, w:0}``:
+
+    >>> net = AndOrNetwork()
+    >>> u = net.add_leaf(0.3)
+    >>> v = net.add_leaf(0.8)
+    >>> w = net.add_gate(NodeKind.OR, [(u, 0.5), (v, 0.5)])
+    >>> round(net.joint_probability({u: 0, v: 1, w: 0}), 10)
+    0.28
+    """
+
+    def __init__(self, hashing: bool = True) -> None:
+        #: When False, deterministic gates are not memoised — the ablation of
+        #: the Section 5.4 hashing optimisation (always sound, possibly much
+        #: larger networks).
+        self.hashing = hashing
+        self._nodes: list[_Node] = [_Node(NodeKind.LEAF, 1.0, ())]
+        self._gate_memo: dict[tuple, int] = {}
+
+    # ------------------------------------------------------------- growth
+    def add_leaf(self, probability: float) -> int:
+        """Add a fresh leaf with the given prior probability and return its id.
+
+        Leaves are never memoised: every conditioning step introduces a new
+        independent event even if probabilities coincide.
+        """
+        p = float(probability)
+        if not 0.0 <= p <= 1.0:
+            raise ProbabilityError(f"leaf probability {p} outside [0, 1]")
+        self._nodes.append(_Node(NodeKind.LEAF, p, ()))
+        return len(self._nodes) - 1
+
+    def add_gate(
+        self, kind: NodeKind, parents: Iterable[tuple[int, float]]
+    ) -> int:
+        """Add an And/Or gate over ``(parent, edge probability)`` pairs.
+
+        Deterministic gates (all edge probabilities equal to 1) are memoised by
+        their parent set — the paper's hashing trick — so repeated requests
+        return the same node id. A single-parent deterministic gate is the
+        parent itself and no node is created.
+
+        Raises
+        ------
+        ProbabilityError
+            If an edge probability is outside ``[0, 1]``.
+        ValueError
+            If the parent list is empty or mentions an unknown node.
+        """
+        if kind not in (NodeKind.AND, NodeKind.OR):
+            raise ValueError(f"gates must be And or Or, not {kind}")
+        # Sort for a canonical (hashable) form, keeping multiplicity: a gate
+        # with the same parent twice involves two distinct anonymous events.
+        plist = sorted((int(w), float(q)) for w, q in parents)
+        if not plist:
+            raise ValueError("a gate needs at least one parent")
+        for w, q in plist:
+            if not 0 <= w < len(self._nodes):
+                raise ValueError(f"unknown parent node {w}")
+            if not 0.0 <= q <= 1.0:
+                raise ProbabilityError(f"edge probability {q} outside [0, 1]")
+        deterministic = all(q == 1.0 for _, q in plist)
+        if deterministic and len(plist) == 1:
+            return plist[0][0]
+        memoisable = deterministic and self.hashing
+        if memoisable:
+            key = (kind, tuple(plist))
+            hit = self._gate_memo.get(key)
+            if hit is not None:
+                return hit
+        self._nodes.append(_Node(kind, 0.0, tuple(plist)))
+        node = len(self._nodes) - 1
+        if memoisable:
+            self._gate_memo[key] = node
+        return node
+
+    # ------------------------------------------------------------ structure
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def kind(self, node: int) -> NodeKind:
+        """The label of *node*."""
+        return self._nodes[node].kind
+
+    def leaf_probability(self, node: int) -> float:
+        """Prior probability of a leaf node."""
+        n = self._nodes[node]
+        if n.kind is not NodeKind.LEAF:
+            raise ValueError(f"node {node} is a {n.kind.value} gate, not a leaf")
+        return n.prob
+
+    def parents(self, node: int) -> tuple[tuple[int, float], ...]:
+        """``(parent, edge probability)`` pairs of *node* (empty for leaves)."""
+        return self._nodes[node].parents
+
+    def nodes(self) -> range:
+        """All node ids, including :data:`EPSILON`."""
+        return range(len(self._nodes))
+
+    def leaves(self) -> list[int]:
+        """Ids of all leaf nodes (including :data:`EPSILON`)."""
+        return [i for i, n in enumerate(self._nodes) if n.kind is NodeKind.LEAF]
+
+    def symbolic_leaves(self) -> list[int]:
+        """Leaves other than ε — one per conditioned (offending) tuple."""
+        return [i for i in self.leaves() if i != EPSILON]
+
+    def ancestors(self, nodes: Iterable[int]) -> set[int]:
+        """All nodes reachable from *nodes* by following parent edges."""
+        seen: set[int] = set()
+        stack = list(nodes)
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(w for w, _ in self._nodes[v].parents)
+        return seen
+
+    def undirected_edges(self) -> list[tuple[int, int]]:
+        """Edges of the underlying undirected graph (for treewidth analysis)."""
+        return [
+            (w, v)
+            for v, n in enumerate(self._nodes)
+            for w, _ in n.parents
+        ]
+
+    # ------------------------------------------------------------ semantics
+    def conditional_probability(
+        self, node: int, value: int, parent_values: Mapping[int, int]
+    ) -> float:
+        """``φ(x_v = value | x_parents)`` from Section 5.1."""
+        n = self._nodes[node]
+        if n.kind is NodeKind.LEAF:
+            p1 = n.prob
+        elif n.kind is NodeKind.OR:
+            acc = 1.0
+            for w, q in n.parents:
+                acc *= 1.0 - parent_values[w] * q
+            p1 = 1.0 - acc
+        else:  # AND
+            p1 = 1.0
+            for w, q in n.parents:
+                p1 *= parent_values[w] * q
+        return p1 if value else 1.0 - p1
+
+    def joint_probability(self, assignment: Mapping[int, int]) -> float:
+        """``N(x)``: the joint probability of a full assignment.
+
+        The assignment must cover every node except ε (ε may be included with
+        value 1; including it with value 0 yields probability 0).
+        """
+        full = dict(assignment)
+        full.setdefault(EPSILON, 1)
+        prod = 1.0
+        for v in range(len(self._nodes)):
+            prod *= self.conditional_probability(v, full[v], full)
+            if prod == 0.0:
+                return 0.0
+        return prod
+
+    def brute_force_marginal(self, evidence: Mapping[int, int]) -> float:
+        """``N^0(y)``: marginal of a partial assignment, by full enumeration.
+
+        Exponential; used as the inference oracle in tests. For efficient
+        inference use :mod:`repro.core.inference`.
+        """
+        free = [v for v in range(1, len(self._nodes)) if v not in evidence]
+        if len(free) > _MAX_BRUTE_FORCE:
+            raise CapacityError(
+                f"{len(free)} free nodes exceed the brute-force limit"
+            )
+        if EPSILON in evidence and evidence[EPSILON] == 0:
+            return 0.0
+        total = 0.0
+        for values in itertools.product((0, 1), repeat=len(free)):
+            assignment = dict(zip(free, values))
+            assignment.update(evidence)
+            total += self.joint_probability(assignment)
+        return total
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation.
+
+        Invariants: node 0 is ε (a probability-1 leaf); every gate's parents
+        precede it (acyclicity); probabilities lie in ``[0, 1]``.
+        """
+        if (
+            self._nodes[EPSILON].kind is not NodeKind.LEAF
+            or self._nodes[EPSILON].prob != 1.0
+        ):
+            raise ValueError("node 0 must be the ε leaf with probability 1")
+        for v, n in enumerate(self._nodes):
+            if n.kind is NodeKind.LEAF:
+                if n.parents:
+                    raise ValueError(f"leaf {v} has parents")
+                if not 0.0 <= n.prob <= 1.0:
+                    raise ValueError(f"leaf {v} probability {n.prob} outside [0,1]")
+            else:
+                if not n.parents:
+                    raise ValueError(f"gate {v} has no parents")
+                for w, q in n.parents:
+                    if w >= v:
+                        raise ValueError(f"gate {v} has non-preceding parent {w}")
+                    if not 0.0 <= q <= 1.0:
+                        raise ValueError(f"edge ({w},{v}) probability {q}")
+
+    def __repr__(self) -> str:
+        counts = {k: 0 for k in NodeKind}
+        for n in self._nodes:
+            counts[n.kind] += 1
+        return (
+            f"<AndOrNetwork {len(self._nodes)} nodes: "
+            f"{counts[NodeKind.LEAF]} leaves, {counts[NodeKind.AND]} and, "
+            f"{counts[NodeKind.OR]} or>"
+        )

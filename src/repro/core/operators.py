@@ -1,0 +1,240 @@
+"""Relational operators over pL-relations (Section 5.3).
+
+The operators are defined so that (i) on purely extensional inputs they reduce
+to the classical extensional operators of [8] (Eqs. 2-4), and (ii) in general
+they push as much work as possible into plain arithmetic on the probability
+column, creating network nodes only where the data forces it:
+
+* :func:`select_eq` — plain relational selection (always data safe, Sec 5.3.1);
+* :func:`independent_project` / :func:`deduplicate` — the two halves of
+  projection (Sec 5.3.2); deduplication is the only place Or nodes are born;
+* :func:`condition` — the ``Cond`` operation (Sec 5.3.3): make a tuple
+  deterministic and remember its probability as a fresh network leaf;
+* :func:`cset` — the offending tuples of a join (Definition 5.14);
+* :func:`pl_join_raw` — ``⋈_pL`` (Definition 5.13), correct only after
+  conditioning; And nodes are born here;
+* :func:`pl_join` — Theorem 5.16's recipe: condition both sides on their
+  cSets, then ``⋈_pL``.
+
+All operators return new :class:`~repro.core.plrelation.PLRelation` objects
+sharing (and augmenting) the input's network.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.network import EPSILON, NodeKind
+from repro.core.plrelation import PLRelation
+from repro.db.schema import Row
+from repro.errors import SchemaError
+
+#: Transient representation between independent project and deduplication:
+#: a list of (projected row, lineage node, probability) — rows may repeat.
+ProjectedRows = list[tuple[Row, int, float]]
+
+
+# --------------------------------------------------------------------- select
+def select_eq(rel: PLRelation, conditions: Mapping[str, object]) -> PLRelation:
+    """Selection ``σ_{A=a, ...}``: keep rows matching every equality condition.
+
+    Always data safe (Proposition 3.2); lineage and probability pass through.
+    """
+    idx = [(rel.index_of(a), v) for a, v in conditions.items()]
+    out = rel.empty_like(name=f"σ({rel.name})")
+    for row, l, p in rel.items():
+        if all(row[i] == v for i, v in idx):
+            out.add(row, l, p)
+    return out
+
+
+def select_where(rel: PLRelation, predicate) -> PLRelation:
+    """Selection with an arbitrary row predicate ``Row -> bool``."""
+    out = rel.empty_like(name=f"σ({rel.name})")
+    for row, l, p in rel.items():
+        if predicate(row):
+            out.add(row, l, p)
+    return out
+
+
+# -------------------------------------------------------------------- project
+def independent_project(rel: PLRelation, attributes: Sequence[str]) -> ProjectedRows:
+    """Independent project (Sec 5.3.2): group by projected value *and* lineage.
+
+    Rows sharing both the projected value and the lineage node are merged
+    extensionally: ``p' = 1 - Π (1 - p)``. This is exactly the extensional
+    projection of Eq. 3, restricted to same-lineage rows, and it never touches
+    the network.
+    """
+    positions = [rel.index_of(a) for a in attributes]
+    groups: dict[tuple[Row, int], float] = {}
+    order: list[tuple[Row, int]] = []
+    for row, l, p in rel.items():
+        key = (tuple(row[i] for i in positions), l)
+        if key in groups:
+            groups[key] = 1.0 - (1.0 - groups[key]) * (1.0 - p)
+        else:
+            groups[key] = p
+            order.append(key)
+    return [(row, l, groups[(row, l)]) for row, l in order]
+
+
+def deduplicate(
+    rel: PLRelation, attributes: Sequence[str], projected: ProjectedRows
+) -> PLRelation:
+    """Deduplication (Sec 5.3.2): merge same-value rows through an Or node.
+
+    Groups with a single member pass through unchanged. A group with several
+    members — necessarily with pairwise distinct lineage — becomes one row with
+    probability 1 and a fresh Or node whose parents are the members' lineage
+    nodes, with the members' probabilities as edge probabilities. The
+    probability mass moves onto the edges; Theorem 5.10 shows the result obeys
+    possible-worlds semantics.
+    """
+    net = rel.network
+    groups: dict[Row, list[tuple[int, float]]] = {}
+    order: list[Row] = []
+    for row, l, p in projected:
+        if row not in groups:
+            groups[row] = []
+            order.append(row)
+        groups[row].append((l, p))
+    out = PLRelation(attributes, net, name=f"π({rel.name})")
+    for row in order:
+        members = groups[row]
+        if len(members) == 1:
+            l, p = members[0]
+            out.add(row, l, p)
+        else:
+            gate = net.add_gate(NodeKind.OR, members)
+            out.add(row, gate, 1.0)
+    return out
+
+
+def project(rel: PLRelation, attributes: Sequence[str]) -> PLRelation:
+    """Full projection ``π_A``: independent project followed by deduplication."""
+    return deduplicate(rel, attributes, independent_project(rel, attributes))
+
+
+# ---------------------------------------------------------------- conditioning
+#: Optional callback invoked per conditioned tuple: (node id, source, row).
+Recorder = Optional[Callable[[int, str, "Row"], None]]
+
+
+def condition(
+    rel: PLRelation, rows: Iterable[Row], recorder: Recorder = None
+) -> PLRelation:
+    """``Cond`` (Sec 5.3.3): make the given rows deterministic.
+
+    For a row with trivial lineage, its probability moves to a fresh leaf (the
+    paper's definition). For a row that already carries lineage ``l ≠ ε`` and
+    probability ``p < 1`` — which arises when an intermediate relation feeds a
+    later join — the event is ``l ∧ anon(p)``, so we allocate a single-parent
+    And gate with edge probability ``p``; this generalises Lemma 5.12 and
+    keeps the distribution unchanged.
+
+    Rows that are already deterministic are left untouched (conditioning them
+    would add a useless node).
+    """
+    targets = {tuple(r) for r in rows}
+    missing = targets - set(rel.rows())
+    if missing:
+        raise SchemaError(f"cannot condition on absent rows: {sorted(missing)}")
+    net = rel.network
+    out = rel.empty_like(name=f"cond({rel.name})")
+    for row, l, p in rel.items():
+        if row in targets and p < 1.0:
+            if l == EPSILON:
+                node = net.add_leaf(p)
+            else:
+                node = net.add_gate(NodeKind.AND, [(l, p)])
+            if recorder is not None:
+                recorder(node, rel.name, row)
+            out.add(row, node, 1.0)
+        else:
+            out.add(row, l, p)
+    return out
+
+
+# ----------------------------------------------------------------------- join
+def _join_positions(
+    left: PLRelation, right: PLRelation, on: Sequence[str]
+) -> tuple[list[int], list[int], list[int]]:
+    """Positions of the join attributes on both sides and of the right-side
+    attributes that survive into the output (those not in *on*)."""
+    lpos = [left.index_of(a) for a in on]
+    rpos = [right.index_of(a) for a in on]
+    keep = [i for i, a in enumerate(right.attributes) if a not in set(on)]
+    return lpos, rpos, keep
+
+
+def cset(left: PLRelation, right: PLRelation, on: Sequence[str]) -> list[Row]:
+    """``cSet(left, right)`` (Definition 5.14): the offending tuples of *left*.
+
+    A tuple offends when it is uncertain (``p < 1``) and joins with more than
+    one tuple of *right*. Matching Proposition 3.2, *all* join partners count,
+    deterministic or not: a shared uncertain left tuple correlates its output
+    tuples regardless of the partners' probabilities.
+    """
+    lpos, rpos, _ = _join_positions(left, right, on)
+    fanout: dict[Row, int] = {}
+    for row, _, _ in right.items():
+        key = tuple(row[i] for i in rpos)
+        fanout[key] = fanout.get(key, 0) + 1
+    out = []
+    for row, _, p in left.items():
+        if p < 1.0 and fanout.get(tuple(row[i] for i in lpos), 0) > 1:
+            out.append(row)
+    return out
+
+
+def pl_join_raw(
+    left: PLRelation, right: PLRelation, on: Sequence[str]
+) -> PLRelation:
+    """``⋈_pL`` (Definition 5.13), *without* conditioning.
+
+    Correct (possible-worlds preserving) only when both cSets are empty —
+    use :func:`pl_join` for the safe composition. Pairs where both sides carry
+    non-trivial lineage produce an And gate; otherwise probabilities multiply
+    and the non-trivial lineage (if any) passes through.
+    """
+    if left.network is not right.network:
+        raise SchemaError("pL-join requires both sides to share one network")
+    lpos, rpos, keep = _join_positions(left, right, on)
+    net = left.network
+    out_attrs = left.attributes + tuple(right.attributes[i] for i in keep)
+    out = PLRelation(out_attrs, net, name=f"({left.name}⋈{right.name})")
+    index: dict[Row, list[tuple[Row, int, float]]] = {}
+    for row, l, p in right.items():
+        index.setdefault(tuple(row[i] for i in rpos), []).append((row, l, p))
+    for lrow, ll, lp in left.items():
+        for rrow, rl, rp in index.get(tuple(lrow[i] for i in lpos), ()):  # matches
+            merged = lrow + tuple(rrow[i] for i in keep)
+            if ll != EPSILON and rl != EPSILON:
+                gate = net.add_gate(NodeKind.AND, [(ll, lp), (rl, rp)])
+                out.add(merged, gate, 1.0)
+            elif rl == EPSILON:
+                out.add(merged, ll, lp * rp)
+            else:
+                out.add(merged, rl, lp * rp)
+    return out
+
+
+def pl_join(
+    left: PLRelation, right: PLRelation, on: Sequence[str], recorder=None
+) -> tuple[PLRelation, int]:
+    """Safe join (Theorem 5.16): condition both sides on their cSets, then ``⋈_pL``.
+
+    Returns the joined relation and the number of tuples conditioned — the
+    per-operator offending-tuple count that measures data (un)safety. The
+    optional *recorder* ``(node, source, row)`` receives the provenance of
+    every conditioned tuple (used for what-if analysis).
+    """
+    left_offending = cset(left, right, on)
+    right_offending = cset(right, left, [a for a in on])
+    left2 = condition(left, left_offending, recorder) if left_offending else left
+    right2 = (
+        condition(right, right_offending, recorder) if right_offending else right
+    )
+    joined = pl_join_raw(left2, right2, on)
+    return joined, len(left_offending) + len(right_offending)

@@ -1,0 +1,221 @@
+"""Relational query plans.
+
+A plan is a tree of :class:`Scan`, :class:`Select`, :class:`Project`, and
+:class:`Join` nodes. Attribute names inside a plan are *query variable names*:
+a :class:`Scan` binds the base relation's columns to the atom's terms, so the
+rest of the plan joins and projects on variables, exactly as the plans of
+Table 1 ("join order ``R1, S1, R2``") are written in the paper.
+
+:func:`left_deep_plan` builds the left-deep plan for a conjunctive query and a
+join order, inserting an early projection after every join that drops
+variables no longer needed — the shape used throughout the paper's
+experiments (Fig. 4 shows such a pipeline for ``q :- R(x), S(x,y), T(y)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.db.database import ProbabilisticDatabase
+from repro.errors import PlanError
+from repro.query.syntax import Atom, ConjunctiveQuery, Term, Variable
+
+Plan = Union["Scan", "Select", "Project", "Join"]
+
+
+@dataclass(frozen=True)
+class Scan:
+    """Read a base relation, binding its columns to an atom's terms.
+
+    ``terms`` may be ``None`` to read the relation as-is (attribute names from
+    the schema). Otherwise, constant terms become selections, repeated
+    variables become equality selections, and the output schema is the
+    sequence of distinct variable names.
+    """
+
+    relation: str
+    terms: tuple[Term, ...] | None = None
+
+    def __str__(self) -> str:
+        if self.terms is None:
+            return self.relation
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Select:
+    """Equality selection ``σ_{A=a, ...}`` over a sub-plan."""
+
+    child: Plan
+    conditions: tuple[tuple[str, object], ...]
+
+    def __str__(self) -> str:
+        conds = ", ".join(f"{a}={v!r}" for a, v in self.conditions)
+        return f"σ[{conds}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Project:
+    """Projection with duplicate elimination onto the named attributes."""
+
+    child: Plan
+    attributes: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"π[{', '.join(self.attributes) or '∅'}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Join:
+    """Natural equi-join of two sub-plans on the named shared attributes.
+
+    ``on`` may be empty, denoting a cross product (used for disconnected
+    queries, where it is always 1-1 at the Boolean level).
+    """
+
+    left: Plan
+    right: Plan
+    on: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"({self.left} ⋈[{','.join(self.on)}] {self.right})"
+
+
+def scan_schema(scan: Scan, db: ProbabilisticDatabase) -> tuple[str, ...]:
+    """Output attributes of a scan: distinct variable names, or base columns."""
+    rel = db[scan.relation]
+    if scan.terms is None:
+        return rel.schema.attributes
+    if len(scan.terms) != rel.schema.arity:
+        raise PlanError(
+            f"scan of {scan.relation} binds {len(scan.terms)} terms but the "
+            f"relation has arity {rel.schema.arity}"
+        )
+    seen: list[str] = []
+    for t in scan.terms:
+        if isinstance(t, Variable) and t.name not in seen:
+            seen.append(t.name)
+    return tuple(seen)
+
+
+def plan_schema(plan: Plan, db: ProbabilisticDatabase) -> tuple[str, ...]:
+    """Output attributes of a plan; validates attribute references throughout.
+
+    Raises
+    ------
+    PlanError
+        On unknown attributes, arity mismatches, or join attributes missing
+        from either side.
+    """
+    if isinstance(plan, Scan):
+        return scan_schema(plan, db)
+    if isinstance(plan, Select):
+        schema = plan_schema(plan.child, db)
+        for a, _ in plan.conditions:
+            if a not in schema:
+                raise PlanError(f"selection on unknown attribute {a!r} of {schema}")
+        return schema
+    if isinstance(plan, Project):
+        schema = plan_schema(plan.child, db)
+        for a in plan.attributes:
+            if a not in schema:
+                raise PlanError(f"projection on unknown attribute {a!r} of {schema}")
+        return tuple(plan.attributes)
+    if isinstance(plan, Join):
+        left = plan_schema(plan.left, db)
+        right = plan_schema(plan.right, db)
+        for a in plan.on:
+            if a not in left or a not in right:
+                raise PlanError(
+                    f"join attribute {a!r} missing from {left} / {right}"
+                )
+        overlap = set(left) & set(right)
+        if overlap - set(plan.on):
+            raise PlanError(
+                f"attributes {sorted(overlap - set(plan.on))} appear on both "
+                f"sides but are not join attributes"
+            )
+        return left + tuple(a for a in right if a not in set(plan.on))
+    raise PlanError(f"unknown plan node {plan!r}")
+
+
+def left_deep_plan(
+    query: ConjunctiveQuery,
+    join_order: Sequence[str] | None = None,
+    *,
+    early_projection: bool = True,
+) -> Plan:
+    """Build the left-deep plan for *query* following *join_order*.
+
+    Parameters
+    ----------
+    query:
+        A self-join-free conjunctive query. The final projection is onto the
+        head variables (empty head = Boolean query, final ``π_∅``).
+    join_order:
+        Relation names in the order they are joined (defaults to body order).
+        Must be a permutation of the query's relations, and each prefix must
+        stay connected unless cross products are acceptable.
+    early_projection:
+        Insert a projection after each join dropping variables that no later
+        atom or the head needs (the paper's plans do this; disabling it is
+        useful for ablations).
+
+    Examples
+    --------
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query("q() :- R(x), S(x,y), T(y)")
+    >>> print(left_deep_plan(q, ["R", "S", "T"]))
+    π[∅]((π[y]((R(x) ⋈[x] S(x, y))) ⋈[y] T(y)))
+    """
+    order = list(join_order) if join_order is not None else [
+        a.relation for a in query.atoms
+    ]
+    atom_by_name = {a.relation: a for a in query.atoms}
+    if sorted(order) != sorted(atom_by_name):
+        raise PlanError(
+            f"join order {order} is not a permutation of relations "
+            f"{sorted(atom_by_name)}"
+        )
+    head_vars = {v.name for v in query.head}
+
+    def atom_vars(atom: Atom) -> set[str]:
+        return {v.name for v in atom.variables()}
+
+    first = atom_by_name[order[0]]
+    plan: Plan = Scan(first.relation, first.terms)
+    current = atom_vars(first)
+    for i, name in enumerate(order[1:], start=1):
+        atom = atom_by_name[name]
+        shared = tuple(sorted(current & atom_vars(atom)))
+        plan = Join(plan, Scan(atom.relation, atom.terms), on=shared)
+        current |= atom_vars(atom)
+        if early_projection:
+            needed = set(head_vars)
+            for later in order[i + 1 :]:
+                needed |= atom_vars(atom_by_name[later])
+            keep = current & needed
+            if keep != current:
+                plan = Project(plan, tuple(sorted(keep)))
+                current = keep
+    final = tuple(v.name for v in query.head)
+    if isinstance(plan, Project) and plan.attributes == final:
+        return plan
+    return Project(plan, final)
+
+
+def plan_operators(plan: Plan) -> list[Plan]:
+    """All operator nodes of a plan, leaves first (post-order)."""
+    out: list[Plan] = []
+
+    def walk(p: Plan) -> None:
+        if isinstance(p, Join):
+            walk(p.left)
+            walk(p.right)
+        elif isinstance(p, (Select, Project)):
+            walk(p.child)
+        out.append(p)
+
+    walk(plan)
+    return out

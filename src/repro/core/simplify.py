@@ -1,0 +1,168 @@
+"""Network simplification: pruning and constant folding.
+
+Evaluation grows one network for the whole plan; answers usually depend on a
+fraction of it (tuples conditioned early can drop out of later joins), and
+sub-networks whose leaves are all ε are really just numbers. Two
+distribution-preserving rewrites:
+
+* :func:`prune` — keep only the ancestors of the given roots, renumbering
+  densely (inference already prunes internally; this makes the compactness
+  available for storage, DOT export, and the SQL network table);
+* :func:`constant_fold` — collapse every gate whose (transitive) support
+  contains no symbolic leaf into an ε-edge: the sub-network's marginal is a
+  plain number, so the gate's consumers can treat it exactly like the
+  anonymous probabilities of Section 4.2.
+
+Both return the new network plus the old→new node mapping so pL-relations
+can be re-pointed; :func:`compact_result` applies them to a whole
+:class:`~repro.core.executor.EvaluationResult`.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import EvaluationResult
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.core.plrelation import PLRelation
+from repro.core.treeprop import tree_marginals
+
+
+def prune(
+    net: AndOrNetwork, roots: set[int]
+) -> tuple[AndOrNetwork, dict[int, int]]:
+    """The sub-network of the ancestors of *roots*, densely renumbered.
+
+    Returns the new network and the mapping from surviving old ids to new
+    ids (ε maps to ε). Marginals of surviving nodes are unchanged.
+    """
+    keep = net.ancestors(roots)
+    keep.add(EPSILON)
+    mapping: dict[int, int] = {}
+    out = AndOrNetwork(hashing=net.hashing)
+    mapping[EPSILON] = EPSILON
+    for v in sorted(keep):
+        if v == EPSILON:
+            continue
+        kind = net.kind(v)
+        if kind is NodeKind.LEAF:
+            mapping[v] = out.add_leaf(net.leaf_probability(v))
+        else:
+            mapping[v] = out.add_gate(
+                kind, [(mapping[w], q) for w, q in net.parents(v)]
+            )
+    return out, mapping
+
+
+def constant_support(net: AndOrNetwork) -> set[int]:
+    """Nodes whose transitive support holds no symbolic leaf (only ε).
+
+    The marginal of such a node is a constant; it carries no correlation.
+    """
+    constant: set[int] = {EPSILON}
+    for v in net.nodes():
+        if v == EPSILON:
+            continue
+        if net.kind(v) is NodeKind.LEAF:
+            continue  # symbolic leaves are never constant
+        if all(w in constant for w, _ in net.parents(v)):
+            constant.add(v)
+    return constant
+
+
+def constant_fold(
+    net: AndOrNetwork,
+    roots: set[int],
+    root_references: dict[int, int] | None = None,
+) -> tuple[AndOrNetwork, dict[int, int], dict[int, float]]:
+    """Replace *exclusively owned* constant sub-networks by their marginals.
+
+    Folding is only sound when the folded event is consumed exactly once:
+    a constant node shared by two consumers is a single random event, and
+    replacing each edge by an independent anonymous probability would break
+    their correlation. A constant node is therefore folded iff every node of
+    its closure (except ε) has exactly one consumer — gate edges and answer
+    rows both count (*root_references* supplies per-root row counts; default
+    one per root).
+
+    Folded parents become ε-edges carrying ``q · Pr(subtree)``; folded roots
+    are returned in the third value for the caller's probability columns.
+    The mapping sends survivors to new ids and folded nodes to ε.
+    """
+    keep = net.ancestors(roots)
+    keep.add(EPSILON)
+    constant = constant_support(net) & keep
+    # constant sub-networks are ε-leafed forests: exact linear propagation
+    values = tree_marginals(net, check=False)
+
+    consumers: dict[int, int] = {v: 0 for v in keep}
+    for v in keep:
+        if v == EPSILON or net.kind(v) is NodeKind.LEAF:
+            continue
+        for w, _ in net.parents(v):
+            if w != EPSILON:
+                consumers[w] += 1
+    for r in roots:
+        consumers[r] += (root_references or {}).get(r, 1)
+
+    def exclusively_owned(v: int) -> bool:
+        closure = net.ancestors([v]) - {EPSILON}
+        return all(
+            consumers[u] <= 1 if u == v else consumers[u] == 1
+            for u in closure
+        )
+
+    foldable = {v for v in constant if v != EPSILON and exclusively_owned(v)}
+    swallowed: set[int] = set()
+    for v in foldable:
+        swallowed |= net.ancestors([v]) - {EPSILON}
+
+    out = AndOrNetwork(hashing=net.hashing)
+    mapping: dict[int, int] = {EPSILON: EPSILON}
+    folded_roots: dict[int, float] = {
+        r: values[r] for r in roots if r in foldable
+    }
+    for v in sorted(keep):
+        if v == EPSILON:
+            continue
+        if v in swallowed:
+            mapping[v] = EPSILON
+            continue
+        kind = net.kind(v)
+        if kind is NodeKind.LEAF:
+            mapping[v] = out.add_leaf(net.leaf_probability(v))
+            continue
+        parents = []
+        for w, q in net.parents(v):
+            if w in foldable:
+                parents.append((EPSILON, q * values[w]))
+            else:
+                parents.append((mapping[w], q))
+        mapping[v] = out.add_gate(kind, parents)
+    return out, mapping, folded_roots
+
+
+def compact_result(result: EvaluationResult) -> EvaluationResult:
+    """A semantically identical result over a pruned, constant-folded network.
+
+    Answer tuples whose lineage folded to a constant have the number absorbed
+    into their probability column (becoming purely extensional rows).
+    """
+    from collections import Counter
+
+    references = Counter(l for _, l, _ in result.relation.items())
+    roots = set(references)
+    net, mapping, folded = constant_fold(
+        result.network, roots, dict(references)
+    )
+    rel = PLRelation(
+        result.relation.attributes, net, name=result.relation.name
+    )
+    for row, l, p in result.relation.items():
+        if l in folded:
+            value = p * folded[l]
+            if value > 0.0:
+                rel.add(row, EPSILON, value)
+        else:
+            rel.add(row, mapping[l], p)
+    return EvaluationResult(
+        rel, net, list(result.stats), list(result.conditioned_tuples)
+    )

@@ -1,0 +1,165 @@
+"""Top-k answer ranking by probability, in the style of [21].
+
+Ré-Dalvi-Suciu's multisimulation observes that ranking the k most probable
+answers does not require converging every answer's probability — only enough
+precision to *separate* the top k from the rest. We implement the idea on
+And-Or networks:
+
+* every answer keeps a Hoeffding confidence interval, refined in sampling
+  rounds (forward sampling of its lineage node, scaled by the answer's
+  probability column);
+* after each round, answers whose upper bound falls below the k-th best
+  lower bound are pruned — no more samples are spent on clear losers;
+* the loop ends when the top k are separated (or the budget runs out), and
+  the survivors are optionally *finalised* with exact inference, so ranks and
+  values are exact while losers only ever paid for cheap sampling.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.core.approximate import forward_sample_once
+from repro.core.executor import EvaluationResult
+from repro.core.inference import compute_marginal
+from repro.core.network import EPSILON
+from repro.db.schema import Row
+
+
+@dataclass
+class RankedAnswer:
+    """One ranked answer with its probability enclosure."""
+
+    row: Row
+    low: float
+    high: float
+    exact: bool
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass
+class TopKReport:
+    """Outcome of a top-k computation."""
+
+    answers: list[RankedAnswer]
+    rounds: int
+    samples_spent: int
+    pruned_early: int
+
+
+def _hoeffding_radius(samples: int, delta: float) -> float:
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * samples))
+
+
+def top_k_answers(
+    result: EvaluationResult,
+    k: int,
+    *,
+    rng: random.Random | None = None,
+    batch: int = 200,
+    max_rounds: int = 60,
+    delta: float = 0.01,
+    finalize_exact: bool = True,
+) -> TopKReport:
+    """The k most probable answers of an evaluation result.
+
+    Parameters
+    ----------
+    result:
+        A partial-lineage evaluation result (any number of answers).
+    k:
+        How many answers to return, ranked by probability.
+    batch / max_rounds:
+        Sampling budget: up to ``max_rounds`` rounds of ``batch`` samples per
+        still-active answer.
+    delta:
+        Per-interval confidence parameter for the Hoeffding radii.
+    finalize_exact:
+        Run exact inference on the surviving candidates at the end, making
+        the returned values (not just the ranking) exact.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    rng = rng or random.Random()
+    rows = list(result.relation.items())
+    if not rows:
+        return TopKReport([], 0, 0, 0)
+    k = min(k, len(rows))
+    net = result.network
+
+    # state per answer: [hits, samples]; ε answers are exact immediately.
+    state: dict[Row, list[int]] = {}
+    fixed: dict[Row, float] = {}
+    for row, l, p in rows:
+        if l == EPSILON:
+            fixed[row] = p
+        else:
+            state[row] = [0, 0]
+    lineage = {row: (l, p) for row, l, p in rows}
+
+    active = set(state)
+    samples_spent = 0
+    rounds = 0
+    pruned = 0
+
+    def interval(row: Row) -> tuple[float, float]:
+        if row in fixed:
+            return fixed[row], fixed[row]
+        hits, n = state[row]
+        _, p = lineage[row]
+        if n == 0:
+            return 0.0, p
+        radius = _hoeffding_radius(n, delta)
+        mean = hits / n
+        return p * max(0.0, mean - radius), p * min(1.0, mean + radius)
+
+    def kth_lower() -> float:
+        lows = sorted((interval(row)[0] for row in lineage), reverse=True)
+        return lows[k - 1]
+
+    while rounds < max_rounds and active:
+        rounds += 1
+        # one shared batch of joint forward samples refines every active row
+        targets = {lineage[row][0] for row in active}
+        relevant = sorted(net.ancestors(targets))
+        for _ in range(batch):
+            values = forward_sample_once(net, relevant, rng)
+            for row in active:
+                l, _ = lineage[row]
+                st = state[row]
+                st[0] += values[l]
+                st[1] += 1
+        samples_spent += batch
+
+        threshold = kth_lower()
+        for row in list(active):
+            if interval(row)[1] < threshold:
+                active.discard(row)
+                pruned += 1
+        # separation check: are the top-k intervals disjoint from the rest?
+        ordered = sorted(lineage, key=lambda r: -interval(r)[0])
+        top, rest = ordered[:k], ordered[k:]
+        if all(
+            interval(t)[0] >= interval(r)[1] for t in top for r in rest
+        ):
+            break
+
+    candidates = sorted(lineage, key=lambda r: -interval(r)[1])[: max(k * 2, k)]
+    answers: list[RankedAnswer] = []
+    for row in candidates:
+        l, p = lineage[row]
+        if row in fixed:
+            answers.append(RankedAnswer(row, fixed[row], fixed[row], True))
+        elif finalize_exact:
+            exact = p * compute_marginal(net, l)
+            answers.append(RankedAnswer(row, exact, exact, True))
+        else:
+            low, high = interval(row)
+            answers.append(RankedAnswer(row, low, high, False))
+    answers.sort(key=lambda a: -a.midpoint)
+    return TopKReport(answers[:k], rounds, samples_spent, pruned)

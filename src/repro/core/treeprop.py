@@ -1,0 +1,104 @@
+"""Bottom-up probability propagation for tree-factorable networks.
+
+Section 8 closes with the question whether "the second stage symbolic
+evaluation that we currently do outside the database can be converted to
+database operators … particularly advantageous when the scale of the data is
+huge and treewidth is very small". The smallest-treewidth case is a network
+where every gate's parents are probabilistically independent — then the gate
+equations themselves *are* the inference::
+
+    Pr(v) = 1 - Π (1 - q·Pr(w))     (Or)
+    Pr(v) = Π q·Pr(w)               (And)
+
+one aggregation per node, bottom-up, no tables over joint assignments at
+all. We call such networks **tree-factorable**: every gate's distinct
+parents have pairwise-disjoint ancestor sets (no variable feeds a gate along
+two paths). Hash-collapsed networks of nearly-safe instances are typically
+of this shape — e.g. the whole Section 5.4 family.
+
+:func:`is_tree_factorable` decides the property; :func:`tree_marginals`
+propagates. The SQL twin lives in :mod:`repro.sqlbackend.inference`.
+"""
+
+from __future__ import annotations
+
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.errors import InferenceError
+
+
+def is_tree_factorable(net: AndOrNetwork) -> bool:
+    """True iff every gate's distinct parents share no ancestors.
+
+    Equivalent to: probability propagation through the gate equations is
+    exact. ε is exempt (a constant correlates nothing).
+
+    Examples
+    --------
+    >>> net = AndOrNetwork()
+    >>> x, y = net.add_leaf(0.5), net.add_leaf(0.5)
+    >>> g = net.add_gate(NodeKind.OR, [(x, 1.0), (y, 1.0)])
+    >>> is_tree_factorable(net)
+    True
+    >>> h = net.add_gate(NodeKind.AND, [(g, 1.0), (x, 1.0)])  # x reaches h twice
+    >>> is_tree_factorable(net)
+    False
+    """
+    ancestors: dict[int, frozenset[int]] = {EPSILON: frozenset()}
+    for v in net.nodes():
+        if v == EPSILON:
+            continue
+        if net.kind(v) is NodeKind.LEAF:
+            ancestors[v] = frozenset((v,))
+            continue
+        combined: set[int] = set()
+        parent_ids = [w for w, _ in net.parents(v)]
+        for w in parent_ids:
+            anc = ancestors[w]
+            if combined & anc:
+                return False
+            combined |= anc
+        # a duplicated parent correlates with itself (unless it is ε)
+        non_eps = [w for w in parent_ids if w != EPSILON]
+        if len(set(non_eps)) != len(non_eps):
+            return False
+        ancestors[v] = frozenset(combined | {v})
+    return True
+
+
+def tree_marginals(net: AndOrNetwork, check: bool = True) -> dict[int, float]:
+    """Marginals of *every* node by one bottom-up pass (linear time).
+
+    Raises
+    ------
+    InferenceError
+        If *check* is on and the network is not tree-factorable (the
+        propagation would silently compute wrong numbers otherwise).
+
+    Examples
+    --------
+    >>> net = AndOrNetwork()
+    >>> u, v = net.add_leaf(0.3), net.add_leaf(0.8)
+    >>> w = net.add_gate(NodeKind.OR, [(u, 0.5), (v, 0.5)])
+    >>> round(tree_marginals(net)[w], 6)
+    0.49
+    """
+    if check and not is_tree_factorable(net):
+        raise InferenceError(
+            "network is not tree-factorable; use compute_marginal instead"
+        )
+    out: dict[int, float] = {}
+    for v in net.nodes():
+        kind = net.kind(v)
+        if kind is NodeKind.LEAF:
+            out[v] = net.leaf_probability(v)
+        elif kind is NodeKind.OR:
+            failure = 1.0
+            for w, q in net.parents(v):
+                failure *= 1.0 - q * out[w]
+            out[v] = 1.0 - failure
+        else:
+            prob = 1.0
+            for w, q in net.parents(v):
+                prob *= q * out[w]
+            out[v] = prob
+    return out

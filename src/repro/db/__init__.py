@@ -1,0 +1,50 @@
+"""Tuple-independent probabilistic database substrate.
+
+This subpackage provides the storage model the paper assumes in Section 2:
+a probabilistic database is a product of *independent* probabilistic relations,
+each given by a set of tuples with marginal probabilities (Eq. 1 of the paper).
+
+Modules
+-------
+``schema``
+    Relation schemas (name + attribute list) and schema validation.
+``relation``
+    :class:`ProbabilisticRelation` — a finite relation with a probability per
+    tuple — plus deterministic instances used when enumerating worlds.
+``database``
+    :class:`ProbabilisticDatabase` — a named collection of independent
+    probabilistic relations, with convenience constructors.
+``worlds``
+    Exhaustive possible-worlds enumeration. This is the semantic ground truth
+    (Definition 2.1) against which every evaluator in the library is tested.
+"""
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.relation import ProbabilisticRelation
+from repro.db.schema import RelationSchema
+from repro.db.statistics import (
+    FanoutProfile,
+    RelationStatistics,
+    fanout_profile,
+    fd_violation_count,
+    relation_statistics,
+)
+from repro.db.worlds import (
+    brute_force_probability,
+    brute_force_answer_probabilities,
+    enumerate_worlds,
+)
+
+__all__ = [
+    "RelationSchema",
+    "ProbabilisticRelation",
+    "ProbabilisticDatabase",
+    "enumerate_worlds",
+    "brute_force_probability",
+    "brute_force_answer_probabilities",
+    "FanoutProfile",
+    "RelationStatistics",
+    "fanout_profile",
+    "fd_violation_count",
+    "relation_statistics",
+]

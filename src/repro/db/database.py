@@ -1,0 +1,109 @@
+"""Probabilistic databases: named collections of independent relations.
+
+Per Section 2 of the paper, a probabilistic database is the *product space* of
+its relations: relations are mutually independent, and each relation is
+tuple-independent. :class:`ProbabilisticDatabase` is therefore just a name ->
+relation mapping plus convenience constructors and world-level accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+from repro.db.relation import ProbabilisticRelation
+from repro.db.schema import Row
+from repro.errors import SchemaError
+
+
+#: A tuple reference: (relation name, row). This is the identity of a tuple's
+#: Boolean event variable in lineage expressions.
+TupleRef = tuple[str, Row]
+
+
+class ProbabilisticDatabase:
+    """A set of independent probabilistic relations, addressed by name.
+
+    Examples
+    --------
+    >>> db = ProbabilisticDatabase()
+    >>> _ = db.add_relation("R", ("A",), {(1,): 0.5})
+    >>> _ = db.add_relation("S", ("A", "B"), {(1, 2): 0.9})
+    >>> db["R"].probability((1,))
+    0.5
+    """
+
+    def __init__(self, relations: Iterable[ProbabilisticRelation] = ()) -> None:
+        self._relations: Dict[str, ProbabilisticRelation] = {}
+        for rel in relations:
+            self.attach(rel)
+
+    # ----------------------------------------------------------- population
+    def attach(self, relation: ProbabilisticRelation) -> ProbabilisticRelation:
+        """Register an existing relation object under its schema name."""
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name} already exists")
+        self._relations[relation.name] = relation
+        return relation
+
+    def add_relation(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        rows: Mapping[Row, float] | Iterable[tuple[Row, float]] | None = None,
+    ) -> ProbabilisticRelation:
+        """Create, register, and return a new relation."""
+        return self.attach(ProbabilisticRelation.create(name, attributes, rows))
+
+    # -------------------------------------------------------------- access
+    def __getitem__(self, name: str) -> ProbabilisticRelation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown relation {name!r}; known: {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[ProbabilisticRelation]:
+        return iter(self._relations.values())
+
+    def names(self) -> list[str]:
+        """Names of all relations, in registration order."""
+        return list(self._relations)
+
+    def probability(self, ref: TupleRef) -> float:
+        """Marginal probability of a tuple reference ``(relation, row)``."""
+        name, row = ref
+        return self[name].probability(row)
+
+    # ---------------------------------------------------------- accounting
+    def uncertain_tuples(self) -> list[TupleRef]:
+        """All tuple references with probability strictly below 1."""
+        return [
+            (rel.name, row) for rel in self for row in rel.uncertain_rows()
+        ]
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self)
+
+    def copy(self) -> "ProbabilisticDatabase":
+        """Deep-enough copy: relations are copied, rows are shared immutables."""
+        out = ProbabilisticDatabase()
+        for rel in self:
+            out.attach(rel.copy())
+        return out
+
+    def deterministic_instance(self) -> dict[str, set[Row]]:
+        """The instance containing every tuple, ignoring probabilities.
+
+        Used for grounding lineage: the DNF of Definition 3.5 is built over all
+        tuples of the database, regardless of probability.
+        """
+        return {rel.name: set(rel.rows()) for rel in self}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{rel.name}[{len(rel)}]" for rel in self)
+        return f"<ProbabilisticDatabase {parts}>"

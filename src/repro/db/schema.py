@@ -1,0 +1,95 @@
+"""Relation schemas.
+
+A schema is a relation name plus an ordered list of attribute names. Tuples
+are plain Python tuples positionally aligned with the attribute list; values
+must be hashable (we use ints and strings throughout the test suite and the
+workload generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+
+#: Type alias for a database tuple. Values are positional, hashable scalars.
+Row = tuple
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Name and attributes of a relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name, a Python identifier (e.g. ``"S1"``).
+    attributes:
+        Ordered attribute names, each a unique identifier (e.g. ``("H", "A",
+        "B")``).
+
+    Examples
+    --------
+    >>> s = RelationSchema("S1", ("H", "A", "B"))
+    >>> s.arity
+    3
+    >>> s.index_of("A")
+    1
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    _positions: dict[str, int] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid relation name: {self.name!r}")
+        attrs = tuple(self.attributes)
+        object.__setattr__(self, "attributes", attrs)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attributes in schema {self.name}: {attrs}")
+        for a in attrs:
+            if not a or not a.isidentifier():
+                raise SchemaError(f"invalid attribute name: {a!r}")
+        object.__setattr__(self, "_positions", {a: i for i, a in enumerate(attrs)})
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def index_of(self, attribute: str) -> int:
+        """Return the position of *attribute*, raising :class:`SchemaError` if absent."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from None
+
+    def indices_of(self, attributes: Sequence[str]) -> tuple[int, ...]:
+        """Return positions for several attributes, in the order given."""
+        return tuple(self.index_of(a) for a in attributes)
+
+    def check_row(self, row: Iterable) -> Row:
+        """Validate that *row* matches this schema's arity and return it as a tuple."""
+        r = tuple(row)
+        if len(r) != self.arity:
+            raise SchemaError(
+                f"row {r!r} has arity {len(r)}, but relation {self.name} "
+                f"expects arity {self.arity}"
+            )
+        return r
+
+    def project(self, attributes: Sequence[str]) -> "RelationSchema":
+        """Schema obtained by keeping only *attributes* (in the given order)."""
+        idx = self.indices_of(attributes)  # validates
+        del idx
+        return RelationSchema(self.name, tuple(attributes))
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"

@@ -1,0 +1,121 @@
+"""Instance statistics for plan selection.
+
+The paper leaves open how to choose the plan that minimises the output
+network (Section 8) and notes that offending tuples can be found with
+standard SQL. This module computes the per-relation statistics that a plan
+optimiser needs *without* evaluating any plan:
+
+* per-attribute-set **fanout profiles** — how many tuples share each key
+  value, split by certain/uncertain, which is exactly what Proposition 3.2's
+  data-safety test consumes;
+* **functional-dependency violation counts** — the paper's measure of how
+  dirty an instance is (the ``FFD`` knob of Section 6.1);
+* uncertainty summaries (the ``FDT`` knob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.db.relation import ProbabilisticRelation
+from repro.db.schema import Row
+
+
+@dataclass(frozen=True)
+class FanoutProfile:
+    """Distribution of join fanout for one relation and key.
+
+    ``groups`` maps each key value to the number of tuples carrying it;
+    ``uncertain_multi`` counts *uncertain* tuples whose key is shared by at
+    least one other tuple — an upper bound on this side's cSet for any join
+    on this key (the partner side determines the actual fanout).
+    """
+
+    relation: str
+    key: tuple[str, ...]
+    groups: dict[Row, int]
+    uncertain_multi: int
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct key values."""
+        return len(self.groups)
+
+    @property
+    def max_fanout(self) -> int:
+        """Largest group size (1 for a key constraint)."""
+        return max(self.groups.values(), default=0)
+
+    def is_key(self) -> bool:
+        """True when the attribute set is a key on this instance."""
+        return self.max_fanout <= 1
+
+    def expected_partners(self, value: Row) -> int:
+        """Group size for *value* (0 when absent)."""
+        return self.groups.get(tuple(value), 0)
+
+
+def fanout_profile(
+    relation: ProbabilisticRelation, key: Sequence[str]
+) -> FanoutProfile:
+    """Compute the fanout profile of *relation* grouped by *key*.
+
+    Examples
+    --------
+    >>> rel = ProbabilisticRelation.create(
+    ...     "S", ("A", "B"), {(1, 1): 0.5, (1, 2): 0.5, (2, 1): 1.0})
+    >>> prof = fanout_profile(rel, ("A",))
+    >>> prof.max_fanout, prof.is_key(), prof.uncertain_multi
+    (2, False, 2)
+    """
+    groups: dict[Row, int] = {}
+    idx = relation.schema.indices_of(key)
+    for row in relation:
+        k = tuple(row[i] for i in idx)
+        groups[k] = groups.get(k, 0) + 1
+    uncertain_multi = 0
+    for row, p in relation.items():
+        k = tuple(row[i] for i in idx)
+        if p < 1.0 and groups[k] > 1:
+            uncertain_multi += 1
+    return FanoutProfile(relation.name, tuple(key), groups, uncertain_multi)
+
+
+def fd_violation_count(
+    relation: ProbabilisticRelation, lhs: Sequence[str], rhs: Sequence[str]
+) -> int:
+    """Number of ``lhs`` values with more than one ``rhs`` value.
+
+    This is the paper's offending-key count for the dependency
+    ``lhs -> rhs`` — zero iff the FD holds on the instance.
+    """
+    lidx = relation.schema.indices_of(lhs)
+    ridx = relation.schema.indices_of(rhs)
+    values: dict[Row, set[Row]] = {}
+    for row in relation:
+        values.setdefault(
+            tuple(row[i] for i in lidx), set()
+        ).add(tuple(row[i] for i in ridx))
+    return sum(1 for v in values.values() if len(v) > 1)
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """Summary statistics used by the plan optimiser."""
+
+    relation: str
+    size: int
+    uncertain: int
+
+    @property
+    def uncertain_fraction(self) -> float:
+        """Fraction of tuples with probability below 1 (the FDT knob)."""
+        return self.uncertain / self.size if self.size else 0.0
+
+
+def relation_statistics(relation: ProbabilisticRelation) -> RelationStatistics:
+    """Size and uncertainty summary of one relation."""
+    return RelationStatistics(
+        relation.name, len(relation), len(relation.uncertain_rows())
+    )

@@ -1,0 +1,96 @@
+"""Possible-worlds enumeration: the semantic ground truth.
+
+Definition 2.1 of the paper defines the meaning of query evaluation as a sum
+over worlds. This module implements that definition literally — exponentially,
+over the uncertain tuples only — so that every efficient evaluator in the
+library can be checked against it on small instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.db.database import ProbabilisticDatabase, TupleRef
+from repro.db.schema import Row
+from repro.errors import CapacityError
+
+#: A world: a deterministic instance, relation name -> set of present rows.
+World = dict[str, set[Row]]
+
+#: Safety valve: refuse to enumerate more than 2**MAX_UNCERTAIN worlds.
+MAX_UNCERTAIN = 22
+
+
+def enumerate_worlds(
+    db: ProbabilisticDatabase, max_uncertain: int = MAX_UNCERTAIN
+) -> Iterator[tuple[World, float]]:
+    """Yield every possible world of *db* together with its probability.
+
+    Deterministic tuples (probability 1) are present in every world; the
+    enumeration ranges over the ``2**u`` subsets of the ``u`` uncertain tuples.
+
+    Raises
+    ------
+    CapacityError
+        If the database has more than *max_uncertain* uncertain tuples.
+    """
+    uncertain: list[TupleRef] = db.uncertain_tuples()
+    if len(uncertain) > max_uncertain:
+        raise CapacityError(
+            f"{len(uncertain)} uncertain tuples exceed the enumeration "
+            f"limit of {max_uncertain}"
+        )
+    base: World = {rel.name: set(rel.deterministic_rows()) for rel in db}
+    probs = [db.probability(ref) for ref in uncertain]
+    n = len(uncertain)
+    for mask in range(1 << n):
+        world = {name: set(rows) for name, rows in base.items()}
+        weight = 1.0
+        for i in range(n):
+            name, row = uncertain[i]
+            if mask >> i & 1:
+                world[name].add(row)
+                weight *= probs[i]
+            else:
+                weight *= 1.0 - probs[i]
+        yield world, weight
+
+
+def brute_force_probability(
+    db: ProbabilisticDatabase,
+    satisfies: Callable[[World], bool],
+    max_uncertain: int = MAX_UNCERTAIN,
+) -> float:
+    """Probability that a Boolean property holds, by exhaustive enumeration.
+
+    Parameters
+    ----------
+    db:
+        The probabilistic database.
+    satisfies:
+        Predicate deciding whether a world satisfies the query. For conjunctive
+        queries use :func:`repro.query.grounding.world_satisfies`.
+    """
+    return sum(
+        weight
+        for world, weight in enumerate_worlds(db, max_uncertain)
+        if satisfies(world)
+    )
+
+
+def brute_force_answer_probabilities(
+    db: ProbabilisticDatabase,
+    answers: Callable[[World], set],
+    max_uncertain: int = MAX_UNCERTAIN,
+) -> dict:
+    """Per-answer probabilities for a non-Boolean query, by enumeration.
+
+    *answers* maps a world to the set of answer tuples the query returns on it;
+    the result maps each answer ever produced to the total probability of the
+    worlds producing it.
+    """
+    acc: dict = {}
+    for world, weight in enumerate_worlds(db, max_uncertain):
+        for a in answers(world):
+            acc[a] = acc.get(a, 0.0) + weight
+    return acc

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type at an API boundary. Subclasses distinguish the layer that
+failed: schema/data problems, query-language problems, planning problems, and
+inference problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation, attribute, or arity was used inconsistently."""
+
+
+class ProbabilityError(ReproError):
+    """A probability value fell outside ``[0, 1]`` or a distribution is invalid."""
+
+
+class QuerySyntaxError(ReproError):
+    """A conjunctive query string could not be parsed."""
+
+
+class QuerySemanticsError(ReproError):
+    """A parsed query is structurally invalid (e.g. self-joins, unknown relation)."""
+
+
+class PlanError(ReproError):
+    """A query plan is malformed or inconsistent with the database schema."""
+
+
+class UnsafePlanError(PlanError):
+    """Raised when a safe plan was requested for a non-hierarchical query."""
+
+
+class InferenceError(ReproError):
+    """Exact or approximate inference failed (e.g. treewidth budget exceeded)."""
+
+
+class CapacityError(ReproError):
+    """An exhaustive computation was attempted on an instance that is too large."""

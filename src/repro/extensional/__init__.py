@@ -1,0 +1,18 @@
+"""Purely extensional evaluation of safe (hierarchical) queries.
+
+The classical counterpart [8] the paper builds on: safe queries admit plans
+whose operators manipulate probabilities only. ``lifted`` evaluates a
+hierarchical query directly by lifted inference (independence + independent
+project); ``safeplan`` constructs an explicit safe plan in the
+:mod:`repro.core.plan` algebra, whose joins are 1-1 by construction on every
+instance.
+"""
+
+from repro.extensional.lifted import lifted_probability, lifted_answer_probabilities
+from repro.extensional.safeplan import safe_plan
+
+__all__ = [
+    "lifted_probability",
+    "lifted_answer_probabilities",
+    "safe_plan",
+]

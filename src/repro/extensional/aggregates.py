@@ -1,0 +1,108 @@
+"""Expectation aggregates over conjunctive queries.
+
+Complementary to probability computation: the *expected number of answers*
+(or of satisfying groundings) needs no inference at all, safe or unsafe — by
+linearity of expectation it is a sum of per-grounding products, and its
+variance needs only pairwise clause intersections. These are the classic
+"aggregates are easy where probabilities are hard" facts, useful both as
+features and as cheap sanity bounds (``Pr(q) ≤ E[#groundings]``).
+
+All functions are exact and polynomial-time for any self-join-free
+conjunctive query.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.schema import Row
+from repro.lineage.dnf import EventVar, answer_lineages, lineage_of_query
+from repro.query.syntax import ConjunctiveQuery
+
+
+def _clause_probability(
+    clause: frozenset[EventVar], probs: dict[EventVar, float]
+) -> float:
+    p = 1.0
+    for v in clause:
+        p *= probs[v]
+    return p
+
+
+def expected_grounding_count(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> float:
+    """``E[number of satisfied groundings]`` of the Boolean view of *query*.
+
+    By linearity: the sum over lineage clauses of their probabilities —
+    no independence reasoning needed.
+
+    Examples
+    --------
+    >>> from repro.db import ProbabilisticDatabase
+    >>> from repro.query import parse_query
+    >>> db = ProbabilisticDatabase()
+    >>> _ = db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.5})
+    >>> _ = db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (2, 1): 1.0})
+    >>> expected_grounding_count(parse_query("R(x), S(x,y)"), db)
+    0.75
+    """
+    dnf, probs = lineage_of_query(query, db)
+    return sum(_clause_probability(c, probs) for c in dnf.clauses)
+
+
+def grounding_count_variance(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> float:
+    """``Var[number of satisfied groundings]``, exactly.
+
+    ``Var = Σ_i Σ_j (Pr(c_i ∧ c_j) − Pr(c_i) Pr(c_j))`` where
+    ``Pr(c_i ∧ c_j)`` is the product over the *union* of the clauses'
+    variables. Quadratic in the number of groundings.
+    """
+    dnf, probs = lineage_of_query(query, db)
+    clauses = sorted(dnf.clauses, key=lambda c: sorted(map(str, c)))
+    single = [_clause_probability(c, probs) for c in clauses]
+    variance = 0.0
+    for i, ci in enumerate(clauses):
+        # diagonal: Var of an indicator
+        variance += single[i] * (1.0 - single[i])
+        for j in range(i + 1, len(clauses)):
+            joint = _clause_probability(ci | clauses[j], probs)
+            variance += 2.0 * (joint - single[i] * single[j])
+    return max(0.0, variance)
+
+
+def expected_answer_counts(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> dict[Row, float]:
+    """Per-answer expected grounding counts for a headed query."""
+    dnfs, probs = answer_lineages(query, db)
+    return {
+        answer: sum(_clause_probability(c, probs) for c in f.clauses)
+        for answer, f in dnfs.items()
+    }
+
+
+def expected_answer_cardinality(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+) -> float:
+    """``E[number of distinct answers]`` of a headed query.
+
+    This one *does* need per-answer probabilities (an answer exists iff its
+    lineage holds), so it runs the partial-lineage evaluator and sums the
+    answer marginals.
+    """
+    from repro.core.executor import PartialLineageEvaluator
+
+    result = PartialLineageEvaluator(db).evaluate_query(query)
+    return sum(result.answer_probabilities().values())
+
+
+def markov_upper_bound(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> float:
+    """``min(1, E[#groundings])`` — a cheap upper bound on ``Pr(q)``.
+
+    Exactly the union bound the interval engine starts from; exposed as a
+    standalone because it is often all a query optimiser needs.
+    """
+    return min(1.0, expected_grounding_count(query, db))

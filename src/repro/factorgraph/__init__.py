@@ -1,0 +1,22 @@
+"""AND/OR factor graphs of Sen-Deshpande [25] (Section 4.3.2).
+
+``graph`` builds, from a plan and a database, the factor graph ``G_f`` whose
+nodes are base tuples and intermediate tuples and whose gates mirror the
+plan's operators — *without* the paper's extensional folding or hashing, which
+is exactly what makes the partial-lineage network ``G_n`` a minor of it
+(Proposition 4.3). ``moralize`` provides the ``D(G)`` decomposition and
+``M(G)`` moralisation of Figure 2, and the treewidth comparisons behind
+Corollary 4.4.
+"""
+
+from repro.factorgraph.graph import FactorGraph, build_factor_graph, network_to_graph
+from repro.factorgraph.moralize import decompose, moralize, treewidth_bound
+
+__all__ = [
+    "FactorGraph",
+    "build_factor_graph",
+    "network_to_graph",
+    "decompose",
+    "moralize",
+    "treewidth_bound",
+]

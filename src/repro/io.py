@@ -1,0 +1,79 @@
+"""Loading and saving probabilistic databases as CSV directories.
+
+Format: one ``<Relation>.csv`` per relation; the header row names the
+attributes and ends with a ``p`` column carrying the tuple probability.
+Values that parse as integers or floats are loaded as numbers, everything
+else as strings — matching what the workload generator and the examples
+produce.
+
+Used by the CLI and handy for persisting generated benchmark instances so a
+sweep can be re-run on the exact same data.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+
+from repro.db.database import ProbabilisticDatabase
+from repro.errors import ReproError
+
+
+def _coerce(value: str):
+    try:
+        return int(value)
+    except ValueError:
+        try:
+            return float(value)
+        except ValueError:
+            return value
+
+
+def load_database(directory: str | pathlib.Path) -> ProbabilisticDatabase:
+    """Load every ``*.csv`` in *directory* as a probabilistic relation.
+
+    Raises
+    ------
+    ReproError
+        If the directory holds no CSV files or a header lacks the trailing
+        ``p`` column.
+    """
+    db = ProbabilisticDatabase()
+    path = pathlib.Path(directory)
+    files = sorted(path.glob("*.csv"))
+    if not files:
+        raise ReproError(f"no .csv relations found in {str(directory)!r}")
+    for file in files:
+        with open(file, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            if not header or header[-1].strip().lower() != "p":
+                raise ReproError(
+                    f"{file.name}: last header column must be 'p' "
+                    f"(the tuple probability)"
+                )
+            attrs = tuple(a.strip() for a in header[:-1])
+            rel = db.add_relation(file.stem, attrs)
+            for line in reader:
+                if not line:
+                    continue
+                *values, p = line
+                rel.add(tuple(_coerce(v.strip()) for v in values), float(p))
+    return db
+
+
+def save_database(db: ProbabilisticDatabase, directory: str | pathlib.Path) -> None:
+    """Write every relation of *db* as ``<name>.csv`` under *directory*.
+
+    The directory is created if needed; existing relation files are
+    overwritten. Round-trips with :func:`load_database` for int/float/str
+    values.
+    """
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for rel in db:
+        with open(path / f"{rel.name}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(list(rel.schema.attributes) + ["p"])
+            for row, p in rel.items():
+                writer.writerow(list(row) + [repr(p)])

@@ -1,0 +1,148 @@
+"""Lineage DNFs (Definition 3.5).
+
+The lineage of a Boolean conjunctive query on a database is the DNF obtained
+by grounding: one clause per satisfying assignment, one Boolean variable per
+database tuple. :func:`lineage_of_query` materialises it together with the
+variable probability map; :func:`answer_lineages` does the same per answer for
+queries with head variables (the "N Boolean queries" view of Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.schema import Row
+from repro.query.grounding import all_groundings, groundings
+from repro.query.syntax import ConjunctiveQuery, Constant
+
+
+@dataclass(frozen=True, order=True)
+class EventVar:
+    """The Boolean event of one database tuple, ``(relation, row)``."""
+
+    relation: str
+    row: Row
+
+    def __str__(self) -> str:
+        return f"{self.relation}{self.row!r}"
+
+
+class DNF:
+    """A positive DNF over :class:`EventVar` variables.
+
+    Clauses are frozensets of variables; the clause set is deduplicated
+    (``C ∨ C = C``). The empty DNF is *false*; a DNF containing the empty
+    clause is *true*.
+    """
+
+    __slots__ = ("clauses",)
+
+    def __init__(self, clauses: Iterable[frozenset[EventVar]] = ()) -> None:
+        self.clauses: frozenset[frozenset[EventVar]] = frozenset(
+            frozenset(c) for c in clauses
+        )
+
+    def variables(self) -> set[EventVar]:
+        """All variables mentioned by some clause."""
+        out: set[EventVar] = set()
+        for c in self.clauses:
+            out |= c
+        return out
+
+    @property
+    def is_false(self) -> bool:
+        """No clause at all: the constant ``false``."""
+        return not self.clauses
+
+    @property
+    def is_true(self) -> bool:
+        """Contains the empty clause: the constant ``true``."""
+        return frozenset() in self.clauses
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DNF) and self.clauses == other.clauses
+
+    def __hash__(self) -> int:
+        return hash(self.clauses)
+
+    def evaluate(self, world: Mapping[EventVar, bool]) -> bool:
+        """Truth value under a (total-enough) assignment of variables."""
+        return any(all(world.get(v, False) for v in c) for c in self.clauses)
+
+    def __repr__(self) -> str:
+        if self.is_false:
+            return "DNF(false)"
+        if self.is_true:
+            return "DNF(true)"
+        parts = sorted(
+            " ∧ ".join(sorted(map(str, c))) for c in self.clauses
+        )
+        return " ∨ ".join(f"({p})" for p in parts)
+
+
+def lineage_of_query(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> tuple[DNF, dict[EventVar, float]]:
+    """Lineage of a Boolean query plus the variable probability map.
+
+    Grounding ranges over *all* tuples of the database (deterministic ones
+    included — they become probability-1 variables, which the inference
+    engines simplify away).
+
+    Examples
+    --------
+    Example 3.6 of the paper: ``q = R(x,y), S(y,z)`` over the 2x2 complete
+    relations has the 8-clause lineage ``∨ r_ij s_jk``:
+
+    >>> from repro.db import ProbabilisticDatabase
+    >>> from repro.query import parse_query
+    >>> db = ProbabilisticDatabase()
+    >>> rows = {(i, j): 0.5 for i in (1, 2) for j in (1, 2)}
+    >>> _ = db.add_relation("R", ("A", "B"), rows)
+    >>> _ = db.add_relation("S", ("B", "C"), rows)
+    >>> f, probs = lineage_of_query(parse_query("R(x,y), S(y,z)"), db)
+    >>> len(f)
+    8
+    """
+    instance = db.deterministic_instance()
+    clauses = []
+    for ground in all_groundings(query.boolean_view(), instance):
+        clauses.append(
+            frozenset(EventVar(rel, row) for rel, row in ground.items())
+        )
+    dnf = DNF(clauses)
+    probs = {v: db[v.relation].probability(v.row) for v in dnf.variables()}
+    return dnf, probs
+
+
+def answer_lineages(
+    query: ConjunctiveQuery, db: ProbabilisticDatabase
+) -> tuple[dict[Row, DNF], dict[EventVar, float]]:
+    """Per-answer lineages for a query with head variables.
+
+    Returns a map ``answer row -> DNF`` plus one shared probability map.
+    """
+    instance = db.deterministic_instance()
+    by_answer: dict[Row, list[frozenset[EventVar]]] = {}
+    for binding in groundings(query, instance):
+        answer = tuple(binding[v] for v in query.head)
+        clause = []
+        for atom in query.atoms:
+            row = tuple(
+                t.value if isinstance(t, Constant) else binding[t]
+                for t in atom.terms
+            )
+            clause.append(EventVar(atom.relation, row))
+        by_answer.setdefault(answer, []).append(frozenset(clause))
+    dnfs = {a: DNF(cs) for a, cs in by_answer.items()}
+    probs: dict[EventVar, float] = {}
+    for f in dnfs.values():
+        for v in f.variables():
+            if v not in probs:
+                probs[v] = db[v.relation].probability(v.row)
+    return dnfs, probs

@@ -1,0 +1,119 @@
+"""Event algebra over lineages: unions of conjunctive queries and more.
+
+The lineage view makes Boolean combinations of (self-join-free) conjunctive
+queries free: the lineage of a disjunction is the union of the clause sets,
+of a conjunction the pairwise clause products — both stay monotone DNFs over
+the same tuple events, so every exact and approximate engine in
+:mod:`repro.lineage` applies unchanged. This lifts the paper's machinery
+from CQs to **UCQs** (unions of conjunctive queries) and to conditional
+probabilities of query events, with correlations through shared tuples
+handled for free (the DNFs share variables).
+
+Note the queries may share *relations* here (that is the point of a union);
+the no-self-join restriction applies within each conjunct.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.database import ProbabilisticDatabase
+from repro.errors import ProbabilityError
+from repro.lineage.dnf import DNF, EventVar, lineage_of_query
+from repro.lineage.exact import dnf_probability
+from repro.query.syntax import ConjunctiveQuery
+
+
+def disjoin(f: DNF, g: DNF) -> DNF:
+    """``f ∨ g``: union of the clause sets."""
+    return DNF(f.clauses | g.clauses)
+
+
+def conjoin(f: DNF, g: DNF) -> DNF:
+    """``f ∧ g``: pairwise clause unions (still a monotone DNF).
+
+    Quadratic in the clause counts — fine for the query-combination use
+    case, where each conjunct's lineage is per-answer sized.
+    """
+    if f.is_false or g.is_false:
+        return DNF()
+    return DNF(cf | cg for cf in f.clauses for cg in g.clauses)
+
+
+def _combined_lineage(
+    queries: Sequence[ConjunctiveQuery], db: ProbabilisticDatabase
+) -> tuple[list[DNF], dict[EventVar, float]]:
+    dnfs: list[DNF] = []
+    probs: dict[EventVar, float] = {}
+    for q in queries:
+        f, p = lineage_of_query(q, db)
+        dnfs.append(f)
+        probs.update(p)
+    return dnfs, probs
+
+
+def ucq_probability(
+    queries: Sequence[ConjunctiveQuery],
+    db: ProbabilisticDatabase,
+    max_calls: int = 2_000_000,
+) -> float:
+    """Exact ``Pr(q1 ∨ q2 ∨ ...)`` — a union of conjunctive queries.
+
+    Shared tuples across the disjuncts correlate them; the union of the
+    lineages accounts for that exactly.
+
+    Examples
+    --------
+    >>> from repro.db import ProbabilisticDatabase
+    >>> from repro.query import parse_query
+    >>> db = ProbabilisticDatabase()
+    >>> _ = db.add_relation("R", ("A",), {(1,): 0.5})
+    >>> _ = db.add_relation("S", ("A",), {(1,): 0.5})
+    >>> ucq_probability(
+    ...     [parse_query("R(x)"), parse_query("S(x)")], db)
+    0.75
+    """
+    dnfs, probs = _combined_lineage(queries, db)
+    union = DNF()
+    for f in dnfs:
+        union = disjoin(union, f)
+    return dnf_probability(union, probs, max_calls=max_calls)
+
+
+def conjunction_probability(
+    queries: Sequence[ConjunctiveQuery],
+    db: ProbabilisticDatabase,
+    max_calls: int = 2_000_000,
+) -> float:
+    """Exact ``Pr(q1 ∧ q2 ∧ ...)`` over the same database."""
+    dnfs, probs = _combined_lineage(queries, db)
+    combined = DNF([frozenset()])
+    for f in dnfs:
+        combined = conjoin(combined, f)
+    return dnf_probability(combined, probs, max_calls=max_calls)
+
+
+def conditional_probability(
+    query: ConjunctiveQuery,
+    given: ConjunctiveQuery,
+    db: ProbabilisticDatabase,
+    max_calls: int = 2_000_000,
+) -> float:
+    """``Pr(query | given)`` — e.g. "how likely is the alarm, given a
+    maintenance ticket was filed?".
+
+    Raises
+    ------
+    ProbabilityError
+        If the conditioning event has probability zero.
+    """
+    dnfs, probs = _combined_lineage([query, given], db)
+    denominator = dnf_probability(dnfs[1], probs, max_calls=max_calls)
+    if denominator == 0.0:
+        raise ProbabilityError(
+            f"conditioning event {given} has probability 0"
+        )
+    joint = dnf_probability(
+        conjoin(dnfs[0], dnfs[1]), probs, max_calls=max_calls
+    )
+    return joint / denominator

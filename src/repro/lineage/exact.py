@@ -1,0 +1,203 @@
+"""Exact DNF probability by DPLL-style variable elimination.
+
+This is the library's stand-in for MayBMS's exact confidence computation [16]
+("conditioning probabilistic databases"): Shannon expansion on a chosen
+variable, with the standard optimisations that make it competitive —
+
+* **independent components**: variable-disjoint sub-DNFs multiply,
+  ``Pr(F1 ∨ F2) = 1 - (1 - Pr(F1)) (1 - Pr(F2))``;
+* **common-variable factoring**: a variable in every clause factors out,
+  ``Pr(x ∧ F') = p(x) · Pr(F')``;
+* **memoisation** of sub-formula probabilities;
+* deterministic variables (probability 1) simplified away up front.
+
+Worst-case exponential, as it must be (#P-hardness); on nearly-read-once
+lineage it runs in near-linear time, which is what makes it a fair
+competitor line for Figures 5-7.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import InferenceError
+from repro.lineage.dnf import DNF, EventVar
+
+#: Clauses over integer variable ids (internal representation).
+_Clauses = frozenset[frozenset[int]]
+
+_TRUE = frozenset([frozenset()])
+
+
+@dataclass
+class DPLLStats:
+    """Work accounting for one :func:`dnf_probability` call."""
+
+    calls: int = 0
+    shannon_branches: int = 0
+    component_splits: int = 0
+    memo_hits: int = 0
+
+
+class _Solver:
+    def __init__(self, probs: list[float], max_calls: int) -> None:
+        self.probs = probs
+        self.memo: dict[_Clauses, float] = {}
+        self.stats = DPLLStats()
+        self.max_calls = max_calls
+
+    def probability(self, clauses: _Clauses) -> float:
+        self.stats.calls += 1
+        if self.stats.calls > self.max_calls:
+            raise InferenceError(
+                f"DPLL exceeded the budget of {self.max_calls} calls; the "
+                f"lineage is intractable for exact intensional evaluation"
+            )
+        if not clauses:
+            return 0.0
+        if frozenset() in clauses:
+            return 1.0
+        hit = self.memo.get(clauses)
+        if hit is not None:
+            self.stats.memo_hits += 1
+            return hit
+
+        result = self._components(clauses)
+        self.memo[clauses] = result
+        return result
+
+    def _components(self, clauses: _Clauses) -> float:
+        """Split into variable-disjoint components; multiply failures."""
+        groups = _split_components(clauses)
+        if len(groups) == 1:
+            return self._factor(clauses)
+        self.stats.component_splits += 1
+        failure = 1.0
+        for g in groups:
+            failure *= 1.0 - self._factor(g)
+            if failure == 0.0:
+                break
+        return 1.0 - failure
+
+    def _factor(self, clauses: _Clauses) -> float:
+        """Factor out variables common to every clause, then branch."""
+        common = frozenset.intersection(*clauses)
+        if common:
+            weight = 1.0
+            for v in common:
+                weight *= self.probs[v]
+            rest = frozenset(c - common for c in clauses)
+            if frozenset() in rest:
+                return weight
+            return weight * self.probability(rest)
+        return self._shannon(clauses)
+
+    def _shannon(self, clauses: _Clauses) -> float:
+        """Branch on the most frequent variable."""
+        self.stats.shannon_branches += 1
+        counts: Counter[int] = Counter()
+        for c in clauses:
+            counts.update(c)
+        var, _ = counts.most_common(1)[0]
+        p = self.probs[var]
+        positive = frozenset(c - {var} for c in clauses if var in c) | frozenset(
+            c for c in clauses if var not in c
+        )
+        negative = frozenset(c for c in clauses if var not in c)
+        if frozenset() in positive:
+            pos = 1.0
+        else:
+            pos = self.probability(positive)
+        neg = self.probability(negative)
+        return p * pos + (1.0 - p) * neg
+
+
+def _split_components(clauses: _Clauses) -> list[_Clauses]:
+    """Partition clauses into groups sharing no variable (union-find)."""
+    parent: dict[int, int] = {}
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for c in clauses:
+        it = iter(c)
+        first = next(it)
+        parent.setdefault(first, first)
+        for v in it:
+            parent.setdefault(v, v)
+            rf, rv = find(first), find(v)
+            if rf != rv:
+                parent[rv] = rf
+    acc: dict[int, list[frozenset[int]]] = {}
+    for c in clauses:
+        acc.setdefault(find(next(iter(c))), []).append(c)
+    return [frozenset(g) for g in acc.values()]
+
+
+def dnf_probability(
+    dnf: DNF,
+    probs: Mapping[EventVar, float],
+    *,
+    max_calls: int = 5_000_000,
+    stats: DPLLStats | None = None,
+) -> float:
+    """Exact probability of a positive DNF over independent variables.
+
+    Parameters
+    ----------
+    dnf:
+        The formula.
+    probs:
+        Marginal probability of each variable. Variables with probability 1
+        are simplified away before solving; probability-0 variables delete
+        their clauses.
+    max_calls:
+        Work budget; :class:`~repro.errors.InferenceError` beyond it (the
+        paper's Fig. 6/7 "both systems fail" regime).
+    stats:
+        Optional accounting object, filled in place.
+
+    Examples
+    --------
+    >>> from repro.lineage.dnf import DNF, EventVar
+    >>> x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    >>> f = DNF([frozenset([x]), frozenset([y])])
+    >>> round(dnf_probability(f, {x: 0.5, y: 0.5}), 6)
+    0.75
+    """
+    if dnf.is_true:
+        return 1.0
+    if dnf.is_false:
+        return 0.0
+    variables = sorted(dnf.variables())
+    ids = {v: i for i, v in enumerate(variables)}
+    p = [float(probs[v]) for v in variables]
+    clauses: set[frozenset[int]] = set()
+    for clause in dnf.clauses:
+        if any(p[ids[v]] == 0.0 for v in clause):
+            continue
+        reduced = frozenset(ids[v] for v in clause if p[ids[v]] < 1.0)
+        clauses.add(reduced)
+    if frozenset() in clauses:
+        return 1.0
+    if not clauses:
+        return 0.0
+    solver = _Solver(p, max_calls)
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10_000 + 6 * len(variables)))
+    try:
+        result = solver.probability(frozenset(clauses))
+    finally:
+        sys.setrecursionlimit(old_limit)
+    if stats is not None:
+        stats.calls = solver.stats.calls
+        stats.shannon_branches = solver.stats.shannon_branches
+        stats.component_splits = solver.stats.component_splits
+        stats.memo_hits = solver.stats.memo_hits
+    return result

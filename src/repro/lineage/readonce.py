@@ -1,0 +1,195 @@
+"""Read-once (one-occurrence) factorisation of lineage DNFs.
+
+Strictly hierarchical queries produce lineage that factorises into a formula
+where every variable occurs once; probability computation on such a tree is
+linear [17]. The factorisation alternates:
+
+* **Or-split** — partition the clauses into variable-disjoint groups;
+* **And-split** — factor out the variables common to every clause, and more
+  generally split the variable set so that the clause set is the cross
+  product of the projections (detected through the co-occurrence graph's
+  complement components, as in the cograph characterisation of read-once
+  functions).
+
+If neither applies, the DNF is not read-once and ``None`` is returned — the
+caller falls back to DPLL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.lineage.dnf import DNF, EventVar
+
+
+@dataclass(frozen=True)
+class VarLeaf:
+    """A single variable occurrence."""
+
+    var: EventVar
+
+
+@dataclass(frozen=True)
+class OrNode:
+    """Disjunction of variable-disjoint children."""
+
+    children: tuple["ReadOnceTree", ...]
+
+
+@dataclass(frozen=True)
+class AndNode:
+    """Conjunction of variable-disjoint children."""
+
+    children: tuple["ReadOnceTree", ...]
+
+
+ReadOnceTree = Union[VarLeaf, OrNode, AndNode]
+
+
+def _or_groups(clauses: frozenset[frozenset[EventVar]]) -> list[set[frozenset[EventVar]]]:
+    """Group clauses into variable-connected components."""
+    clause_list = list(clauses)
+    var_home: dict[EventVar, int] = {}
+    parent = list(range(len(clause_list)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i, c in enumerate(clause_list):
+        for v in c:
+            if v in var_home:
+                ri, rj = find(i), find(var_home[v])
+                if ri != rj:
+                    parent[ri] = rj
+            else:
+                var_home[v] = i
+    groups: dict[int, set[frozenset[EventVar]]] = {}
+    for i, c in enumerate(clause_list):
+        groups.setdefault(find(i), set()).add(c)
+    return list(groups.values())
+
+
+def _and_partition(
+    clauses: frozenset[frozenset[EventVar]],
+) -> list[set[EventVar]] | None:
+    """Variable blocks whose co-occurrence complement is disconnected.
+
+    Returns the components of the complement of the co-occurrence graph, or
+    ``None`` when there is a single component (no And-split possible). In a
+    read-once formula whose top connective is ∧, every variable of one
+    conjunct co-occurs (in some clause) with every variable of the others, so
+    the conjuncts are exactly these components.
+    """
+    variables = sorted({v for c in clauses for v in c})
+    if len(variables) <= 1:
+        return None
+    cooccur: dict[EventVar, set[EventVar]] = {v: set() for v in variables}
+    for c in clauses:
+        for v in c:
+            cooccur[v] |= c
+    # Components of the complement graph, via BFS over non-neighbours.
+    unvisited = set(variables)
+    blocks: list[set[EventVar]] = []
+    while unvisited:
+        seed = unvisited.pop()
+        block = {seed}
+        frontier = [seed]
+        while frontier:
+            v = frontier.pop()
+            non_neighbours = unvisited - cooccur[v]
+            block |= non_neighbours
+            unvisited -= non_neighbours
+            frontier.extend(non_neighbours)
+        blocks.append(block)
+    if len(blocks) == 1:
+        return None
+    return blocks
+
+
+def read_once_tree(dnf: DNF) -> ReadOnceTree | None:
+    """Factorise *dnf* into a read-once tree, or ``None`` if impossible.
+
+    Examples
+    --------
+    ``xy ∨ xz`` is read-once (``x(y ∨ z)``); ``xy ∨ yz ∨ zx`` is not:
+
+    >>> x, y, z = (EventVar("R", (i,)) for i in (1, 2, 3))
+    >>> read_once_tree(DNF([{x, y}, {x, z}])) is not None
+    True
+    >>> read_once_tree(DNF([{x, y}, {y, z}, {z, x}])) is None
+    True
+    """
+    if dnf.is_true or dnf.is_false:
+        return None
+
+    def build(clauses: frozenset[frozenset[EventVar]]) -> ReadOnceTree | None:
+        if len(clauses) == 1:
+            (clause,) = clauses
+            leaves = tuple(VarLeaf(v) for v in sorted(clause))
+            return leaves[0] if len(leaves) == 1 else AndNode(leaves)
+        groups = _or_groups(clauses)
+        if len(groups) > 1:
+            children = []
+            for g in groups:
+                sub = build(frozenset(g))
+                if sub is None:
+                    return None
+                children.append(sub)
+            return OrNode(tuple(children))
+        blocks = _and_partition(clauses)
+        if blocks is None:
+            return None
+        projections: list[frozenset[frozenset[EventVar]]] = []
+        expected = 1
+        for block in blocks:
+            proj = frozenset(frozenset(c & block) for c in clauses)
+            if frozenset() in proj:
+                return None
+            projections.append(proj)
+            expected *= len(proj)
+        # The clause set must be exactly the cross product of the projections,
+        # otherwise the formula is not a conjunction of these blocks.
+        if expected != len(clauses):
+            return None
+        children = []
+        for proj in projections:
+            sub = build(proj)
+            if sub is None:
+                return None
+            children.append(sub)
+        return AndNode(tuple(children))
+
+    return build(dnf.clauses)
+
+
+def tree_probability(tree: ReadOnceTree, probs: Mapping[EventVar, float]) -> float:
+    """Probability of a read-once tree: one linear pass."""
+    if isinstance(tree, VarLeaf):
+        return float(probs[tree.var])
+    if isinstance(tree, AndNode):
+        p = 1.0
+        for child in tree.children:
+            p *= tree_probability(child, probs)
+        return p
+    failure = 1.0
+    for child in tree.children:
+        failure *= 1.0 - tree_probability(child, probs)
+    return 1.0 - failure
+
+
+def read_once_probability(
+    dnf: DNF, probs: Mapping[EventVar, float]
+) -> float | None:
+    """Probability via read-once factorisation; ``None`` when not read-once."""
+    if dnf.is_true:
+        return 1.0
+    if dnf.is_false:
+        return 0.0
+    tree = read_once_tree(dnf)
+    if tree is None:
+        return None
+    return tree_probability(tree, probs)

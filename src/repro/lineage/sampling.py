@@ -1,0 +1,116 @@
+"""Monte-Carlo estimation of DNF probability.
+
+Two estimators, used as approximate baselines (Section 7 mentions sampling
+[21, 13] as the standard fallback when exact evaluation is infeasible):
+
+* :func:`naive_monte_carlo` — sample full worlds, count satisfying ones.
+  Unbiased, but needs many samples when ``Pr(F)`` is small.
+* :func:`karp_luby` — the classic FPRAS for DNF counting: sample a clause
+  with probability proportional to its weight, then a world conditioned on
+  that clause being true, and estimate the union via the first-satisfied-
+  clause indicator. Relative-error guarantees independent of ``Pr(F)``.
+
+Both accept any random generator with ``random()`` (``random.Random`` or a
+seeded instance), keeping runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.errors import InferenceError
+from repro.lineage.dnf import DNF, EventVar
+
+
+def naive_monte_carlo(
+    dnf: DNF,
+    probs: Mapping[EventVar, float],
+    samples: int,
+    rng: random.Random | None = None,
+) -> float:
+    """Estimate ``Pr(dnf)`` by sampling *samples* independent worlds."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if dnf.is_true:
+        return 1.0
+    if dnf.is_false:
+        return 0.0
+    rng = rng or random.Random()
+    variables = sorted(dnf.variables())
+    clauses = [sorted(c) for c in dnf.clauses]
+    hits = 0
+    for _ in range(samples):
+        world = {v: rng.random() < probs[v] for v in variables}
+        if any(all(world[v] for v in c) for c in clauses):
+            hits += 1
+    return hits / samples
+
+
+def karp_luby(
+    dnf: DNF,
+    probs: Mapping[EventVar, float],
+    samples: int,
+    rng: random.Random | None = None,
+) -> float:
+    """Karp-Luby estimator for the probability of a DNF union.
+
+    Let ``w_i = Pr(clause_i)`` and ``S = Σ w_i``. Repeatedly sample a clause
+    ``i`` with probability ``w_i / S`` and a world conditioned on clause ``i``
+    holding; the indicator that ``i`` is the *first* satisfied clause, scaled
+    by ``S``, is an unbiased estimator of ``Pr(∪ clauses)`` with variance
+    bounded independently of how small the answer is.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if dnf.is_true:
+        return 1.0
+    if dnf.is_false:
+        return 0.0
+    rng = rng or random.Random()
+    clauses = sorted(dnf.clauses, key=lambda c: sorted(map(str, c)))
+    weights = []
+    for c in clauses:
+        w = 1.0
+        for v in c:
+            w *= probs[v]
+        weights.append(w)
+    total = sum(weights)
+    if total == 0.0:
+        return 0.0
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc)
+    variables = sorted(dnf.variables())
+    hits = 0
+    for _ in range(samples):
+        r = rng.random() * total
+        index = _bisect(cumulative, r)
+        chosen = clauses[index]
+        world = {
+            v: True if v in chosen else rng.random() < probs[v]
+            for v in variables
+        }
+        first = None
+        for j, c in enumerate(clauses):
+            if all(world[v] for v in c):
+                first = j
+                break
+        if first is None:
+            raise InferenceError("sampled world does not satisfy its own clause")
+        if first == index:
+            hits += 1
+    return total * hits / samples
+
+
+def _bisect(cumulative: list[float], r: float) -> int:
+    lo, hi = 0, len(cumulative) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cumulative[mid] < r:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,21 @@
+"""MCDB-style Monte-Carlo query processing [13].
+
+The bluntest baseline in the paper's related work: sample whole database
+instances, run the *deterministic* query on each, and tally. No lineage, no
+inference — works for any query our grounding can evaluate (including
+headed queries and, via :mod:`repro.bid`, block-disjoint data), converges
+like ``1/√n``, and serves in the test suite as yet another independent
+implementation to cross-check the exact engines against.
+"""
+
+from repro.mc.engine import (
+    mc_answer_probabilities,
+    mc_query_probability,
+    sample_world,
+)
+
+__all__ = [
+    "sample_world",
+    "mc_query_probability",
+    "mc_answer_probabilities",
+]

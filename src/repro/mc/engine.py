@@ -1,0 +1,90 @@
+"""World sampling and Monte-Carlo query evaluation."""
+
+from __future__ import annotations
+
+import random
+
+from repro.bid.relation import BIDDatabase
+from repro.db.database import ProbabilisticDatabase
+from repro.db.schema import Row
+from repro.query.grounding import answers_in_world, world_satisfies
+from repro.query.syntax import ConjunctiveQuery
+
+#: A sampled deterministic instance.
+World = dict[str, set[Row]]
+
+
+def sample_world(
+    db: ProbabilisticDatabase | BIDDatabase, rng: random.Random
+) -> World:
+    """Draw one instance from the database's distribution.
+
+    Tuple-independent relations flip one coin per tuple; BID relations draw
+    one alternative (or none) per block.
+    """
+    world: World = {}
+    if isinstance(db, BIDDatabase):
+        for rel in db:
+            chosen: set[Row] = set()
+            for key, block in rel.blocks():
+                r = rng.random()
+                acc = 0.0
+                for row, p in block.items():
+                    acc += p
+                    if r < acc:
+                        chosen.add(row)
+                        break
+            world[rel.name] = chosen
+        return world
+    for rel in db:
+        world[rel.name] = {
+            row for row, p in rel.items() if p == 1.0 or rng.random() < p
+        }
+    return world
+
+
+def mc_query_probability(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase | BIDDatabase,
+    samples: int,
+    rng: random.Random | None = None,
+) -> float:
+    """Estimate ``Pr(q)`` by sampling *samples* worlds (MCDB-style).
+
+    Examples
+    --------
+    >>> from repro.db import ProbabilisticDatabase
+    >>> from repro.query import parse_query
+    >>> db = ProbabilisticDatabase()
+    >>> _ = db.add_relation("R", ("A",), {(1,): 0.5})
+    >>> est = mc_query_probability(parse_query("R(x)"), db, 20000,
+    ...                            random.Random(0))
+    >>> abs(est - 0.5) < 0.02
+    True
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = rng or random.Random()
+    q = query.boolean_view()
+    hits = 0
+    for _ in range(samples):
+        if world_satisfies(q, sample_world(db, rng)):
+            hits += 1
+    return hits / samples
+
+
+def mc_answer_probabilities(
+    query: ConjunctiveQuery,
+    db: ProbabilisticDatabase | BIDDatabase,
+    samples: int,
+    rng: random.Random | None = None,
+) -> dict[Row, float]:
+    """Per-answer probability estimates for a headed query."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    rng = rng or random.Random()
+    counts: dict[Row, int] = {}
+    for _ in range(samples):
+        for answer in answers_in_world(query, sample_world(db, rng)):
+            counts[answer] = counts.get(answer, 0) + 1
+    return {answer: n / samples for answer, n in counts.items()}

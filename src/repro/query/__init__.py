@@ -1,0 +1,42 @@
+"""Conjunctive query language and structural analysis.
+
+The paper studies Boolean conjunctive queries built from selections,
+projections, and eq-joins, *without self-joins* (Section 2). Queries with a
+head variable — like the benchmark queries ``q(h) :- R1(h,x), S1(h,x,y),
+R2(h,y)`` of Table 1 — are treated as a family of Boolean queries, one per
+head value.
+
+Modules
+-------
+``syntax``
+    Terms, atoms, and :class:`ConjunctiveQuery`.
+``parser``
+    A small datalog-style parser: ``parse_query("q(h) :- R(h,x), S(h,x,y)")``.
+``grounding``
+    Homomorphism enumeration: Boolean satisfaction in a world, and lineage
+    grounding (all satisfying assignments).
+``hierarchy``
+    The hierarchical (safe) and strictly-hierarchical (Definition 4.1) tests.
+"""
+
+from repro.query.syntax import Atom, ConjunctiveQuery, Constant, Variable
+from repro.query.parser import parse_query
+from repro.query.grounding import (
+    all_groundings,
+    answers_in_world,
+    world_satisfies,
+)
+from repro.query.hierarchy import is_hierarchical, is_strictly_hierarchical
+
+__all__ = [
+    "Variable",
+    "Constant",
+    "Atom",
+    "ConjunctiveQuery",
+    "parse_query",
+    "world_satisfies",
+    "answers_in_world",
+    "all_groundings",
+    "is_hierarchical",
+    "is_strictly_hierarchical",
+]

@@ -1,0 +1,174 @@
+"""Grounding conjunctive queries against deterministic instances.
+
+Two uses:
+
+* Boolean satisfaction in a possible world (:func:`world_satisfies`) — the
+  primitive the brute-force oracle needs;
+* full grounding (:func:`all_groundings`) — every satisfying assignment, which
+  is exactly the clause set of the lineage DNF (Definition 3.5).
+
+The enumeration is a straightforward backtracking join with greedy atom
+ordering (most-bound atom first) and per-relation hash indexes, which is ample
+for the instance sizes the intensional baselines can handle anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.db.schema import Row
+from repro.errors import QuerySemanticsError
+from repro.query.syntax import Atom, ConjunctiveQuery, Constant, Variable
+
+#: A deterministic instance: relation name -> collection of rows.
+Instance = Mapping[str, Iterable[Row]]
+
+#: An assignment of query variables to constants.
+Binding = dict[Variable, object]
+
+
+def _order_atoms(atoms: Sequence[Atom]) -> list[Atom]:
+    """Greedy join order: maximise already-bound variables, then minimise new
+    ones. Preferring bound variables avoids cross-product orders (an atom
+    sharing two variables with the prefix filters far better than a smaller
+    atom sharing one)."""
+    remaining = list(atoms)
+    bound: set[Variable] = set()
+    ordered: list[Atom] = []
+    while remaining:
+        def score(a: Atom) -> tuple[int, int, int]:
+            vars_ = set(a.variables())
+            shared = len(vars_ & bound)
+            return (-shared, len(vars_) - shared, len(vars_))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def groundings(
+    query: ConjunctiveQuery, instance: Instance, binding: Binding | None = None
+) -> Iterator[Binding]:
+    """Yield every assignment of the query's variables satisfying *instance*.
+
+    Assignments are complete over the body variables. The same assignment is
+    yielded exactly once. Internally this is an index nested-loop join: each
+    atom is hash-indexed on the variables bound before it in the greedy atom
+    order, so the cost is proportional to input plus output, not to the
+    product of relation sizes.
+    """
+    initial: Binding = dict(binding or {})
+    ordered = _order_atoms(query.atoms)
+
+    # Per atom, in join order: which of its variables are already bound, and
+    # which positions introduce new variables.
+    plans: list[tuple[Atom, list[Variable], list[tuple[int, Variable]], dict]] = []
+    bound: set[Variable] = set(initial)
+    for atom in ordered:
+        key_vars: list[Variable] = []
+        new_positions: list[tuple[int, Variable]] = []
+        first_position: dict[Variable, int] = {}
+        for i, term in enumerate(atom.terms):
+            if isinstance(term, Variable) and term not in first_position:
+                first_position[term] = i
+                if term in bound:
+                    key_vars.append(term)
+                else:
+                    new_positions.append((i, term))
+        index: dict[tuple, list[Row]] = {}
+        for row in instance.get(atom.relation, ()):
+            if len(row) != atom.arity:
+                raise QuerySemanticsError(
+                    f"atom {atom} has arity {atom.arity} but row {row!r} "
+                    f"has {len(row)}"
+                )
+            ok = True
+            for i, term in enumerate(atom.terms):
+                if isinstance(term, Constant):
+                    if term.value != row[i]:
+                        ok = False
+                        break
+                elif row[first_position[term]] != row[i]:
+                    ok = False
+                    break
+            if ok:
+                key = tuple(row[first_position[v]] for v in key_vars)
+                index.setdefault(key, []).append(row)
+        plans.append((atom, key_vars, new_positions, index))
+        bound.update(first_position)
+
+    def recurse(i: int, binding: Binding) -> Iterator[Binding]:
+        if i == len(plans):
+            yield binding
+            return
+        _, key_vars, new_positions, index = plans[i]
+        key = tuple(binding[v] for v in key_vars)
+        for row in index.get(key, ()):
+            extended = dict(binding)
+            for pos, var in new_positions:
+                extended[var] = row[pos]
+            yield from recurse(i + 1, extended)
+
+    yield from recurse(0, initial)
+
+
+def all_groundings(
+    query: ConjunctiveQuery, instance: Instance
+) -> list[dict[str, Row]]:
+    """All satisfying assignments, as maps from relation name to the matched row.
+
+    Each entry corresponds to one clause of the lineage DNF: the conjunction of
+    the tuple events it maps to. Duplicate clauses (identical row selections
+    under different variable assignments) are preserved-by-set: the result list
+    is deduplicated, since ``x ∨ x = x``.
+    """
+    seen: set[tuple[tuple[str, Row], ...]] = set()
+    out: list[dict[str, Row]] = []
+    for binding in groundings(query, instance):
+        clause: dict[str, Row] = {}
+        for atom in query.atoms:
+            row = tuple(
+                t.value if isinstance(t, Constant) else binding[t]
+                for t in atom.terms
+            )
+            clause[atom.relation] = row
+        key = tuple(sorted(clause.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(clause)
+    return out
+
+
+def world_satisfies(query: ConjunctiveQuery, world: Instance) -> bool:
+    """True iff the Boolean query is satisfied in the deterministic *world*."""
+    q = query.boolean_view()
+    for _ in groundings(q, world):
+        return True
+    return False
+
+
+def answers_in_world(query: ConjunctiveQuery, world: Instance) -> set[tuple]:
+    """The set of head-tuples the query returns on a deterministic *world*."""
+    if query.is_boolean:
+        return {()} if world_satisfies(query, world) else set()
+    out: set[tuple] = set()
+    for binding in groundings(query, world):
+        out.add(tuple(binding[v] for v in query.head))
+    return out
+
+
+def active_domain(
+    query: ConjunctiveQuery, instance: Instance, var: Variable
+) -> set:
+    """Values *var* can take: the union over atoms of the matching columns."""
+    values: set = set()
+    for atom in query.atoms:
+        positions = [i for i, t in enumerate(atom.terms) if t == var]
+        if not positions:
+            continue
+        for row in instance.get(atom.relation, ()):
+            for i in positions:
+                values.add(row[i])
+    return values

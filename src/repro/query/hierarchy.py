@@ -1,0 +1,95 @@
+"""Hierarchy tests: safe and strictly hierarchical queries.
+
+Background (Sections 1-4 of the paper):
+
+* A self-join-free Boolean conjunctive query is **safe** — evaluable by an
+  extensional plan on *every* instance — iff it is **hierarchical**: for every
+  two existential variables ``x, y``, the subgoal sets ``Sg(x)`` and ``Sg(y)``
+  are either disjoint or one contains the other (Dalvi-Suciu dichotomy [8]).
+* A query is **strictly hierarchical** (Definition 4.1) if its atoms can be
+  ordered so their variable sets form a chain ``x̄1 ⊆ x̄2 ⊆ ... ⊆ x̄m``.
+  Theorem 4.2 shows these are exactly the queries whose lineage has bounded
+  treewidth — a strict subset of the safe queries.
+
+Head variables are treated as constants throughout: the benchmark queries
+``q(h)`` are evaluated once per ``h`` value, so safety is judged on the
+Boolean query obtained by fixing ``h``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.query.syntax import ConjunctiveQuery, Variable
+
+
+def _existential_subgoals(query: ConjunctiveQuery) -> dict[Variable, frozenset[str]]:
+    """``Sg(x)`` for each existential (non-head) variable ``x``."""
+    return {v: query.subgoals_of(v) for v in query.existential_variables()}
+
+
+def is_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Decide whether *query* is hierarchical (equivalently: safe).
+
+    Examples
+    --------
+    >>> from repro.query.parser import parse_query
+    >>> is_hierarchical(parse_query("R(x), S(x,y)"))
+    True
+    >>> is_hierarchical(parse_query("R(x), S(x,y), T(y)"))
+    False
+    >>> is_hierarchical(parse_query("q(h) :- R1(h,x), S1(h,x,y), R2(h,y)"))
+    False
+    """
+    sg = _existential_subgoals(query)
+    for x, y in combinations(sg, 2):
+        a, b = sg[x], sg[y]
+        if a & b and not (a <= b or b <= a):
+            return False
+    return True
+
+
+def is_strictly_hierarchical(query: ConjunctiveQuery) -> bool:
+    """Decide Definition 4.1: atoms orderable with nested variable sets.
+
+    Head variables count as constants, mirroring the per-head Boolean view.
+
+    Examples
+    --------
+    >>> from repro.query.parser import parse_query
+    >>> is_strictly_hierarchical(parse_query("R(x), S(x,y)"))
+    True
+    >>> is_strictly_hierarchical(parse_query("R(x,y), S(x,z)"))  # safe, not strict
+    False
+    """
+    head = set(query.head)
+    varsets = [frozenset(set(a.variables()) - head) for a in query.atoms]
+    varsets.sort(key=len)
+    return all(a <= b for a, b in zip(varsets, varsets[1:]))
+
+
+def hierarchy_violations(
+    query: ConjunctiveQuery,
+) -> list[tuple[Variable, Variable]]:
+    """Pairs of existential variables witnessing non-hierarchicality.
+
+    Each returned pair ``(x, y)`` has overlapping, incomparable subgoal sets.
+    An empty list means the query is hierarchical.
+    """
+    sg = _existential_subgoals(query)
+    out = []
+    for x, y in combinations(sg, 2):
+        a, b = sg[x], sg[y]
+        if a & b and not (a <= b or b <= a):
+            out.append((x, y))
+    return out
+
+
+def root_variables(query: ConjunctiveQuery) -> list[Variable]:
+    """Existential variables occurring in *every* atom of the query.
+
+    These are the variables a safe plan can project on first; the lifted
+    evaluator (``repro.extensional.lifted``) recurses on one of them.
+    """
+    n = len(query.atoms)
+    return [v for v, sg in _existential_subgoals(query).items() if len(sg) == n]

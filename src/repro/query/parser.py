@@ -1,0 +1,157 @@
+"""Datalog-style parser for conjunctive queries.
+
+Grammar (whitespace-insensitive)::
+
+    query    := head ':-' body | body          # bare body means Boolean query
+    head     := NAME '(' termlist? ')' | NAME
+    body     := atom (',' atom)*
+    atom     := NAME '(' termlist ')'
+    termlist := term (',' term)*
+    term     := NAME            # a variable (identifiers are variables)
+              | INT | FLOAT    # numeric constant
+              | 'string'       # quoted string constant
+
+Examples
+--------
+>>> q = parse_query("q(h) :- R1(h,x), S1(h,x,y), R2(h,y)")
+>>> str(q)
+'q(h) :- R1(h, x), S1(h, x, y), R2(h, y)'
+>>> parse_query("R(x, 3), S(x, 'a')").is_boolean
+True
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import QuerySyntaxError
+from repro.query.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<name>[A-Za-z_]\w*)
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<punct>:-|[(),])
+    )""",
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if m is None:
+            if text[pos:].strip() == "":
+                break
+            raise QuerySyntaxError(f"cannot tokenize query at: {text[pos:]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        tokens.append((kind, m.group(kind)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.i = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.i] if self.i < len(self.tokens) else None
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise QuerySyntaxError(f"unexpected end of query: {self.text!r}")
+        self.i += 1
+        return tok
+
+    def expect(self, value: str) -> None:
+        kind, tok = self.next()
+        del kind
+        if tok != value:
+            raise QuerySyntaxError(
+                f"expected {value!r} but found {tok!r} in {self.text!r}"
+            )
+
+    def term(self) -> Term:
+        kind, tok = self.next()
+        if kind == "name":
+            return Variable(tok)
+        if kind == "number":
+            return Constant(float(tok) if "." in tok else int(tok))
+        if kind == "string":
+            return Constant(tok[1:-1])
+        raise QuerySyntaxError(f"expected a term, found {tok!r} in {self.text!r}")
+
+    def termlist(self) -> list[Term]:
+        terms = [self.term()]
+        while self.peek() == ("punct", ","):
+            self.next()
+            terms.append(self.term())
+        return terms
+
+    def atom(self) -> Atom:
+        kind, name = self.next()
+        if kind != "name":
+            raise QuerySyntaxError(f"expected relation name, found {name!r}")
+        self.expect("(")
+        terms = self.termlist()
+        self.expect(")")
+        return Atom(name, tuple(terms))
+
+    def body(self) -> list[Atom]:
+        atoms = [self.atom()]
+        while self.peek() == ("punct", ","):
+            self.next()
+            atoms.append(self.atom())
+        return atoms
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query from datalog-ish text.
+
+    Accepts both headed form (``q(h) :- R(h,x)``), Boolean form with an
+    explicit empty head (``q :- R(x)`` or ``q() :- R(x)``), and a bare body
+    (``R(x), S(x,y)``).
+
+    Raises
+    ------
+    QuerySyntaxError
+        On malformed input.
+    QuerySemanticsError
+        For structurally invalid queries (self-joins, unbound head variables).
+    """
+    if ":-" in text:
+        head_text, body_text = text.split(":-", 1)
+        hp = _Parser(head_text)
+        kind, qname = hp.next()
+        if kind != "name":
+            raise QuerySyntaxError(f"expected query name in head: {head_text!r}")
+        head_vars: list[Variable] = []
+        if hp.peek() == ("punct", "("):
+            hp.next()
+            if hp.peek() != ("punct", ")"):
+                for t in hp.termlist():
+                    if not isinstance(t, Variable):
+                        raise QuerySyntaxError("head terms must be variables")
+                    head_vars.append(t)
+            hp.expect(")")
+        if hp.peek() is not None:
+            raise QuerySyntaxError(f"trailing tokens in head: {head_text!r}")
+        bp = _Parser(body_text)
+        atoms = bp.body()
+        if bp.peek() is not None:
+            raise QuerySyntaxError(f"trailing tokens in body: {body_text!r}")
+        return ConjunctiveQuery(head=tuple(head_vars), atoms=tuple(atoms), name=qname)
+
+    p = _Parser(text)
+    atoms = p.body()
+    if p.peek() is not None:
+        raise QuerySyntaxError(f"trailing tokens in query: {text!r}")
+    return ConjunctiveQuery(head=(), atoms=tuple(atoms))

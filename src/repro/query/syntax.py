@@ -1,0 +1,219 @@
+"""Abstract syntax for conjunctive queries.
+
+A query is a head (possibly empty tuple of variables) and a body of atoms.
+Terms are either :class:`Variable` or :class:`Constant`. The paper's queries
+are *self-join free*: each relation name appears in at most one atom; this is
+validated by :class:`ConjunctiveQuery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import QuerySemanticsError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, e.g. ``x`` in ``R(x, y)``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term, e.g. ``3`` or ``'seattle'``."""
+
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+Term = Variable | Constant
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t1, ..., tk)``.
+
+    Examples
+    --------
+    >>> a = Atom("R", (Variable("x"), Constant(3)))
+    >>> str(a)
+    'R(x, 3)'
+    >>> a.variables()
+    (Variable(name='x'),)
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+        for t in self.terms:
+            if not isinstance(t, (Variable, Constant)):
+                raise QuerySemanticsError(f"atom term {t!r} is not a Variable/Constant")
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """The distinct variables of this atom, in first-occurrence order."""
+        seen: list[Variable] = []
+        for t in self.terms:
+            if isinstance(t, Variable) and t not in seen:
+                seen.append(t)
+        return tuple(seen)
+
+    def substitute(self, binding: dict[Variable, object]) -> "Atom":
+        """Replace bound variables by constants according to *binding*."""
+        new_terms: list[Term] = []
+        for t in self.terms:
+            if isinstance(t, Variable) and t in binding:
+                new_terms.append(Constant(binding[t]))
+            else:
+                new_terms.append(t)
+        return Atom(self.relation, tuple(new_terms))
+
+    def is_ground(self) -> bool:
+        """True if the atom has no variables."""
+        return all(isinstance(t, Constant) for t in self.terms)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A self-join-free conjunctive query ``q(head) :- atom1, ..., atomn``.
+
+    The Boolean queries of the paper have an empty head. Queries with head
+    variables (Table 1) are evaluated per head value; head variables act as
+    constants for safety analysis.
+
+    Examples
+    --------
+    >>> from repro.query.parser import parse_query
+    >>> q = parse_query("q(h) :- R(h,x), S(h,x,y)")
+    >>> q.is_boolean
+    False
+    >>> [str(a) for a in q.atoms]
+    ['R(h, x)', 'S(h, x, y)']
+    """
+
+    head: tuple[Variable, ...]
+    atoms: tuple[Atom, ...]
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "head", tuple(self.head))
+        object.__setattr__(self, "atoms", tuple(self.atoms))
+        if not self.atoms:
+            raise QuerySemanticsError("a conjunctive query needs at least one atom")
+        names = [a.relation for a in self.atoms]
+        if len(set(names)) != len(names):
+            raise QuerySemanticsError(
+                f"self-joins are not supported (Section 2): {names}"
+            )
+        body_vars = set(self.variables())
+        for v in self.head:
+            if v not in body_vars:
+                raise QuerySemanticsError(f"head variable {v} not used in the body")
+
+    @property
+    def is_boolean(self) -> bool:
+        """True when the head is empty."""
+        return not self.head
+
+    def variables(self) -> tuple[Variable, ...]:
+        """All distinct body variables, in first-occurrence order."""
+        seen: list[Variable] = []
+        for a in self.atoms:
+            for v in a.variables():
+                if v not in seen:
+                    seen.append(v)
+        return tuple(seen)
+
+    def existential_variables(self) -> tuple[Variable, ...]:
+        """Body variables that are not head variables."""
+        head = set(self.head)
+        return tuple(v for v in self.variables() if v not in head)
+
+    def subgoals_of(self, var: Variable) -> frozenset[str]:
+        """``Sg(x)``: the set of relation names whose atom mentions *var*."""
+        return frozenset(a.relation for a in self.atoms if var in a.variables())
+
+    def atom_for(self, relation: str) -> Atom:
+        """The unique atom over *relation* (queries are self-join free)."""
+        for a in self.atoms:
+            if a.relation == relation:
+                return a
+        raise QuerySemanticsError(f"query has no atom over relation {relation!r}")
+
+    def substitute(self, binding: dict[Variable, object]) -> "ConjunctiveQuery":
+        """Bind variables to constants, dropping bound head variables."""
+        return ConjunctiveQuery(
+            head=tuple(v for v in self.head if v not in binding),
+            atoms=tuple(a.substitute(binding) for a in self.atoms),
+            name=self.name,
+        )
+
+    def boolean_view(self) -> "ConjunctiveQuery":
+        """The same body with an empty head (used for per-head evaluation)."""
+        if self.is_boolean:
+            return self
+        return ConjunctiveQuery(head=(), atoms=self.atoms, name=self.name)
+
+    def connected_components(
+        self, *, treat_as_constants: Iterable[Variable] = ()
+    ) -> list["ConjunctiveQuery"]:
+        """Split the body into variable-connected components.
+
+        Two atoms are connected when they share a variable (head variables, or
+        any in *treat_as_constants*, do not connect atoms — they are fixed per
+        evaluation). Per Section 2, ``Pr(q1 q2) = Pr(q1) Pr(q2)`` for
+        unconnected ``q1, q2``.
+        """
+        skip = set(self.head) | set(treat_as_constants)
+        n = len(self.atoms)
+        parent = list(range(n))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for i in range(n):
+            for j in range(i + 1, n):
+                vi = set(self.atoms[i].variables()) - skip
+                vj = set(self.atoms[j].variables()) - skip
+                if vi & vj:
+                    ri, rj = find(i), find(j)
+                    if ri != rj:
+                        parent[ri] = rj
+        groups: dict[int, list[Atom]] = {}
+        for i, a in enumerate(self.atoms):
+            groups.setdefault(find(i), []).append(a)
+        out = []
+        for atoms in groups.values():
+            comp_vars = {v for a in atoms for v in a.variables()}
+            out.append(
+                ConjunctiveQuery(
+                    head=tuple(v for v in self.head if v in comp_vars),
+                    atoms=tuple(atoms),
+                    name=self.name,
+                )
+            )
+        return out
+
+    def __str__(self) -> str:
+        head = f"{self.name}({', '.join(str(v) for v in self.head)})"
+        return f"{head} :- {', '.join(str(a) for a in self.atoms)}"

@@ -1,0 +1,30 @@
+"""SQLite-backed partial-lineage evaluation.
+
+The paper's prototype is a Java frontend sending batches of SQL to SQL Server
+2005, with the And-Or network materialised as a relational table ``L(v, w, p)``
+read back for inference (Section 6.2). This subpackage reproduces that
+architecture on stdlib ``sqlite3``:
+
+* base relations and every intermediate pL-relation live in (temp) tables
+  with the tuple columns plus ``l`` (lineage node id, 0 = ε) and ``p``;
+* scans, selections, joins, cSet detection, and the independent-project
+  aggregation are executed *inside the database*;
+* only conditioning, gate allocation, and deduplication groups cross into
+  Python, appending rows to the network table;
+* final inference runs on the reconstructed And-Or network, outside the
+  database — exactly the paper's split.
+
+Results are bit-for-bit comparable with the in-memory engine (same operator
+definitions), which the test suite checks.
+"""
+
+from repro.sqlbackend.storage import SQLiteStorage
+from repro.sqlbackend.executor import SQLitePartialLineageEvaluator
+from repro.sqlbackend.inference import sqlite_tree_marginals, store_network
+
+__all__ = [
+    "SQLiteStorage",
+    "SQLitePartialLineageEvaluator",
+    "sqlite_tree_marginals",
+    "store_network",
+]

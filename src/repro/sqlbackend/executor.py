@@ -1,0 +1,333 @@
+"""Partial-lineage plan evaluation pushed into SQLite.
+
+Mirrors :class:`repro.core.executor.PartialLineageEvaluator`, but every
+intermediate pL-relation is a SQLite temp table ``(attrs..., l, p)`` and the
+set-oriented work — scans, selections, joins, offending-tuple detection,
+independent-project aggregation, duplicate-group detection — is SQL. Python
+touches only the rows that need network surgery (conditioned tuples, And
+gates of symbolic×symbolic join pairs, Or gates of duplicate groups), which
+is exactly the paper's extensional/intensional split.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+from typing import Sequence
+
+from repro.core.executor import EvaluationResult, OffendingTuple, OperatorStat
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.core.plan import Join, Plan, Project, Scan, Select, left_deep_plan, plan_schema
+from repro.core.plrelation import PLRelation
+from repro.db.database import ProbabilisticDatabase
+from repro.errors import PlanError
+from repro.query.syntax import ConjunctiveQuery, Constant
+from repro.sqlbackend.storage import SQLiteStorage, _check_identifier
+
+
+def _q(name: str) -> str:
+    _check_identifier(name)
+    return f'"{name}"'
+
+
+def _cols(attrs: Sequence[str], prefix: str = "") -> str:
+    p = f"{prefix}." if prefix else ""
+    return ", ".join(f"{p}{_q(a)}" for a in attrs)
+
+
+class SQLitePartialLineageEvaluator:
+    """Evaluate plans with partial lineage, extensional work in SQLite.
+
+    Examples
+    --------
+    >>> from repro.db import ProbabilisticDatabase
+    >>> from repro.query import parse_query
+    >>> db = ProbabilisticDatabase()
+    >>> _ = db.add_relation("R", ("A",), {(1,): 0.5})
+    >>> _ = db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (1, 2): 0.5})
+    >>> _ = db.add_relation("T", ("B",), {(1,): 0.9, (2,): 0.9})
+    >>> ev = SQLitePartialLineageEvaluator(db)
+    >>> res = ev.evaluate_query(parse_query("q() :- R(x), S(x,y), T(y)"))
+    >>> round(res.boolean_probability(), 6)
+    0.34875
+    """
+
+    def __init__(self, db: ProbabilisticDatabase) -> None:
+        self.db = db
+        self.storage = SQLiteStorage.from_database(db)
+        self._tmp = itertools.count()
+        self._provenance: list[OffendingTuple] = []
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self.storage.close()
+
+    # ------------------------------------------------------------ entry points
+    def evaluate(self, plan: Plan) -> EvaluationResult:
+        """Evaluate an explicit plan and return the standard result object."""
+        plan_schema(plan, self.db)
+        network = AndOrNetwork()
+        stats: list[OperatorStat] = []
+        conditioned: list[OffendingTuple] = []
+        self._provenance = conditioned
+        table, attrs = self._eval(plan, network, stats)
+        rel = self._fetch(table, attrs, network)
+        return EvaluationResult(rel, network, stats, conditioned)
+
+    def evaluate_query(
+        self, query: ConjunctiveQuery, join_order: list[str] | None = None
+    ) -> EvaluationResult:
+        """Build the left-deep plan for *query* and evaluate it."""
+        return self.evaluate(left_deep_plan(query, join_order))
+
+    # ----------------------------------------------------------------- helpers
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        return self.storage.connection
+
+    def _new_table(self) -> str:
+        return f"_pl{next(self._tmp)}"
+
+    def _fetch(
+        self, table: str, attrs: tuple[str, ...], network: AndOrNetwork
+    ) -> PLRelation:
+        rel = PLRelation(attrs, network, name=table)
+        sel = _cols(attrs) + ", l, p" if attrs else "l, p"
+        for row in self._conn.execute(f"SELECT {sel} FROM {_q(table)}"):
+            *values, l, p = row
+            rel.add(tuple(values), int(l), float(p))
+        return rel
+
+    def _count(self, table: str) -> int:
+        (n,) = self._conn.execute(f"SELECT COUNT(*) FROM {_q(table)}").fetchone()
+        return n
+
+    # --------------------------------------------------------------- operators
+    def _eval(
+        self, plan: Plan, net: AndOrNetwork, stats: list[OperatorStat]
+    ) -> tuple[str, tuple[str, ...]]:
+        if isinstance(plan, Scan):
+            table, attrs = self._scan(plan)
+        elif isinstance(plan, Select):
+            table, attrs = self._select(plan, net, stats)
+        elif isinstance(plan, Project):
+            table, attrs = self._project(plan, net, stats)
+        elif isinstance(plan, Join):
+            return self._join(plan, net, stats)
+        else:
+            raise PlanError(f"unknown plan node {plan!r}")
+        stats.append(OperatorStat(str(plan), output_size=self._count(table)))
+        return table, attrs
+
+    def _scan(self, scan: Scan) -> tuple[str, tuple[str, ...]]:
+        base = self.db[scan.relation]
+        out = self._new_table()
+        base_cols = base.schema.attributes
+        if scan.terms is None:
+            sel = _cols(base_cols)
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(out)} AS "
+                f"SELECT {sel}, 0 AS l, p FROM {_q(scan.relation)}"
+            )
+            return out, base_cols
+        if len(scan.terms) != len(base_cols):
+            raise PlanError(
+                f"scan of {scan.relation}: {len(scan.terms)} terms for arity "
+                f"{len(base_cols)}"
+            )
+        var_first: dict[str, int] = {}
+        where: list[str] = []
+        params: list[object] = []
+        for i, t in enumerate(scan.terms):
+            if isinstance(t, Constant):
+                where.append(f"{_q(base_cols[i])} = ?")
+                params.append(t.value)
+            elif t.name in var_first:
+                where.append(f"{_q(base_cols[i])} = {_q(base_cols[var_first[t.name]])}")
+            else:
+                var_first[t.name] = i
+        sel = ", ".join(
+            f"{_q(base_cols[i])} AS {_q(v)}" for v, i in var_first.items()
+        )
+        clause = f" WHERE {' AND '.join(where)}" if where else ""
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS "
+            f"SELECT {sel}, 0 AS l, p FROM {_q(scan.relation)}{clause}",
+            params,
+        )
+        return out, tuple(var_first)
+
+    def _select(
+        self, plan: Select, net: AndOrNetwork, stats: list[OperatorStat]
+    ) -> tuple[str, tuple[str, ...]]:
+        child, attrs = self._eval(plan.child, net, stats)
+        out = self._new_table()
+        where = " AND ".join(f"{_q(a)} = ?" for a, _ in plan.conditions)
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS SELECT * FROM {_q(child)} "
+            f"WHERE {where}",
+            [v for _, v in plan.conditions],
+        )
+        return out, attrs
+
+    def _project(
+        self, plan: Project, net: AndOrNetwork, stats: list[OperatorStat]
+    ) -> tuple[str, tuple[str, ...]]:
+        child, _ = self._eval(plan.child, net, stats)
+        attrs = tuple(plan.attributes)
+        # Independent project: group by (attrs, l), OR-combine the p column.
+        ip = self._new_table()
+        group = (_cols(attrs) + ", l") if attrs else "l"
+        sel = (_cols(attrs) + ", ") if attrs else ""
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(ip)} AS "
+            f"SELECT {sel}l, indep_or(p) AS p FROM {_q(child)} GROUP BY {group}"
+        )
+        # Deduplication: single-member groups pass through in SQL; duplicate
+        # groups come out to Python for Or-gate allocation.
+        out = self._new_table()
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS SELECT * FROM {_q(ip)} WHERE 0"
+        )
+        if attrs:
+            keys = _cols(attrs)
+            self._conn.execute(
+                f"INSERT INTO {_q(out)} "
+                f"SELECT i.* FROM {_q(ip)} i JOIN (SELECT {keys} FROM {_q(ip)} "
+                f"GROUP BY {keys} HAVING COUNT(*) = 1) s USING ({keys})"
+            )
+            dup_rows = self._conn.execute(
+                f"SELECT i.* FROM {_q(ip)} i JOIN (SELECT {keys} FROM {_q(ip)} "
+                f"GROUP BY {keys} HAVING COUNT(*) > 1) s USING ({keys}) "
+                f"ORDER BY {keys}"
+            ).fetchall()
+            groups: dict[tuple, list[tuple[int, float]]] = {}
+            for row in dup_rows:
+                *values, l, p = row
+                groups.setdefault(tuple(values), []).append((int(l), float(p)))
+            placeholders = ", ".join("?" for _ in range(len(attrs) + 2))
+            self._conn.executemany(
+                f"INSERT INTO {_q(out)} VALUES ({placeholders})",
+                (
+                    key + (net.add_gate(NodeKind.OR, members), 1.0)
+                    for key, members in groups.items()
+                ),
+            )
+        else:
+            rows = self._conn.execute(f"SELECT l, p FROM {_q(ip)}").fetchall()
+            if len(rows) == 1:
+                self._conn.execute(
+                    f"INSERT INTO {_q(out)} VALUES (?, ?)", rows[0]
+                )
+            elif len(rows) > 1:
+                gate = net.add_gate(
+                    NodeKind.OR, [(int(l), float(p)) for l, p in rows]
+                )
+                self._conn.execute(
+                    f"INSERT INTO {_q(out)} VALUES (?, ?)", (gate, 1.0)
+                )
+        return out, attrs
+
+    def _condition_in_place(
+        self, table: str, attrs: tuple[str, ...], on: Sequence[str],
+        other: str, net: AndOrNetwork, source: str,
+    ) -> int:
+        """Condition *table* on its cSet w.r.t. *other*; returns the count.
+
+        The offending rows — uncertain, with more than one join partner — are
+        found with one SQL join against the partner fan-out; each gets a fresh
+        leaf (or a single-parent And gate if it already carries lineage) and
+        becomes deterministic in place.
+        """
+        value_cols = (_cols(attrs, "t") + ", ") if attrs else ""
+        if not on:
+            # A cross product offends every uncertain tuple when the other
+            # side has more than one row.
+            (partners,) = self._conn.execute(
+                f"SELECT COUNT(*) FROM {_q(other)}"
+            ).fetchone()
+            if partners <= 1:
+                return 0
+            rows = self._conn.execute(
+                f"SELECT {value_cols}t.rowid, t.l, t.p FROM {_q(table)} t "
+                f"WHERE t.p < 1.0"
+            ).fetchall()
+        else:
+            keys = _cols(on)
+            on_clause = " AND ".join(f"t.{_q(a)} = g.{_q(a)}" for a in on)
+            rows = self._conn.execute(
+                f"SELECT {value_cols}t.rowid, t.l, t.p FROM {_q(table)} t "
+                f"JOIN (SELECT {keys}, COUNT(*) AS c FROM {_q(other)} "
+                f"GROUP BY {keys}) g ON {on_clause} "
+                f"WHERE t.p < 1.0 AND g.c > 1"
+            ).fetchall()
+        updates = []
+        for *values, rowid, l, p in rows:
+            l, p = int(l), float(p)
+            node = net.add_leaf(p) if l == EPSILON else net.add_gate(
+                NodeKind.AND, [(l, p)]
+            )
+            self._provenance.append(
+                OffendingTuple(source, tuple(values), node)
+            )
+            updates.append((node, rowid))
+        self._conn.executemany(
+            f"UPDATE {_q(table)} SET l = ?, p = 1.0 WHERE rowid = ?", updates
+        )
+        return len(updates)
+
+    def _join(
+        self, plan: Join, net: AndOrNetwork, stats: list[OperatorStat]
+    ) -> tuple[str, tuple[str, ...]]:
+        ltable, lattrs = self._eval(plan.left, net, stats)
+        rtable, rattrs = self._eval(plan.right, net, stats)
+        on = tuple(plan.on)
+        conditioned = self._condition_in_place(
+            ltable, lattrs, on, rtable, net, str(plan.left)
+        )
+        conditioned += self._condition_in_place(
+            rtable, rattrs, on, ltable, net, str(plan.right)
+        )
+        keep = tuple(a for a in rattrs if a not in set(on))
+        out_attrs = lattrs + keep
+        out = self._new_table()
+        lsel = _cols(lattrs, "L")
+        ksel = (", " + _cols(keep, "R")) if keep else ""
+        on_clause = (
+            " AND ".join(f"L.{_q(a)} = R.{_q(a)}" for a in on) if on else "1 = 1"
+        )
+        # Rows with at most one symbolic side are pure SQL: lineage is the
+        # symbolic side's node (l1 + l2 works because the other is 0) and the
+        # probabilities multiply. Symbolic×symbolic pairs get And gates below.
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS "
+            f"SELECT {lsel}{ksel}, "
+            f"CASE WHEN L.l = 0 OR R.l = 0 THEN L.l + R.l ELSE -1 END AS l, "
+            f"CASE WHEN L.l = 0 OR R.l = 0 THEN L.p * R.p ELSE -1.0 END AS p, "
+            f"L.l AS l1, L.p AS p1, R.l AS l2, R.p AS p2 "
+            f"FROM {_q(ltable)} L JOIN {_q(rtable)} R ON {on_clause}"
+        )
+        hard = self._conn.execute(
+            f"SELECT rowid, l1, p1, l2, p2 FROM {_q(out)} WHERE l = -1"
+        ).fetchall()
+        self._conn.executemany(
+            f"UPDATE {_q(out)} SET l = ?, p = 1.0 WHERE rowid = ?",
+            (
+                (
+                    net.add_gate(
+                        NodeKind.AND,
+                        [(int(l1), float(p1)), (int(l2), float(p2))],
+                    ),
+                    rowid,
+                )
+                for rowid, l1, p1, l2, p2 in hard
+            ),
+        )
+        for col in ("l1", "p1", "l2", "p2"):
+            self._conn.execute(f"ALTER TABLE {_q(out)} DROP COLUMN {col}")
+        stats.append(
+            OperatorStat(
+                str(plan), output_size=self._count(out), conditioned=conditioned
+            )
+        )
+        return out, out_attrs

@@ -1,0 +1,17 @@
+"""Benchmark workloads: the data generator and queries of Section 6.
+
+``generator`` reproduces the synthetic data of Section 6.1 (parameters ``N``,
+``m``, ``fanout``, ``r_f``, ``r_d``); ``queries`` lists the path and star
+queries of Table 1 with their left-deep join orders.
+"""
+
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import BenchmarkQuery, TABLE1_QUERIES, benchmark_query
+
+__all__ = [
+    "WorkloadParams",
+    "generate_database",
+    "BenchmarkQuery",
+    "TABLE1_QUERIES",
+    "benchmark_query",
+]

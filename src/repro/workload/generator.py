@@ -1,0 +1,161 @@
+"""Synthetic data generator (Section 6.1).
+
+The paper's tables and their construction, verbatim:
+
+* ``R1..R4(H, A)``: the full grid ``[N] × [m]``. Each tuple's probability is
+  1 with probability ``1 - r_d``, otherwise uniform in ``(0, 1)`` —
+  so ``r_d`` is the fraction of *non-deterministic* tuples in the R tables.
+* ``S1..S3(H, A, B)``: for each ``h ∈ [N], a ∈ [m]``, with probability
+  ``1 - r_f`` one random ``b``; otherwise ``f ∈ [2, fanout]`` random ``b``
+  values — a functional-dependency ``(H,A) → B`` violation, i.e. offending
+  tuples. Generation stops at ``m`` tuples per ``h`` (uniform size), and every
+  tuple is non-deterministic.
+* ``T1(H, A, B, C)``: generate ``T'(H, B, C)`` as an S table, then for each
+  ``h, a`` pick ``(b, c)`` pairs from ``π_{B,C} σ_{H=h} T'`` the same way
+  ``b`` was picked from ``[m]`` — controlling the violations of both
+  ``B → C`` and ``A → B,C``. All tuples non-deterministic. ``T2`` applies one
+  more chaining step to reach the arity 5 that the star query S3 of Table 1
+  requires (``T2(h,x,y,z,u)``).
+
+So ``r_f`` bounds the offending fraction and ``r_d`` the uncertain fraction;
+``r_f = 0`` or ``r_d = 0`` makes every Table 1 query data safe. Each relation
+has exactly ``N * m`` tuples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.db.database import ProbabilisticDatabase
+from repro.db.relation import ProbabilisticRelation
+from repro.db.schema import RelationSchema
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Generator knobs, named as in the paper.
+
+    ``N`` — number of head values (query answers); ``m`` — per-head relation
+    size (and domain size of A/B/C); ``fanout`` — maximum FD-violation fanout;
+    ``r_f`` — probability that a key violates the functional dependency;
+    ``r_d`` — probability that an R-tuple is non-deterministic.
+    """
+
+    N: int = 10
+    m: int = 100
+    fanout: int = 3
+    r_f: float = 0.01
+    r_d: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.N <= 0 or self.m <= 0:
+            raise ValueError("N and m must be positive")
+        if self.fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        if not 0.0 <= self.r_f <= 1.0 or not 0.0 <= self.r_d <= 1.0:
+            raise ValueError("r_f and r_d must lie in [0, 1]")
+
+
+def _r_table(name: str, params: WorkloadParams, rng: random.Random) -> ProbabilisticRelation:
+    rel = ProbabilisticRelation(RelationSchema(name, ("H", "A")))
+    for h in range(params.N):
+        for a in range(params.m):
+            if rng.random() < params.r_d:
+                p = rng.uniform(1e-9, 1.0 - 1e-9)
+            else:
+                p = 1.0
+            rel.add((h, a), p)
+    return rel
+
+
+def _pick_targets(
+    pool: list, params: WorkloadParams, rng: random.Random
+) -> list:
+    """One target with probability ``1 - r_f``, else ``f ∈ [2, fanout]`` targets."""
+    if rng.random() < 1.0 - params.r_f or len(pool) < 2:
+        return [rng.choice(pool)]
+    f = rng.randint(2, params.fanout)
+    f = min(f, len(pool))
+    return rng.sample(pool, f)
+
+
+def _s_table(
+    name: str,
+    params: WorkloadParams,
+    rng: random.Random,
+    attributes: tuple[str, ...] = ("H", "A", "B"),
+    pool_for_h=None,
+) -> ProbabilisticRelation:
+    """S-style construction; *pool_for_h* supplies the target pool per head
+    (defaults to ``[m]``; T tables pass the per-head (B, C) pairs)."""
+    rel = ProbabilisticRelation(RelationSchema(name, attributes))
+    for h in range(params.N):
+        pool = pool_for_h(h) if pool_for_h is not None else list(range(params.m))
+        count = 0
+        for a in range(params.m):
+            if count >= params.m:
+                break
+            targets = _pick_targets(pool, params, rng)
+            seen = set()
+            for target in targets:
+                if count >= params.m:
+                    break
+                key = target if isinstance(target, tuple) else (target,)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rel.add((h, a, *key), rng.uniform(1e-9, 1.0 - 1e-9))
+                count += 1
+    return rel
+
+
+def _t_table(
+    name: str, params: WorkloadParams, rng: random.Random, tail: tuple[str, ...]
+) -> ProbabilisticRelation:
+    """The chained T construction: ``T(H, tail)`` picks its last ``len(tail)-1``
+    columns from a recursively generated prime table ``T'(H, tail[1:])``.
+
+    The paper builds ``T(H,A,B,C)`` from ``T'(H,B,C)``; the star query S3
+    needs a 5-ary ``T2(H,A,B,C,D)``, obtained by one more chaining step.
+    """
+    if len(tail) == 2:
+        return _s_table(name, params, rng, attributes=("H",) + tail)
+    prime = _t_table(f"{name}_p", params, rng, tail[1:])
+    pool_by_h: dict[int, list[tuple]] = {}
+    for row in prime:
+        pool_by_h.setdefault(row[0], []).append(row[1:])
+    for h in pool_by_h:
+        pool_by_h[h] = sorted(set(pool_by_h[h]))
+    return _s_table(
+        name,
+        params,
+        rng,
+        attributes=("H",) + tail,
+        pool_for_h=lambda h: pool_by_h.get(h, [(0,) * (len(tail) - 1)]),
+    )
+
+
+def generate_database(params: WorkloadParams) -> ProbabilisticDatabase:
+    """Generate the full benchmark database ``R1..R4, S1..S3, T1..T2``.
+
+    Deterministic given ``params.seed``.
+
+    Examples
+    --------
+    >>> db = generate_database(WorkloadParams(N=2, m=5, seed=1))
+    >>> sorted(db.names())
+    ['R1', 'R2', 'R3', 'R4', 'S1', 'S2', 'S3', 'T1', 'T2']
+    >>> len(db["S1"])
+    10
+    """
+    rng = random.Random(params.seed)
+    db = ProbabilisticDatabase()
+    for i in range(1, 5):
+        db.attach(_r_table(f"R{i}", params, rng))
+    for i in range(1, 4):
+        db.attach(_s_table(f"S{i}", params, rng))
+    db.attach(_t_table("T1", params, rng, ("A", "B", "C")))
+    db.attach(_t_table("T2", params, rng, ("A", "B", "C", "D")))
+    return db

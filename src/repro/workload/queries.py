@@ -1,0 +1,85 @@
+"""The benchmark queries of Table 1, with their left-deep join orders.
+
+Every query is unsafe (non-hierarchical once the head variable ``h`` is fixed)
+but *data safe* when the generated instance satisfies the functional
+dependencies (``r_f = 0``) or is fully deterministic (``r_d = 0``).
+
+==== ===================================================================  =====================
+Name Query                                                               Join order
+==== ===================================================================  =====================
+P1/S1 ``q(h) :- R1(h,x), S1(h,x,y), R2(h,y)``                            R1, S1, R2
+P2   ``q(h) :- R1(h,x), S1(h,x,y), S2(h,y,z), R2(h,z)``                  R1, S1, S2, R2
+P3   ``q(h) :- R1(h,x), S1(h,x,y), S2(h,y,z), S3(h,z,u), R2(h,u)``       R1, S1, S2, S3, R2
+S2   ``q(h) :- R1(h,x), T1(h,x,y,z), R2(h,y), R3(h,z)``                  R1, T1, R2, R3
+S3   ``q(h) :- R1(h,x), T2(h,x,y,z,u), R2(h,y), R3(h,z), R4(h,u)``       R1, T2, R2, R3, R4
+==== ===================================================================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.parser import parse_query
+from repro.query.syntax import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One Table 1 entry: name, query text, and the plan's join order."""
+
+    name: str
+    text: str
+    join_order: tuple[str, ...]
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The parsed query."""
+        return parse_query(self.text)
+
+
+TABLE1_QUERIES: dict[str, BenchmarkQuery] = {
+    q.name: q
+    for q in (
+        BenchmarkQuery(
+            "P1",
+            "q(h) :- R1(h,x), S1(h,x,y), R2(h,y)",
+            ("R1", "S1", "R2"),
+        ),
+        BenchmarkQuery(
+            "P2",
+            "q(h) :- R1(h,x), S1(h,x,y), S2(h,y,z), R2(h,z)",
+            ("R1", "S1", "S2", "R2"),
+        ),
+        BenchmarkQuery(
+            "P3",
+            "q(h) :- R1(h,x), S1(h,x,y), S2(h,y,z), S3(h,z,u), R2(h,u)",
+            ("R1", "S1", "S2", "S3", "R2"),
+        ),
+        BenchmarkQuery(
+            "S1",
+            "q(h) :- R1(h,x), S1(h,x,y), R2(h,y)",
+            ("R1", "S1", "R2"),
+        ),
+        BenchmarkQuery(
+            "S2",
+            "q(h) :- R1(h,x), T1(h,x,y,z), R2(h,y), R3(h,z)",
+            ("R1", "T1", "R2", "R3"),
+        ),
+        BenchmarkQuery(
+            "S3",
+            "q(h) :- R1(h,x), T2(h,x,y,z,u), R2(h,y), R3(h,z), R4(h,u)",
+            ("R1", "T2", "R2", "R3", "R4"),
+        ),
+    )
+}
+
+
+def benchmark_query(name: str) -> BenchmarkQuery:
+    """Look up a Table 1 query by name (``P1``-``P3``, ``S1``-``S3``)."""
+    try:
+        return TABLE1_QUERIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark query {name!r}; available: "
+            f"{sorted(TABLE1_QUERIES)}"
+        ) from None

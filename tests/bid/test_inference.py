@@ -1,0 +1,141 @@
+"""Tests for block-aware exact inference on BID databases."""
+
+import random
+
+import pytest
+
+from repro.bid import BIDDatabase, bid_query_probability, block_dnf_probability
+from repro.errors import InferenceError
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+from repro.query.grounding import world_satisfies
+from repro.query.parser import parse_query
+
+
+def singleton_blocks(v: EventVar):
+    return v
+
+
+def test_coincides_with_plain_dpll_on_singleton_blocks():
+    rng = random.Random(5)
+    variables = [EventVar("R", (i,)) for i in range(6)]
+    for _ in range(25):
+        clauses = [
+            frozenset(rng.sample(variables, rng.randint(1, 3)))
+            for _ in range(rng.randint(1, 8))
+        ]
+        f = DNF(clauses)
+        probs = {v: rng.uniform(0.1, 0.9) for v in variables}
+        got = block_dnf_probability(
+            f, probs, singleton_blocks, lambda key: 1.0 - probs[key]
+        )
+        assert got == pytest.approx(dnf_probability(f, probs))
+
+
+def test_exclusive_alternatives():
+    a = EventVar("L", ("ann", "paris"))
+    b = EventVar("L", ("ann", "tokyo"))
+    f = DNF([{a}, {b}])
+    probs = {a: 0.6, b: 0.4}
+    got = block_dnf_probability(
+        f, probs, lambda v: v.row[0], lambda key: 0.0
+    )
+    # exclusive: Pr(a ∨ b) = .6 + .4 = 1, not 1-(1-.6)(1-.4)
+    assert got == pytest.approx(1.0)
+    impossible = DNF([{a, b}])
+    assert block_dnf_probability(
+        impossible, probs, lambda v: v.row[0], lambda key: 0.0
+    ) == pytest.approx(0.0)
+
+
+def test_budget():
+    variables = [EventVar("R", (i,)) for i in range(14)]
+    clauses = [
+        frozenset({variables[i], variables[(i * 7 + 3) % 14]})
+        for i in range(14)
+    ]
+    f = DNF(clauses)
+    probs = {v: 0.5 for v in variables}
+    with pytest.raises(InferenceError, match="budget"):
+        block_dnf_probability(
+            f, probs, singleton_blocks, lambda key: 0.5, max_calls=2
+        )
+
+
+def random_bid_db(rng: random.Random) -> BIDDatabase:
+    db = BIDDatabase()
+    lives = db.add_relation("L", ("P", "C"), ("P",))
+    cities = list(range(3))
+    for person in range(rng.randint(1, 3)):
+        n = rng.randint(1, 3)
+        weights = [rng.uniform(0.1, 1.0) for _ in range(n)]
+        scale = sum(weights) + (rng.uniform(0.0, 1.0) if rng.random() < 0.5 else 0.0)
+        for city, w in zip(rng.sample(cities, n), weights):
+            lives.add((person, city), w / scale)
+    pop = db.add_relation("C", ("C",), ("C",))
+    for city in cities:
+        if rng.random() < 0.8:
+            pop.add((city,), rng.choice([1.0, rng.uniform(0.2, 0.9)]))
+    return db
+
+
+def test_query_probability_matches_brute_force():
+    rng = random.Random(12)
+    q = parse_query("L(x, y), C(y)")
+    for _ in range(30):
+        db = random_bid_db(rng)
+        got = bid_query_probability(q, db)
+        expected = db.brute_force_probability(
+            lambda w: world_satisfies(q, w)
+        )
+        assert got == pytest.approx(expected)
+
+
+def test_unsafe_query_on_bid_data():
+    """The q_u pattern with a BID middle relation (person -> one car, say)."""
+    rng = random.Random(3)
+    q = parse_query("R(x), S(x, y), T(y)")
+    for _ in range(15):
+        db = BIDDatabase()
+        r = db.add_relation("R", ("A",), ("A",))
+        for a in range(2):
+            if rng.random() < 0.8:
+                r.add((a,), rng.uniform(0.2, 1.0))
+        s = db.add_relation("S", ("A", "B"), ("A",))
+        for a in range(2):
+            n = rng.randint(1, 2)
+            weights = [rng.uniform(0.2, 0.5) for _ in range(n)]
+            for b, w in zip(rng.sample(range(2), n), weights):
+                s.add((a, b), w)
+        t = db.add_relation("T", ("B",), ("B",))
+        for b in range(2):
+            if rng.random() < 0.8:
+                t.add((b,), rng.uniform(0.2, 1.0))
+        got = bid_query_probability(q, db)
+        expected = db.brute_force_probability(
+            lambda w: world_satisfies(q, w)
+        )
+        assert got == pytest.approx(expected)
+
+
+def test_doctest_value():
+    db = BIDDatabase()
+    db.add_relation(
+        "L", ("person", "city"), ("person",),
+        {("ann", "paris"): 0.6, ("ann", "tokyo"): 0.4},
+    )
+    db.add_relation("C", ("city",), ("city",), {("paris",): 0.5})
+    q = parse_query("L(x, y), C(y)")
+    assert bid_query_probability(q, db) == pytest.approx(0.3)
+
+
+def test_unmentioned_alternatives_fold_into_none():
+    """A block alternative that never joins must act as 'no tuple'."""
+    db = BIDDatabase()
+    db.add_relation(
+        "L", ("P", "C"), ("P",),
+        {("ann", "paris"): 0.3, ("ann", "atlantis"): 0.7},
+    )
+    db.add_relation("C", ("C",), ("C",), {("paris",): 1.0})
+    q = parse_query("L(x, y), C(y)")
+    assert bid_query_probability(q, db) == pytest.approx(0.3)

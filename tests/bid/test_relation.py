@@ -1,0 +1,97 @@
+"""Tests for BID relations and their possible-worlds semantics."""
+
+import math
+
+import pytest
+
+from repro.bid.relation import BIDDatabase, BIDRelation
+from repro.errors import CapacityError, ProbabilityError, SchemaError
+
+
+@pytest.fixture
+def lives() -> BIDRelation:
+    return BIDRelation.create(
+        "Lives", ("person", "city"), ("person",),
+        {
+            ("ann", "paris"): 0.6,
+            ("ann", "tokyo"): 0.4,
+            ("bob", "paris"): 0.5,
+        },
+    )
+
+
+def test_blocks_and_access(lives):
+    assert lives.block(("ann",)) == {
+        ("ann", "paris"): 0.6, ("ann", "tokyo"): 0.4,
+    }
+    assert lives.none_probability(("ann",)) == pytest.approx(0.0)
+    assert lives.none_probability(("bob",)) == pytest.approx(0.5)
+    assert lives.none_probability(("zoe",)) == 1.0
+    assert lives.probability(("ann", "tokyo")) == 0.4
+    assert lives.probability(("ann", "osaka")) == 0.0
+    assert len(lives) == 3
+    assert not lives.is_tuple_independent()
+
+
+def test_block_budget_enforced(lives):
+    with pytest.raises(ProbabilityError, match="exceeds"):
+        lives.add(("ann", "osaka"), 0.1)
+    lives.add(("bob", "tokyo"), 0.5)  # exactly fills bob's block
+
+
+def test_duplicate_and_invalid(lives):
+    with pytest.raises(SchemaError, match="duplicate"):
+        lives.add(("ann", "paris"), 0.1)
+    with pytest.raises(ProbabilityError):
+        lives.add(("carl", "paris"), 0.0)
+
+
+def test_singleton_blocks_are_tuple_independent():
+    rel = BIDRelation.create(
+        "R", ("A",), ("A",), {(1,): 0.5, (2,): 0.7}
+    )
+    assert rel.is_tuple_independent()
+
+
+def test_worlds_enumeration(lives):
+    db = BIDDatabase([lives])
+    worlds = list(db.enumerate_worlds())
+    # ann: 2 alternatives (no none), bob: 1 alternative + none => 4 worlds
+    assert len(worlds) == 4
+    assert math.isclose(sum(w for _, w in worlds), 1.0)
+    # mutual exclusion: no world holds both of ann's cities
+    for world, _ in worlds:
+        ann_rows = {r for r in world["Lives"] if r[0] == "ann"}
+        assert len(ann_rows) == 1
+
+
+def test_brute_force_probability(lives):
+    db = BIDDatabase([lives])
+    p = db.brute_force_probability(
+        lambda w: ("ann", "paris") in w["Lives"]
+    )
+    assert p == pytest.approx(0.6)
+    p_or = db.brute_force_probability(
+        lambda w: any(r[1] == "paris" for r in w["Lives"])
+    )
+    # ann-paris or bob-paris: 1 - (1-.6)(1-.5) (blocks independent)
+    assert p_or == pytest.approx(1 - 0.4 * 0.5)
+
+
+def test_enumeration_capacity():
+    db = BIDDatabase()
+    rel = db.add_relation("R", ("A", "B"), ("A",))
+    for a in range(20):
+        rel.add((a, 0), 0.5)
+        rel.add((a, 1), 0.5)
+    with pytest.raises(CapacityError):
+        list(db.enumerate_worlds())
+
+
+def test_database_registry(lives):
+    db = BIDDatabase([lives])
+    with pytest.raises(SchemaError, match="already exists"):
+        db.attach(BIDRelation.create("Lives", ("A",), ("A",)))
+    with pytest.raises(SchemaError, match="unknown"):
+        db["Nope"]
+    assert db.names() == ["Lives"]

@@ -1,0 +1,64 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.db import ProbabilisticDatabase, brute_force_probability
+from repro.query.grounding import world_satisfies
+from repro.query.syntax import ConjunctiveQuery
+
+
+def make_rst_database(
+    rng: random.Random,
+    *,
+    max_dom: int = 3,
+    deterministic_bias: float = 0.3,
+    max_uncertain: int = 14,
+) -> ProbabilisticDatabase:
+    """A small random R(A), S(A,B), T(B) database for oracle comparisons.
+
+    Tuples are included with random probability; a fraction is deterministic
+    so that data-safety paths (Proposition 3.2's ``p = 1`` exemption) get
+    exercised. The number of uncertain tuples stays brute-forceable.
+    """
+    db = ProbabilisticDatabase()
+    dom = range(rng.randint(1, max_dom))
+
+    def prob() -> float:
+        if rng.random() < deterministic_bias:
+            return 1.0
+        return rng.uniform(0.05, 0.95)
+
+    r = {}
+    for a in dom:
+        if rng.random() < 0.8:
+            r[(a,)] = prob()
+    s = {}
+    for a in dom:
+        for b in dom:
+            if rng.random() < 0.6:
+                s[(a, b)] = prob()
+    t = {}
+    for b in dom:
+        if rng.random() < 0.8:
+            t[(b,)] = prob()
+    db.add_relation("R", ("A",), r)
+    db.add_relation("S", ("A", "B"), s)
+    db.add_relation("T", ("B",), t)
+    # Trim uncertainty if needed (cannot happen with max_dom=3, kept defensive).
+    assert len(db.uncertain_tuples()) <= max_uncertain
+    return db
+
+
+def oracle_probability(query: ConjunctiveQuery, db: ProbabilisticDatabase) -> float:
+    """Ground-truth Boolean probability by possible-worlds enumeration."""
+    return brute_force_probability(db, lambda w: world_satisfies(query, w))
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic RNG per test."""
+    return random.Random(20260706)

@@ -1,0 +1,111 @@
+"""Tests for approximate inference on And-Or networks."""
+
+import random
+
+import pytest
+
+from repro.core.approximate import (
+    forward_sample_marginal,
+    forward_sample_marginals,
+    hoeffding_samples,
+    karp_luby_marginal,
+    karp_luby_samples,
+)
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.db import ProbabilisticDatabase
+from repro.query.parser import parse_query
+
+from tests.core.test_inference import random_network
+
+
+def test_forward_sampling_converges():
+    net = AndOrNetwork()
+    u, v = net.add_leaf(0.3), net.add_leaf(0.8)
+    w = net.add_gate(NodeKind.OR, [(u, 0.5), (v, 0.5)])
+    est = forward_sample_marginal(net, w, 40000, random.Random(1))
+    assert est == pytest.approx(0.49, abs=0.01)
+
+
+def test_forward_sampling_and_gate():
+    net = AndOrNetwork()
+    u, v = net.add_leaf(0.6), net.add_leaf(0.7)
+    g = net.add_gate(NodeKind.AND, [(u, 0.5), (v, 1.0)])
+    est = forward_sample_marginal(net, g, 40000, random.Random(2))
+    assert est == pytest.approx(0.6 * 0.5 * 0.7, abs=0.01)
+
+
+def test_forward_sampling_randomized_networks():
+    rng = random.Random(5)
+    for _ in range(5):
+        net = random_network(rng, 3, 3)
+        node = len(net) - 1
+        exact = net.brute_force_marginal({node: 1})
+        est = forward_sample_marginal(net, node, 30000, rng)
+        assert est == pytest.approx(exact, abs=0.02)
+
+
+def test_forward_sample_marginals_joint():
+    net = AndOrNetwork()
+    u, v = net.add_leaf(0.3), net.add_leaf(0.8)
+    w = net.add_gate(NodeKind.OR, [(u, 1.0), (v, 1.0)])
+    out = forward_sample_marginals(net, [u, w, EPSILON], 40000, random.Random(3))
+    assert out[EPSILON] == 1.0
+    assert out[u] == pytest.approx(0.3, abs=0.01)
+    assert out[w] == pytest.approx(1 - 0.7 * 0.2, abs=0.01)
+
+
+def test_karp_luby_marginal():
+    net = AndOrNetwork()
+    u, v = net.add_leaf(0.01), net.add_leaf(0.01)
+    w = net.add_gate(NodeKind.OR, [(u, 1.0), (v, 1.0)])
+    est = karp_luby_marginal(net, w, 30000, random.Random(4))
+    exact = 1 - 0.99 * 0.99
+    assert est == pytest.approx(exact, rel=0.1)
+    assert karp_luby_marginal(net, EPSILON, 10) == 1.0
+
+
+def test_epsilon_is_certain():
+    net = AndOrNetwork()
+    assert forward_sample_marginal(net, EPSILON, 5) == 1.0
+
+
+def test_sample_count_validation():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    with pytest.raises(ValueError):
+        forward_sample_marginal(net, x, 0)
+    with pytest.raises(ValueError):
+        forward_sample_marginals(net, [x], -1)
+
+
+def test_sample_size_calculators():
+    assert hoeffding_samples(0.01, 0.05) == 18445
+    assert hoeffding_samples(0.1, 0.05) < hoeffding_samples(0.01, 0.05)
+    assert karp_luby_samples(0.1, 0.05, 100) > karp_luby_samples(0.1, 0.05, 10)
+    for bad in ((0.0, 0.5), (0.5, 0.0), (1.5, 0.5)):
+        with pytest.raises(ValueError):
+            hoeffding_samples(*bad)
+    with pytest.raises(ValueError):
+        karp_luby_samples(0.1, 0.1, 0)
+
+
+def test_result_level_approximation():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.5})
+    db.add_relation(
+        "S", ("A", "B"), {(a, b): 0.5 for a in (1, 2) for b in (1, 2)}
+    )
+    db.add_relation("T", ("B",), {(1,): 0.9, (2,): 0.9})
+    q = parse_query("q(x) :- R(x), S(x,y), T(y)")
+    result = PartialLineageEvaluator(db).evaluate_query(q, ["R", "S", "T"])
+    exact = result.answer_probabilities()
+    for method in ("forward", "karp-luby"):
+        approx = result.approximate_answer_probabilities(
+            40000, random.Random(7), method=method
+        )
+        assert set(approx) == set(exact)
+        for row in exact:
+            assert approx[row] == pytest.approx(exact[row], abs=0.02), method
+    with pytest.raises(ValueError, match="method"):
+        result.approximate_answer_probabilities(10, method="magic")

@@ -1,0 +1,118 @@
+"""Tests for partial-lineage DNF compilation and the inference-engine switch."""
+
+import random
+
+import pytest
+
+from repro.core.compile import partial_lineage_dnf
+from repro.core.inference import compute_marginal
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.errors import CapacityError
+from repro.lineage.exact import dnf_probability
+
+from tests.core.test_inference import random_network
+
+
+def test_leaf_compiles_to_single_variable():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.4)
+    f, probs = partial_lineage_dnf(net, x)
+    assert len(f) == 1
+    assert list(probs.values()) == [0.4]
+    assert dnf_probability(f, probs) == pytest.approx(0.4)
+
+
+def test_epsilon_is_true():
+    net = AndOrNetwork()
+    f, probs = partial_lineage_dnf(net, EPSILON)
+    assert f.is_true
+    assert probs == {}
+
+
+def test_or_gate_clause_per_parent():
+    net = AndOrNetwork()
+    x, y = net.add_leaf(0.5), net.add_leaf(0.5)
+    g = net.add_gate(NodeKind.OR, [(x, 0.25), (y, 1.0)])
+    f, probs = partial_lineage_dnf(net, g)
+    assert len(f) == 2
+    # clause for x carries an anonymous edge variable of probability .25;
+    # the deterministic edge to y adds none
+    sizes = sorted(len(c) for c in f.clauses)
+    assert sizes == [1, 2]
+    assert dnf_probability(f, probs) == pytest.approx(
+        net.brute_force_marginal({g: 1})
+    )
+
+
+def test_and_gate_cross_product():
+    net = AndOrNetwork()
+    x, y = net.add_leaf(0.5), net.add_leaf(0.5)
+    o1 = net.add_gate(NodeKind.OR, [(x, 1.0), (y, 1.0)])
+    o2 = net.add_gate(NodeKind.OR, [(x, 1.0), (y, 1.0)])
+    g = net.add_gate(NodeKind.AND, [(o1, 1.0), (o2, 1.0)])
+    f, probs = partial_lineage_dnf(net, g)
+    # o1 and o2 hash-merge to one node, so the And squares it: clauses
+    # {x}, {y}, {x,y} -> after DNF dedup the cross product has 3 clauses
+    assert len(f) == 3
+    assert dnf_probability(f, probs) == pytest.approx(
+        net.brute_force_marginal({g: 1})
+    )
+
+
+def test_shared_subnetwork_uses_same_variables():
+    """A node consumed twice contributes the same leaf variables (one event),
+    but each noisy edge gets its own anonymous variable."""
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    a = net.add_gate(NodeKind.AND, [(x, 0.5)])
+    b = net.add_gate(NodeKind.AND, [(x, 0.5)])
+    g = net.add_gate(NodeKind.OR, [(a, 1.0), (b, 1.0)])
+    f, probs = partial_lineage_dnf(net, g)
+    leaf_vars = {v for v in f.variables() if v.relation == "leaf"}
+    edge_vars = {v for v in f.variables() if v.relation == "edge"}
+    assert len(leaf_vars) == 1
+    assert len(edge_vars) == 2
+    assert dnf_probability(f, probs) == pytest.approx(
+        net.brute_force_marginal({g: 1})
+    )
+
+
+def test_matches_brute_force_randomized():
+    rng = random.Random(23)
+    for _ in range(20):
+        net = random_network(rng, rng.randint(1, 4), rng.randint(1, 5))
+        for node in net.nodes():
+            f, probs = partial_lineage_dnf(net, node)
+            assert dnf_probability(f, probs) == pytest.approx(
+                net.brute_force_marginal({node: 1})
+            ), node
+
+
+def test_clause_cap():
+    net = AndOrNetwork()
+    ors = []
+    for _ in range(4):
+        leaves = [(net.add_leaf(0.5), 1.0) for _ in range(6)]
+        ors.append(net.add_gate(NodeKind.OR, leaves))
+    g = net.add_gate(NodeKind.AND, [(o, 1.0) for o in ors])
+    with pytest.raises(CapacityError, match="clauses"):
+        partial_lineage_dnf(net, g, max_clauses=100)
+
+
+def test_engines_agree():
+    rng = random.Random(31)
+    for _ in range(15):
+        net = random_network(rng, rng.randint(1, 4), rng.randint(1, 5))
+        for node in net.nodes():
+            ve = compute_marginal(net, node, engine="ve")
+            dp = compute_marginal(net, node, engine="dpll")
+            auto = compute_marginal(net, node)
+            assert ve == pytest.approx(dp)
+            assert auto == pytest.approx(ve)
+
+
+def test_unknown_engine_rejected():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    with pytest.raises(ValueError, match="engine"):
+        compute_marginal(net, x, engine="quantum")

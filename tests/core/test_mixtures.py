@@ -1,0 +1,123 @@
+"""Semantic tests for the mixture view of pL-relations (Section 5.2).
+
+A pL-relation is a *mixture of independent relations* weighted by the And-Or
+network (Eq. 6 and the standard mixture below Definition 5.2); Proposition
+5.6 gives an alternative mixture that absorbs probability-1 tuples' lineage
+factors. These tests evaluate both mixture formulas literally and check them
+against the Eq. 5 semantics implemented by ``PLRelation.world_probability``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.core.plrelation import PLRelation
+
+
+def standard_mixture_distribution(rel: PLRelation) -> dict[frozenset, float]:
+    """Eq. 6 with the standard mixture: weights N(z), biases z_{l(t)} p(t)."""
+    net = rel.network
+    nodes = [v for v in net.nodes() if v != EPSILON]
+    rows = list(rel.items())
+    out: dict[frozenset, float] = {}
+    for values in itertools.product((0, 1), repeat=len(nodes)):
+        z = dict(zip(nodes, values))
+        z[EPSILON] = 1
+        weight = net.joint_probability(z)
+        if weight == 0.0:
+            continue
+        biases = [(row, z[l] * p) for row, l, p in rows]
+        for mask in range(1 << len(rows)):
+            prob = weight
+            world = []
+            for i, (row, bias) in enumerate(biases):
+                if mask >> i & 1:
+                    prob *= bias
+                    world.append(row)
+                else:
+                    prob *= 1.0 - bias
+                if prob == 0.0:
+                    break
+            if prob > 0.0:
+                key = frozenset(world)
+                out[key] = out.get(key, 0.0) + prob
+    return out
+
+
+def example_5_5_relation() -> PLRelation:
+    """The pL-relation of Example 5.5 over the Figure 3 network."""
+    net = AndOrNetwork()
+    u = net.add_leaf(0.3)
+    v = net.add_leaf(0.8)
+    w = net.add_gate(NodeKind.OR, [(u, 0.5), (v, 0.5)])
+    rel = PLRelation(("A",), net)
+    rel.add((1,), w, 1.0)
+    rel.add((2,), EPSILON, 0.3)
+    rel.add((3,), EPSILON, 0.6)
+    return rel
+
+
+def test_standard_mixture_equals_eq5_semantics():
+    rel = example_5_5_relation()
+    mixture = standard_mixture_distribution(rel)
+    for world, prob in mixture.items():
+        assert rel.world_probability(world) == pytest.approx(prob)
+    # and the full distributions coincide (missing keys = probability 0)
+    direct = rel.distribution()
+    for world, prob in direct.items():
+        assert mixture.get(world, 0.0) == pytest.approx(prob)
+
+
+def test_proposition_5_6_reduced_mixture():
+    """Prop 5.6: tuples with p=1 can absorb their lineage node's conditional
+    into the tuple bias; summing over the remaining nodes gives the same
+    distribution. Here tuple (1,) has p=1 and lineage w, so we sum over u, v
+    only and use φ(w=1 | u, v) as its bias (Example 5.5's second mixture)."""
+    rel = example_5_5_relation()
+    net = rel.network
+    u, v, w = 1, 2, 3
+    reduced: dict[frozenset, float] = {}
+    rows = list(rel.items())
+    for zu in (0, 1):
+        for zv in (0, 1):
+            weight = (0.3 if zu else 0.7) * (0.8 if zv else 0.2)
+            bias_w = net.conditional_probability(w, 1, {u: zu, v: zv})
+            biases = []
+            for row, l, p in rows:
+                if row == (1,):
+                    biases.append((row, bias_w))
+                else:
+                    biases.append((row, (1 if l == EPSILON else 0) * p))
+            for mask in range(1 << len(rows)):
+                prob = weight
+                world = []
+                for i, (row, bias) in enumerate(biases):
+                    if mask >> i & 1:
+                        prob *= bias
+                        world.append(row)
+                    else:
+                        prob *= 1.0 - bias
+                if prob > 0.0:
+                    key = frozenset(world)
+                    reduced[key] = reduced.get(key, 0.0) + prob
+    direct = rel.distribution()
+    for world in set(direct) | set(reduced):
+        assert reduced.get(world, 0.0) == pytest.approx(
+            direct.get(world, 0.0)
+        ), world
+
+
+def test_example_5_3_is_the_independent_mixture():
+    """With l ≡ ε the standard mixture degenerates to one independent
+    relation (Example 5.3)."""
+    net = AndOrNetwork()
+    rel = PLRelation(("A",), net)
+    rel.add((1,), EPSILON, 0.6)
+    rel.add((2,), EPSILON, 0.3)
+    mixture = standard_mixture_distribution(rel)
+    assert mixture[frozenset()] == pytest.approx(0.4 * 0.7)
+    assert mixture[frozenset({(1,)})] == pytest.approx(0.6 * 0.7)
+    assert mixture[frozenset({(1,), (2,)})] == pytest.approx(0.6 * 0.3)

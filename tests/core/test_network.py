@@ -1,0 +1,156 @@
+"""Tests for And-Or networks (Section 5.1)."""
+
+import pytest
+
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.errors import CapacityError, ProbabilityError
+
+
+def build_example_5_1() -> tuple[AndOrNetwork, int, int, int]:
+    """The network of Figure 3 / Example 5.1: leaves u (.3), v (.8), Or node w."""
+    net = AndOrNetwork()
+    u = net.add_leaf(0.3)
+    v = net.add_leaf(0.8)
+    w = net.add_gate(NodeKind.OR, [(u, 0.5), (v, 0.5)])
+    return net, u, v, w
+
+
+def test_example_5_1_joint_probability():
+    net, u, v, w = build_example_5_1()
+    # N({u:0, v:1, w:0}) = (1 - 0·.5)(1 - 1·.5) · (1-.3) · .8 = .28
+    assert net.joint_probability({u: 0, v: 1, w: 0}) == pytest.approx(0.28)
+
+
+def test_joint_sums_to_one():
+    net, u, v, w = build_example_5_1()
+    total = sum(
+        net.joint_probability({u: a, v: b, w: c})
+        for a in (0, 1)
+        for b in (0, 1)
+        for c in (0, 1)
+    )
+    assert total == pytest.approx(1.0)
+
+
+def test_augmentation_figure_3():
+    # N' adds y with parents u and w (Figure 3, right).
+    net, u, v, w = build_example_5_1()
+    y = net.add_gate(NodeKind.AND, [(u, 0.9), (w, 0.4)])
+    assert net.parents(y) == ((u, 0.9), (w, 0.4))
+    net.validate()
+
+
+def test_epsilon_is_always_true():
+    net = AndOrNetwork()
+    assert net.kind(EPSILON) is NodeKind.LEAF
+    assert net.leaf_probability(EPSILON) == 1.0
+    assert net.brute_force_marginal({EPSILON: 1}) == pytest.approx(1.0)
+    assert net.brute_force_marginal({EPSILON: 0}) == 0.0
+
+
+def test_leaves_never_memoised():
+    net = AndOrNetwork()
+    a = net.add_leaf(0.5)
+    b = net.add_leaf(0.5)
+    assert a != b
+
+
+def test_deterministic_gates_memoised():
+    net = AndOrNetwork()
+    a, b = net.add_leaf(0.5), net.add_leaf(0.5)
+    g1 = net.add_gate(NodeKind.OR, [(a, 1.0), (b, 1.0)])
+    g2 = net.add_gate(NodeKind.OR, [(b, 1.0), (a, 1.0)])  # order-insensitive
+    assert g1 == g2
+    g3 = net.add_gate(NodeKind.AND, [(a, 1.0), (b, 1.0)])
+    assert g3 != g1  # kind matters
+
+
+def test_noisy_gates_not_memoised():
+    """Merging noisy gates with identical profiles is UNSOUND (see module doc);
+    two anonymous events with the same probability are still distinct events."""
+    net = AndOrNetwork()
+    a, b = net.add_leaf(0.5), net.add_leaf(0.5)
+    g1 = net.add_gate(NodeKind.OR, [(a, 0.5), (b, 0.5)])
+    g2 = net.add_gate(NodeKind.OR, [(a, 0.5), (b, 0.5)])
+    assert g1 != g2
+
+
+def test_single_parent_deterministic_gate_collapses():
+    net = AndOrNetwork()
+    a = net.add_leaf(0.5)
+    assert net.add_gate(NodeKind.OR, [(a, 1.0)]) == a
+    assert net.add_gate(NodeKind.AND, [(a, 1.0)]) == a
+    # but a noisy single-parent gate is a new node
+    assert net.add_gate(NodeKind.AND, [(a, 0.5)]) != a
+
+
+def test_marginal_of_or_gate():
+    net, u, v, w = build_example_5_1()
+    # Pr(w) = 1 - (1 - .3*.5)(1 - .8*.5) = 1 - .85*.6 = .49
+    assert net.brute_force_marginal({w: 1}) == pytest.approx(0.49)
+
+
+def test_marginal_of_and_gate():
+    net = AndOrNetwork()
+    u, v = net.add_leaf(0.3), net.add_leaf(0.8)
+    g = net.add_gate(NodeKind.AND, [(u, 0.5), (v, 1.0)])
+    assert net.brute_force_marginal({g: 1}) == pytest.approx(0.3 * 0.5 * 0.8)
+
+
+def test_invalid_probabilities_rejected():
+    net = AndOrNetwork()
+    with pytest.raises(ProbabilityError):
+        net.add_leaf(1.5)
+    a = net.add_leaf(0.5)
+    with pytest.raises(ProbabilityError):
+        net.add_gate(NodeKind.OR, [(a, 2.0)])
+
+
+def test_gate_requires_known_parents():
+    net = AndOrNetwork()
+    with pytest.raises(ValueError):
+        net.add_gate(NodeKind.OR, [(99, 1.0)])
+    with pytest.raises(ValueError):
+        net.add_gate(NodeKind.OR, [])
+    with pytest.raises(ValueError):
+        net.add_gate(NodeKind.LEAF, [(0, 1.0)])
+
+
+def test_ancestors():
+    net, u, v, w = build_example_5_1()
+    y = net.add_gate(NodeKind.AND, [(u, 0.9), (w, 0.4)])
+    assert net.ancestors([y]) == {y, u, w, v}
+    assert net.ancestors([u]) == {u}
+
+
+def test_duplicate_parent_multiplicity_respected():
+    # A gate listing the same parent twice involves two anonymous events.
+    net = AndOrNetwork()
+    a = net.add_leaf(1.0)
+    g = net.add_gate(NodeKind.OR, [(a, 0.5), (a, 0.5)])
+    # Pr(g) = 1 - (1-.5)(1-.5) = .75
+    assert net.brute_force_marginal({g: 1}) == pytest.approx(0.75)
+
+
+def test_brute_force_capacity_guard():
+    net = AndOrNetwork()
+    for _ in range(25):
+        net.add_leaf(0.5)
+    with pytest.raises(CapacityError):
+        net.brute_force_marginal({1: 1})
+
+
+def test_validate_passes_on_constructed_networks():
+    net, *_ = build_example_5_1()
+    net.validate()
+    assert "AndOrNetwork" in repr(net)
+
+
+def test_hashing_flag_disables_memoisation():
+    net = AndOrNetwork(hashing=False)
+    a, b = net.add_leaf(0.5), net.add_leaf(0.5)
+    g1 = net.add_gate(NodeKind.OR, [(a, 1.0), (b, 1.0)])
+    g2 = net.add_gate(NodeKind.OR, [(a, 1.0), (b, 1.0)])
+    assert g1 != g2
+    # single-parent deterministic collapse is not hashing; it still applies
+    assert net.add_gate(NodeKind.AND, [(a, 1.0)]) == a

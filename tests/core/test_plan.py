@@ -1,0 +1,107 @@
+"""Tests for the plan AST and the left-deep plan builder."""
+
+import pytest
+
+from repro.core.plan import (
+    Join,
+    Project,
+    Scan,
+    Select,
+    left_deep_plan,
+    plan_operators,
+    plan_schema,
+)
+from repro.db import ProbabilisticDatabase
+from repro.errors import PlanError
+from repro.query.parser import parse_query
+from repro.query.syntax import Constant, Variable
+
+
+@pytest.fixture
+def db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("S", ("A", "B"), {(1, 2): 0.5})
+    db.add_relation("T", ("B",), {(2,): 0.5})
+    return db
+
+
+def test_left_deep_plan_shape():
+    q = parse_query("q() :- R(x), S(x,y), T(y)")
+    plan = left_deep_plan(q, ["R", "S", "T"])
+    assert str(plan) == "π[∅]((π[y]((R(x) ⋈[x] S(x, y))) ⋈[y] T(y)))"
+
+
+def test_left_deep_plan_headed_keeps_head_attr():
+    q = parse_query("q(h) :- R1(h,x), S1(h,x,y), R2(h,y)")
+    plan = left_deep_plan(q, ["R1", "S1", "R2"])
+    # h must survive every early projection and be the final schema
+    assert isinstance(plan, Project)
+    assert plan.attributes == ("h",)
+    assert "π[h, y]" in str(plan)
+
+
+def test_left_deep_plan_default_order():
+    q = parse_query("R(x), S(x,y)")
+    plan = left_deep_plan(q)
+    assert isinstance(plan, Project) and plan.attributes == ()
+
+
+def test_left_deep_plan_invalid_order():
+    q = parse_query("R(x), S(x,y)")
+    with pytest.raises(PlanError, match="permutation"):
+        left_deep_plan(q, ["R", "Z"])
+    with pytest.raises(PlanError, match="permutation"):
+        left_deep_plan(q, ["R"])
+
+
+def test_left_deep_plan_no_early_projection():
+    q = parse_query("q() :- R(x), S(x,y), T(y)")
+    plan = left_deep_plan(q, ["R", "S", "T"], early_projection=False)
+    assert "π[y]" not in str(plan)
+
+
+def test_plan_schema_scan(db):
+    assert plan_schema(Scan("S"), db) == ("A", "B")
+    q = parse_query("S(x, 3)")
+    assert plan_schema(Scan("S", q.atoms[0].terms), db) == ("x",)
+
+
+def test_plan_schema_join_and_project(db):
+    plan = Project(
+        Join(Scan("R", parse_query("R(x)").atoms[0].terms),
+             Scan("S", parse_query("S(x,y)").atoms[0].terms), ("x",)),
+        ("y",),
+    )
+    assert plan_schema(plan, db) == ("y",)
+
+
+def test_plan_schema_errors(db):
+    with pytest.raises(PlanError, match="join attribute"):
+        plan_schema(Join(Scan("R"), Scan("T"), ("A",)), db)
+    with pytest.raises(PlanError, match="unknown attribute"):
+        plan_schema(Project(Scan("R"), ("Z",)), db)
+    with pytest.raises(PlanError, match="unknown attribute"):
+        plan_schema(Select(Scan("R"), (("Z", 1),)), db)
+    with pytest.raises(PlanError, match="arity"):
+        plan_schema(Scan("R", (Variable("x"), Variable("y"))), db)
+
+
+def test_plan_schema_hidden_overlap_rejected(db):
+    # A and B both named "A" on the two sides without joining on it.
+    with pytest.raises(PlanError, match="both sides"):
+        plan_schema(Join(Scan("R"), Scan("S"), ()), db)
+
+
+def test_plan_operators_postorder():
+    q = parse_query("R(x), S(x,y)")
+    plan = left_deep_plan(q)
+    ops = plan_operators(plan)
+    assert isinstance(ops[0], Scan)
+    assert isinstance(ops[-1], Project)
+    assert len([o for o in ops if isinstance(o, Join)]) == 1
+
+
+def test_scan_str_with_constant():
+    scan = Scan("S", (Variable("x"), Constant(3)))
+    assert str(scan) == "S(x, 3)"

@@ -1,0 +1,91 @@
+"""Tests for data-safety analysis (Section 3)."""
+
+import pytest
+
+from repro.core.plan import left_deep_plan
+from repro.core.safety import (
+    PlanSafetyReport,
+    analyze_plan,
+    join_is_data_safe,
+    join_offending_tuples,
+)
+from repro.db import ProbabilisticDatabase, ProbabilisticRelation
+from repro.query.parser import parse_query
+
+
+def test_join_offending_tuples_proposition_3_2():
+    r = ProbabilisticRelation.create("R", ("A",), {(1,): 0.5, (2,): 1.0})
+    s = ProbabilisticRelation.create(
+        "S", ("A", "B"),
+        {(1, 1): 0.5, (1, 2): 1.0, (2, 1): 0.5, (2, 2): 0.5},
+    )
+    # (1,) uncertain with two partners — deterministic partners count too.
+    assert join_offending_tuples(r, s, ("A",), ("A",)) == [(1,)]
+    # (2,) deterministic: exempt even with two partners.
+    assert not join_is_data_safe(r, s, ("A",), ("A",))
+
+
+def test_one_to_one_join_is_data_safe():
+    r = ProbabilisticRelation.create("R", ("A",), {(1,): 0.5, (2,): 0.5})
+    s = ProbabilisticRelation.create("S", ("A", "B"), {(1, 1): 0.5, (2, 2): 0.5})
+    assert join_is_data_safe(r, s, ("A",), ("A",))
+    assert join_offending_tuples(s, r, ("A",), ("A",)) == []
+
+
+def test_key_constrained_instance_makes_unsafe_query_data_safe():
+    """The Section 3 example: R(x,y) ⋈ S(x,z) with x a key on both sides."""
+    r = ProbabilisticRelation.create("R", ("X", "Y"), {(1, 1): 0.5, (2, 1): 0.5})
+    s = ProbabilisticRelation.create("S", ("X", "Z"), {(1, 2): 0.5, (2, 2): 0.5})
+    assert join_is_data_safe(r, s, ("X",), ("X",))
+
+
+def test_analyze_plan_reports_offending_counts():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {("a1",): 0.5, ("a2",): 0.5})
+    db.add_relation(
+        "S", ("A", "B"),
+        {("a1", "b1"): 0.5, ("a1", "b2"): 0.5, ("a2", "b1"): 0.5},
+    )
+    db.add_relation("T", ("B",), {("b1",): 0.5, ("b2",): 0.5})
+    plan = left_deep_plan(parse_query("R(x), S(x,y), T(y)"), ["R", "S", "T"])
+    report = analyze_plan(plan, db)
+    assert not report.is_data_safe
+    # a1 offends the first join; the S tuples sharing b1 offend the second
+    # (they are uncertain with... exactly one T partner each, so only the
+    # first join conditions, plus any T-side violations).
+    assert report.total_offending >= 1
+    assert report.network_size > 1
+    assert isinstance(report, PlanSafetyReport)
+    assert any(count > 0 for _, count in report.offending_per_operator)
+
+
+def test_analyze_plan_safe_instance():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {("a1",): 0.5})
+    db.add_relation("S", ("A", "B"), {("a1", "b1"): 0.5})
+    db.add_relation("T", ("B",), {("b1",): 0.5})
+    plan = left_deep_plan(parse_query("R(x), S(x,y), T(y)"), ["R", "S", "T"])
+    report = analyze_plan(plan, db)
+    assert report.is_data_safe
+    assert report.total_offending == 0
+    assert report.network_size == 1
+
+
+def test_offending_count_measures_distance_from_safety():
+    """More FD violations mean more offending tuples (monotone measure)."""
+    counts = []
+    for violations in (0, 1, 2, 3):
+        db = ProbabilisticDatabase()
+        db.add_relation("R", ("A",), {(a,): 0.5 for a in range(4)})
+        s = {}
+        for a in range(4):
+            s[(a, 0)] = 0.5
+            if a < violations:
+                s[(a, 1)] = 0.5  # second b-value: violates A -> B
+        db.add_relation("S", ("A", "B"), s)
+        db.add_relation("T", ("B",), {(0,): 0.5, (1,): 0.5})
+        plan = left_deep_plan(parse_query("R(x), S(x,y), T(y)"), ["R", "S", "T"])
+        counts.append(analyze_plan(plan, db).total_offending)
+    assert counts[0] == 0
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]

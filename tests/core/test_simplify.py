@@ -1,0 +1,141 @@
+"""Tests for network pruning and constant folding."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.inference import compute_marginal
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.core.simplify import compact_result, constant_fold, constant_support, prune
+from repro.db import ProbabilisticDatabase
+from repro.query.parser import parse_query
+
+from tests.conftest import make_rst_database
+
+
+def test_prune_drops_unreachable():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    y = net.add_leaf(0.5)  # unreachable from the root below
+    g = net.add_gate(NodeKind.AND, [(x, 0.5)])
+    pruned, mapping = prune(net, {g})
+    assert y not in mapping
+    assert len(pruned) == 3  # ε, x, g
+    assert compute_marginal(pruned, mapping[g]) == pytest.approx(
+        compute_marginal(net, g)
+    )
+
+
+def test_prune_preserves_marginals_random():
+    from tests.core.test_inference import random_network
+
+    rng = random.Random(2)
+    for _ in range(10):
+        net = random_network(rng, 3, 4)
+        roots = {len(net) - 1}
+        pruned, mapping = prune(net, roots)
+        for v in roots:
+            assert compute_marginal(pruned, mapping[v]) == pytest.approx(
+                compute_marginal(net, v)
+            )
+        pruned.validate()
+
+
+def test_constant_support():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    c1 = net.add_gate(NodeKind.OR, [(EPSILON, 0.3), (EPSILON, 0.4)])
+    mixed = net.add_gate(NodeKind.OR, [(x, 0.5), (c1, 0.7)])
+    support = constant_support(net)
+    assert c1 in support
+    assert mixed not in support
+    assert x not in support
+
+
+def test_constant_fold_single_consumer():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    c = net.add_gate(NodeKind.OR, [(EPSILON, 0.3), (EPSILON, 0.4)])
+    top = net.add_gate(NodeKind.OR, [(x, 0.5), (c, 1.0)])
+    folded, mapping, folded_roots = constant_fold(net, {top})
+    assert folded_roots == {}
+    assert compute_marginal(folded, mapping[top]) == pytest.approx(
+        compute_marginal(net, top)
+    )
+    # the constant gate disappeared
+    assert len(folded) < len(net)
+
+
+def test_constant_fold_respects_shared_consumers():
+    """A constant node consumed twice is one event; folding it into two
+    independent numbers would be wrong — it must survive."""
+    net = AndOrNetwork()
+    c = net.add_gate(NodeKind.OR, [(EPSILON, 0.5), (EPSILON, 0.2)])
+    g1 = net.add_gate(NodeKind.AND, [(c, 0.9)])
+    g2 = net.add_gate(NodeKind.AND, [(c, 0.8)])
+    top = net.add_gate(NodeKind.AND, [(g1, 1.0), (g2, 1.0)])
+    folded, mapping, _ = constant_fold(net, {top})
+    assert compute_marginal(folded, mapping[top]) == pytest.approx(
+        compute_marginal(net, top)
+    )
+    # joint correctness is the point: Pr(top) = Pr(c)·.9·.8, NOT (c·.9)(c·.8)
+    c_prob = 1 - 0.5 * 0.8
+    assert compute_marginal(folded, mapping[top]) == pytest.approx(
+        c_prob * 0.72
+    )
+
+
+def test_constant_root_folds_into_value():
+    net = AndOrNetwork()
+    c = net.add_gate(NodeKind.OR, [(EPSILON, 0.3), (EPSILON, 0.4)])
+    folded, mapping, folded_roots = constant_fold(net, {c})
+    assert folded_roots[c] == pytest.approx(1 - 0.7 * 0.6)
+    assert mapping[c] == EPSILON
+
+
+def test_compact_result_preserves_distribution(rng):
+    q = parse_query("R(x), S(x,y), T(y)")
+    compacted_something = False
+    for _ in range(20):
+        db = make_rst_database(rng)
+        result = PartialLineageEvaluator(db).evaluate_query(q, ["R", "S", "T"])
+        compact = compact_result(result)
+        assert compact.boolean_probability() == pytest.approx(
+            result.boolean_probability()
+        )
+        assert len(compact.network) <= len(result.network)
+        if len(compact.network) < len(result.network):
+            compacted_something = True
+        # full distribution equality where enumerable
+        if len(result.network) <= 14 and len(result.relation) <= 8:
+            before = result.relation.distribution()
+            after = compact.relation.distribution()
+            for world in set(before) | set(after):
+                assert after.get(world, 0.0) == pytest.approx(
+                    before.get(world, 0.0), abs=1e-9
+                )
+    assert compacted_something
+
+
+def test_compact_result_headed_query():
+    db = ProbabilisticDatabase()
+    db.add_relation(
+        "R1", ("H", "A"), {(h, a): 0.5 for h in (1, 2) for a in (1, 2)}
+    )
+    db.add_relation(
+        "S1", ("H", "A", "B"),
+        {(h, a, b): 0.5 for h in (1, 2) for a in (1, 2) for b in (1, 2)},
+    )
+    db.add_relation(
+        "R2", ("H", "B"), {(h, b): 0.5 for h in (1, 2) for b in (1, 2)}
+    )
+    q = parse_query("q(h) :- R1(h,x), S1(h,x,y), R2(h,y)")
+    result = PartialLineageEvaluator(db).evaluate_query(q, ["R1", "S1", "R2"])
+    compact = compact_result(result)
+    before = result.answer_probabilities()
+    after = compact.answer_probabilities()
+    assert set(before) == set(after)
+    for k in before:
+        assert after[k] == pytest.approx(before[k])

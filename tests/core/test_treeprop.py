@@ -1,0 +1,90 @@
+"""Tests for tree-factorable detection and bottom-up propagation."""
+
+import random
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.inference import compute_marginal
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.core.treeprop import is_tree_factorable, tree_marginals
+from repro.db import ProbabilisticDatabase
+from repro.errors import InferenceError
+from repro.query.parser import parse_query
+
+
+def test_leaves_and_single_gate_are_tree_factorable():
+    net = AndOrNetwork()
+    x, y = net.add_leaf(0.5), net.add_leaf(0.5)
+    net.add_gate(NodeKind.OR, [(x, 0.3), (y, 0.7)])
+    assert is_tree_factorable(net)
+    out = tree_marginals(net)
+    assert out[2 + 1] == pytest.approx(1 - (1 - 0.15) * (1 - 0.35))
+
+
+def test_shared_ancestor_breaks_factorability():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    a = net.add_gate(NodeKind.AND, [(x, 0.5)])
+    b = net.add_gate(NodeKind.AND, [(x, 0.5)])
+    net.add_gate(NodeKind.OR, [(a, 1.0), (b, 1.0)])
+    assert not is_tree_factorable(net)
+    with pytest.raises(InferenceError, match="tree-factorable"):
+        tree_marginals(net)
+
+
+def test_duplicated_parent_breaks_factorability():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    net.add_gate(NodeKind.OR, [(x, 0.5), (x, 0.5)])
+    assert not is_tree_factorable(net)
+
+
+def test_epsilon_never_correlates():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    a = net.add_gate(NodeKind.OR, [(x, 0.5), (EPSILON, 0.3)])
+    b = net.add_gate(NodeKind.OR, [(a, 0.9), (EPSILON, 0.1)])
+    assert is_tree_factorable(net)
+    out = tree_marginals(net)
+    assert out[b] == pytest.approx(compute_marginal(net, b, engine="ve"))
+
+
+def test_matches_exact_inference_on_factorable_networks():
+    rng = random.Random(3)
+    for _ in range(20):
+        # build a random forest-shaped network: each node used at most once
+        net = AndOrNetwork()
+        available = [net.add_leaf(rng.uniform(0.1, 0.9)) for _ in range(6)]
+        while len(available) > 1:
+            k = rng.randint(2, min(3, len(available)))
+            parents = [available.pop() for _ in range(k)]
+            kind = rng.choice([NodeKind.AND, NodeKind.OR])
+            gate = net.add_gate(
+                kind, [(w, rng.choice([1.0, rng.uniform(0.2, 0.9)])) for w in parents]
+            )
+            available.append(gate)
+        assert is_tree_factorable(net)
+        out = tree_marginals(net)
+        for node in net.nodes():
+            assert out[node] == pytest.approx(
+                net.brute_force_marginal({node: 1})
+            ), node
+
+
+def test_sec54_networks_are_tree_factorable():
+    """The hash-collapsed deterministic-S networks are exactly the
+    low-treewidth case the propagation targets."""
+    n = 5
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(i,): 0.5 for i in range(n)})
+    db.add_relation(
+        "S", ("A", "B"), {(i, j): 1.0 for i in range(n) for j in range(n)}
+    )
+    db.add_relation("T", ("B",), {(j,): 0.5 for j in range(n)})
+    q = parse_query("q() :- R(x), S(x,y), T(y)")
+    result = PartialLineageEvaluator(db).evaluate_query(q, ["R", "S", "T"])
+    assert is_tree_factorable(result.network)
+    out = tree_marginals(result.network)
+    ((_, l, p),) = list(result.relation.items())
+    assert p * out[l] == pytest.approx(result.boolean_probability())

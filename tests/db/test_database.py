@@ -1,0 +1,52 @@
+"""Tests for probabilistic databases."""
+
+import pytest
+
+from repro.db import ProbabilisticDatabase, ProbabilisticRelation
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 1.0})
+    db.add_relation("S", ("A", "B"), {(1, 1): 0.7})
+    return db
+
+
+def test_access_by_name(db):
+    assert db["R"].probability((1,)) == 0.5
+    assert "S" in db
+    assert "Z" not in db
+    with pytest.raises(SchemaError, match="unknown relation"):
+        db["Z"]
+
+
+def test_duplicate_relation_name_rejected(db):
+    with pytest.raises(SchemaError, match="already exists"):
+        db.add_relation("R", ("X",))
+    with pytest.raises(SchemaError):
+        db.attach(ProbabilisticRelation.create("S", ("X",)))
+
+
+def test_uncertain_tuples(db):
+    assert sorted(db.uncertain_tuples()) == [("R", (1,)), ("S", (1, 1))]
+    assert db.total_tuples() == 3
+
+
+def test_tupleref_probability(db):
+    assert db.probability(("R", (2,))) == 1.0
+    assert db.probability(("S", (9, 9))) == 0.0
+
+
+def test_deterministic_instance(db):
+    inst = db.deterministic_instance()
+    assert inst["R"] == {(1,), (2,)}
+    assert inst["S"] == {(1, 1)}
+
+
+def test_copy_is_deep_enough(db):
+    clone = db.copy()
+    clone["R"].add((3,), 0.1)
+    assert (3,) not in db["R"]
+    assert clone.names() == db.names()

@@ -1,0 +1,71 @@
+"""Tests for probabilistic relations."""
+
+import pytest
+
+from repro.db.relation import ProbabilisticRelation
+from repro.errors import ProbabilityError, SchemaError
+
+
+@pytest.fixture
+def rel() -> ProbabilisticRelation:
+    return ProbabilisticRelation.create(
+        "S", ("A", "B"), {(1, 1): 0.5, (1, 2): 1.0, (2, 1): 0.25}
+    )
+
+
+def test_membership_and_probability(rel):
+    assert (1, 1) in rel
+    assert rel.probability((1, 1)) == 0.5
+    assert rel.probability((9, 9)) == 0.0
+    assert len(rel) == 3
+
+
+def test_uncertain_and_deterministic_partition(rel):
+    assert sorted(rel.uncertain_rows()) == [(1, 1), (2, 1)]
+    assert rel.deterministic_rows() == [(1, 2)]
+    assert rel.deterministic_fraction() == pytest.approx(1 / 3)
+
+
+def test_zero_probability_rejected():
+    rel = ProbabilisticRelation.create("R", ("A",))
+    with pytest.raises(ProbabilityError):
+        rel.add((1,), 0.0)
+    with pytest.raises(ProbabilityError):
+        rel.add((1,), 1.5)
+
+
+def test_duplicate_tuple_rejected(rel):
+    with pytest.raises(SchemaError, match="duplicate"):
+        rel.add((1, 1), 0.9)
+
+
+def test_arity_mismatch_rejected(rel):
+    with pytest.raises(SchemaError, match="arity"):
+        rel.add((1,), 0.5)
+
+
+def test_group_by(rel):
+    groups = rel.group_by(("A",))
+    assert sorted(groups[(1,)]) == [(1, 1), (1, 2)]
+    assert groups[(2,)] == [(2, 1)]
+
+
+def test_satisfies_fd():
+    rel = ProbabilisticRelation.create(
+        "S", ("A", "B"), {(1, 1): 0.5, (2, 2): 0.5}
+    )
+    assert rel.satisfies_fd(("A",), ("B",))
+    rel.add((1, 2), 0.5)
+    assert not rel.satisfies_fd(("A",), ("B",))
+
+
+def test_copy_is_independent(rel):
+    clone = rel.copy()
+    clone.add((3, 3), 0.5)
+    assert (3, 3) not in rel
+    assert clone.probability((1, 1)) == rel.probability((1, 1))
+
+
+def test_empty_relation_deterministic_fraction():
+    rel = ProbabilisticRelation.create("R", ("A",))
+    assert rel.deterministic_fraction() == 1.0

@@ -1,0 +1,53 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro.db.schema import RelationSchema
+from repro.errors import SchemaError
+
+
+def test_basic_properties():
+    s = RelationSchema("S1", ("H", "A", "B"))
+    assert s.arity == 3
+    assert s.index_of("A") == 1
+    assert s.indices_of(("B", "H")) == (2, 0)
+    assert str(s) == "S1(H, A, B)"
+
+
+def test_unknown_attribute_raises():
+    s = RelationSchema("R", ("A",))
+    with pytest.raises(SchemaError, match="no attribute"):
+        s.index_of("Z")
+
+
+def test_duplicate_attributes_rejected():
+    with pytest.raises(SchemaError, match="duplicate"):
+        RelationSchema("R", ("A", "A"))
+
+
+def test_invalid_names_rejected():
+    with pytest.raises(SchemaError):
+        RelationSchema("", ("A",))
+    with pytest.raises(SchemaError):
+        RelationSchema("has space", ("A",))
+    with pytest.raises(SchemaError):
+        RelationSchema("R", ("1bad",))
+
+
+def test_check_row_validates_arity():
+    s = RelationSchema("R", ("A", "B"))
+    assert s.check_row([1, 2]) == (1, 2)
+    with pytest.raises(SchemaError, match="arity"):
+        s.check_row((1,))
+
+
+def test_project_keeps_order_given():
+    s = RelationSchema("R", ("A", "B", "C"))
+    assert s.project(("C", "A")).attributes == ("C", "A")
+    with pytest.raises(SchemaError):
+        s.project(("Z",))
+
+
+def test_schemas_equal_by_value():
+    assert RelationSchema("R", ("A",)) == RelationSchema("R", ("A",))
+    assert RelationSchema("R", ("A",)) != RelationSchema("R", ("B",))

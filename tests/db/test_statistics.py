@@ -1,0 +1,58 @@
+"""Tests for instance statistics."""
+
+import pytest
+
+from repro.db.relation import ProbabilisticRelation
+from repro.db.statistics import (
+    fanout_profile,
+    fd_violation_count,
+    relation_statistics,
+)
+
+
+@pytest.fixture
+def s() -> ProbabilisticRelation:
+    return ProbabilisticRelation.create(
+        "S", ("A", "B"),
+        {(1, 1): 0.5, (1, 2): 0.5, (2, 1): 1.0, (3, 1): 0.9},
+    )
+
+
+def test_fanout_profile(s):
+    prof = fanout_profile(s, ("A",))
+    assert prof.relation == "S"
+    assert prof.max_fanout == 2
+    assert prof.distinct_keys == 3
+    assert not prof.is_key()
+    # both (1,*) tuples are uncertain and share their key
+    assert prof.uncertain_multi == 2
+    assert prof.expected_partners((1,)) == 2
+    assert prof.expected_partners((9,)) == 0
+
+
+def test_fanout_profile_key(s):
+    prof = fanout_profile(s, ("A", "B"))
+    assert prof.is_key()
+    assert prof.uncertain_multi == 0
+
+
+def test_empty_relation_profile():
+    rel = ProbabilisticRelation.create("R", ("A",))
+    prof = fanout_profile(rel, ("A",))
+    assert prof.max_fanout == 0
+    assert prof.is_key()
+
+
+def test_fd_violation_count(s):
+    assert fd_violation_count(s, ("A",), ("B",)) == 1  # only A=1 violates
+    assert fd_violation_count(s, ("B",), ("A",)) == 1  # B=1 -> A in {1,2,3}
+    assert fd_violation_count(s, ("A", "B"), ("A",)) == 0
+
+
+def test_relation_statistics(s):
+    stats = relation_statistics(s)
+    assert stats.size == 4
+    assert stats.uncertain == 3
+    assert stats.uncertain_fraction == pytest.approx(0.75)
+    empty = relation_statistics(ProbabilisticRelation.create("R", ("A",)))
+    assert empty.uncertain_fraction == 0.0

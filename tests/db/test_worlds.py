@@ -1,0 +1,68 @@
+"""Tests for possible-worlds enumeration — the library's ground truth."""
+
+import math
+
+import pytest
+
+from repro.db import ProbabilisticDatabase
+from repro.db.worlds import (
+    brute_force_answer_probabilities,
+    brute_force_probability,
+    enumerate_worlds,
+)
+from repro.errors import CapacityError
+
+
+@pytest.fixture
+def db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.25, (3,): 1.0})
+    return db
+
+
+def test_world_count_and_total_mass(db):
+    worlds = list(enumerate_worlds(db))
+    assert len(worlds) == 4  # 2 uncertain tuples
+    assert math.isclose(sum(w for _, w in worlds), 1.0)
+    # the deterministic tuple is in every world
+    assert all((3,) in world["R"] for world, _ in worlds)
+
+
+def test_world_weights(db):
+    weights = {
+        frozenset(world["R"]): w for world, w in enumerate_worlds(db)
+    }
+    assert weights[frozenset({(3,)})] == pytest.approx(0.5 * 0.75)
+    assert weights[frozenset({(1,), (2,), (3,)})] == pytest.approx(0.5 * 0.25)
+
+
+def test_brute_force_probability_simple(db):
+    p = brute_force_probability(db, lambda w: (1,) in w["R"])
+    assert p == pytest.approx(0.5)
+    p_or = brute_force_probability(db, lambda w: (1,) in w["R"] or (2,) in w["R"])
+    assert p_or == pytest.approx(1 - 0.5 * 0.75)
+
+
+def test_brute_force_answer_probabilities(db):
+    answers = brute_force_answer_probabilities(db, lambda w: set(w["R"]))
+    assert answers[(1,)] == pytest.approx(0.5)
+    assert answers[(2,)] == pytest.approx(0.25)
+    assert answers[(3,)] == pytest.approx(1.0)
+
+
+def test_capacity_guard():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(i,): 0.5 for i in range(30)})
+    with pytest.raises(CapacityError):
+        list(enumerate_worlds(db))
+    # Generous explicit limit still works.
+    with pytest.raises(CapacityError):
+        brute_force_probability(db, lambda w: True, max_uncertain=10)
+
+
+def test_empty_database_has_one_world():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",))
+    worlds = list(enumerate_worlds(db))
+    assert len(worlds) == 1
+    assert worlds[0][1] == 1.0

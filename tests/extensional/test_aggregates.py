@@ -1,0 +1,85 @@
+"""Tests for expectation aggregates."""
+
+import random
+
+import pytest
+
+from repro.db import ProbabilisticDatabase, enumerate_worlds
+from repro.extensional.aggregates import (
+    expected_answer_cardinality,
+    expected_answer_counts,
+    expected_grounding_count,
+    grounding_count_variance,
+    markov_upper_bound,
+)
+from repro.query.grounding import answers_in_world, groundings
+from repro.query.parser import parse_query
+
+from tests.conftest import make_rst_database, oracle_probability
+
+
+def brute_force_count_moments(query, db):
+    """E and Var of the satisfied-grounding count by enumeration."""
+    mean = 0.0
+    second = 0.0
+    q = query.boolean_view()
+    for world, weight in enumerate_worlds(db):
+        count = sum(1 for _ in groundings(q, world))
+        mean += weight * count
+        second += weight * count * count
+    return mean, max(0.0, second - mean * mean)
+
+
+def test_expected_count_simple():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.5})
+    db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (2, 1): 1.0})
+    q = parse_query("R(x), S(x,y)")
+    assert expected_grounding_count(q, db) == pytest.approx(0.25 + 0.5)
+
+
+def test_moments_match_brute_force(rng):
+    q = parse_query("R(x), S(x,y), T(y)")
+    for _ in range(15):
+        db = make_rst_database(rng)
+        mean, var = brute_force_count_moments(q, db)
+        assert expected_grounding_count(q, db) == pytest.approx(mean)
+        assert grounding_count_variance(q, db) == pytest.approx(var, abs=1e-9)
+
+
+def test_markov_bound_dominates_probability(rng):
+    q = parse_query("R(x), S(x,y), T(y)")
+    for _ in range(15):
+        db = make_rst_database(rng)
+        assert markov_upper_bound(q, db) >= oracle_probability(q, db) - 1e-12
+
+
+def test_expected_answer_counts():
+    db = ProbabilisticDatabase()
+    db.add_relation(
+        "S", ("H", "B"), {(1, 1): 0.5, (1, 2): 0.5, (2, 1): 0.25}
+    )
+    q = parse_query("q(h) :- S(h,y)")
+    counts = expected_answer_counts(q, db)
+    assert counts[(1,)] == pytest.approx(1.0)
+    assert counts[(2,)] == pytest.approx(0.25)
+
+
+def test_expected_answer_cardinality(rng):
+    q = parse_query("q(x) :- R(x), S(x,y)")
+    for _ in range(10):
+        db = make_rst_database(rng)
+        got = expected_answer_cardinality(q, db)
+        expected = 0.0
+        for world, weight in enumerate_worlds(db):
+            expected += weight * len(answers_in_world(q, world))
+        assert got == pytest.approx(expected)
+
+
+def test_empty_lineage_zero():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("S", ("A", "B"), {(2, 1): 0.5})
+    q = parse_query("R(x), S(x,y)")
+    assert expected_grounding_count(q, db) == 0.0
+    assert grounding_count_variance(q, db) == 0.0

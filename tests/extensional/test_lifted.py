@@ -1,0 +1,83 @@
+"""Tests for lifted (extensional) inference on safe queries."""
+
+import pytest
+
+from repro.db import ProbabilisticDatabase
+from repro.errors import UnsafePlanError
+from repro.extensional import lifted_answer_probabilities, lifted_probability
+from repro.query.parser import parse_query
+
+from tests.conftest import make_rst_database, oracle_probability
+
+
+def test_single_atom():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.25})
+    assert lifted_probability(parse_query("R(x)"), db) == pytest.approx(
+        1 - 0.5 * 0.75
+    )
+
+
+def test_ground_query():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("S", ("A",), {(1,): 0.25})
+    assert lifted_probability(parse_query("R(1), S(1)"), db) == pytest.approx(0.125)
+    assert lifted_probability(parse_query("R(2), S(1)"), db) == 0.0
+
+
+def test_disconnected_query_multiplies():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("T", ("B",), {(7,): 0.4})
+    assert lifted_probability(parse_query("R(x), T(y)"), db) == pytest.approx(0.2)
+
+
+def test_hierarchical_join():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("S", ("A", "B"), {(1, 7): 0.5, (1, 8): 0.5})
+    assert lifted_probability(parse_query("R(x), S(x,y)"), db) == pytest.approx(0.375)
+
+
+def test_unsafe_query_raises():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("S", ("A", "B"), {(1, 1): 0.5})
+    db.add_relation("T", ("B",), {(1,): 0.5})
+    with pytest.raises(UnsafePlanError, match="not hierarchical"):
+        lifted_probability(parse_query("R(x), S(x,y), T(y)"), db)
+
+
+def test_matches_brute_force_on_random_instances(rng):
+    safe_queries = [
+        parse_query("R(x), S(x,y)"),
+        parse_query("S(x,y), T(y)"),
+        parse_query("R(x), T(y)"),
+        parse_query("S(x,y)"),
+    ]
+    for _ in range(25):
+        db = make_rst_database(rng)
+        for q in safe_queries:
+            assert lifted_probability(q, db) == pytest.approx(
+                oracle_probability(q, db)
+            ), str(q)
+
+
+def test_answer_probabilities_headed():
+    db = ProbabilisticDatabase()
+    db.add_relation(
+        "S", ("H", "B"), {(1, 1): 0.5, (1, 2): 0.5, (2, 1): 0.25}
+    )
+    q = parse_query("q(h) :- S(h,y)")
+    answers = lifted_answer_probabilities(q, db)
+    assert answers[(1,)] == pytest.approx(0.75)
+    assert answers[(2,)] == pytest.approx(0.25)
+
+
+def test_answer_probabilities_boolean_passthrough():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    assert lifted_answer_probabilities(parse_query("R(x)"), db) == {
+        (): pytest.approx(0.5)
+    }

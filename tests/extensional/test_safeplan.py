@@ -1,0 +1,89 @@
+"""Tests for explicit safe-plan construction."""
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.plan import Join, Project
+from repro.errors import UnsafePlanError
+from repro.extensional import lifted_probability, safe_plan
+from repro.query.parser import parse_query
+
+from tests.conftest import make_rst_database, oracle_probability
+
+
+def test_safe_plan_shapes():
+    plan = safe_plan(parse_query("R(x,y), S(x,z)"))
+    assert str(plan) == "π[∅]((π[x](R(x, y)) ⋈[x] π[x](S(x, z))))"
+    plan2 = safe_plan(parse_query("R(x), S(x,y)"))
+    assert isinstance(plan2, Project) and plan2.attributes == ()
+
+
+def test_unsafe_query_rejected():
+    with pytest.raises(UnsafePlanError, match="no root variable"):
+        safe_plan(parse_query("R(x), S(x,y), T(y)"))
+
+
+def test_head_variable_must_be_everywhere():
+    with pytest.raises(UnsafePlanError, match="head variables"):
+        safe_plan(parse_query("q(h) :- R(h,x), S(x,y)"))
+
+
+def test_headed_safe_plan():
+    plan = safe_plan(parse_query("q(h) :- R(h,x), S(h,x,y)"))
+    assert isinstance(plan, Project)
+    assert plan.attributes == ("h",)
+
+
+def test_disconnected_query_cross_product():
+    plan = safe_plan(parse_query("R(x), T(y)"))
+    # two components joined on the (empty) head
+    joins = [str(plan)]
+    assert "⋈[]" in joins[0]
+
+
+def test_safe_plans_are_data_safe_and_correct(rng):
+    queries = [
+        parse_query("R(x), S(x,y)"),
+        parse_query("S(x,y), T(y)"),
+        parse_query("R(x), T(y)"),
+    ]
+    for _ in range(20):
+        db = make_rst_database(rng)
+        for q in queries:
+            plan = safe_plan(q)
+            result = PartialLineageEvaluator(db).evaluate(plan)
+            assert result.is_data_safe, str(q)
+            assert result.boolean_probability() == pytest.approx(
+                oracle_probability(q, db)
+            ), str(q)
+
+
+def test_safe_plan_rxy_sxz(rng):
+    """R(x,y), S(x,z): safe but not strictly hierarchical (Theorem 4.2)."""
+    import random
+
+    from repro.db import ProbabilisticDatabase
+
+    q = parse_query("R(x,y), S(x,z)")
+    for seed in range(15):
+        r = random.Random(seed)
+        db = ProbabilisticDatabase()
+        rrows = {}
+        srows = {}
+        for a in range(2):
+            for b in range(2):
+                if r.random() < 0.7:
+                    rrows[(a, b)] = r.choice([1.0, r.uniform(0.1, 0.9)])
+                if r.random() < 0.7:
+                    srows[(a, b)] = r.choice([1.0, r.uniform(0.1, 0.9)])
+        db.add_relation("R", ("A", "B"), rrows)
+        db.add_relation("S", ("A", "C"), srows)
+        result = PartialLineageEvaluator(db).evaluate(safe_plan(q))
+        assert result.is_data_safe
+        assert result.boolean_probability() == pytest.approx(
+            oracle_probability(q, db)
+        )
+        if rrows and srows:
+            assert result.boolean_probability() == pytest.approx(
+                lifted_probability(q, db)
+            )

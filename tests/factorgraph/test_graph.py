@@ -1,0 +1,93 @@
+"""Tests for AND/OR factor graph construction (Section 4.3.2, Figure 1)."""
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.plan import left_deep_plan
+from repro.db import ProbabilisticDatabase
+from repro.factorgraph import build_factor_graph, network_to_graph
+from repro.query.parser import parse_query
+
+
+def example_3_6_db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    rows = {(i, j): 0.5 for i in (1, 2) for j in (1, 2)}
+    db.add_relation("R", ("A", "B"), dict(rows))
+    db.add_relation("S", ("B", "C"), dict(rows))
+    return db
+
+
+def test_figure_1_two_plans_two_graphs():
+    """The same query under two plans yields structurally different graphs —
+    [25] models plans, not queries."""
+    db = example_3_6_db()
+    q = parse_query("R(x,y), S(y,z)")
+    plan_a = left_deep_plan(q, ["R", "S"])  # π_∅(R ⋈ S)
+    from repro.core.plan import Join, Project, Scan
+    from repro.query.syntax import Variable
+
+    # π_∅(π_y R ⋈ π_y S): project each side to y first
+    plan_b = Project(
+        Join(
+            Project(Scan("R", q.atoms[0].terms), ("y",)),
+            Project(Scan("S", q.atoms[1].terms), ("y",)),
+            ("y",),
+        ),
+        (),
+    )
+    ga = build_factor_graph(plan_a, db)
+    gb = build_factor_graph(plan_b, db)
+    assert ga.graph.number_of_nodes() != gb.graph.number_of_nodes()
+    # plan A: 8 leaves + 8 join ANDs + 1 final OR
+    kinds_a = [d["kind"] for _, d in ga.graph.nodes(data=True)]
+    assert kinds_a.count("leaf") == 8
+    assert kinds_a.count("and") == 8
+    assert kinds_a.count("or") == 1
+    # plan B: 8 leaves + 2 projection ORs per side... (2 y-values each side)
+    kinds_b = [d["kind"] for _, d in gb.graph.nodes(data=True)]
+    assert kinds_b.count("leaf") == 8
+    assert kinds_b.count("or") == 2 + 2 + 1
+    assert kinds_b.count("and") == 2
+
+
+def test_factor_graph_respects_scan_constants():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A", "B"), {(1, 1): 0.5, (2, 1): 0.5})
+    q = parse_query("R(x, x)")
+    fg = build_factor_graph(left_deep_plan(q), db)
+    kinds = [d["kind"] for _, d in fg.graph.nodes(data=True)]
+    assert kinds.count("leaf") == 1  # only (1,1) matches R(x,x)
+
+
+def test_outputs_map():
+    db = example_3_6_db()
+    q = parse_query("q(x) :- R(x,y), S(y,z)")
+    fg = build_factor_graph(left_deep_plan(q, ["R", "S"]), db)
+    assert set(fg.outputs) == {(1,), (2,)}
+
+
+def test_proposition_4_3_network_smaller_than_factor_graph():
+    """G_n is a minor of G_f, so it can never have more nodes, and its
+    (heuristic) treewidth bound never exceeds G_f's."""
+    from repro.factorgraph.moralize import treewidth_bound
+
+    db = example_3_6_db()
+    q = parse_query("R(x,y), S(y,z)")
+    plan = left_deep_plan(q, ["R", "S"])
+    gf = build_factor_graph(plan, db)
+    result = PartialLineageEvaluator(db).evaluate(plan)
+    gn = network_to_graph(result.network)
+    assert gn.number_of_nodes() <= gf.graph.number_of_nodes()
+    assert treewidth_bound(gn) <= treewidth_bound(gf.undirected())
+
+
+def test_network_to_graph_excludes_epsilon_by_default():
+    from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    g = network_to_graph(net)
+    assert EPSILON not in g
+    assert x in g
+    g2 = network_to_graph(net, include_epsilon=True)
+    assert EPSILON in g2

@@ -1,0 +1,64 @@
+"""Tests for decomposition D(G) and moralisation M(G) (Figure 2)."""
+
+import networkx as nx
+import pytest
+
+from repro.factorgraph.moralize import decompose, moralize, treewidth_bound
+
+
+def star_gate(fan_in: int) -> nx.DiGraph:
+    """One gate with `fan_in` leaf parents — the Figure 2 shape."""
+    g = nx.DiGraph()
+    g.add_node("out", kind="or")
+    for i in range(fan_in):
+        g.add_node(i, kind="leaf", prob=0.5)
+        g.add_edge(i, "out")
+    return g
+
+
+def test_moralize_connects_coparents():
+    g = star_gate(4)
+    m = moralize(g)
+    # the 4 parents form a clique in M(G)
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert m.has_edge(i, j)
+    assert treewidth_bound(m) == 4
+
+
+def test_decompose_bounds_fan_in():
+    g = star_gate(6)
+    d = decompose(g)
+    assert max(d.in_degree(n) for n in d.nodes()) <= 2
+    # auxiliary chain adds fan_in - 2 nodes
+    assert d.number_of_nodes() == g.number_of_nodes() + 4
+    # decomposed-then-moralised width is constant (the point of D(G))
+    assert treewidth_bound(moralize(d)) == 2
+
+
+def test_decompose_keeps_small_gates():
+    g = star_gate(2)
+    d = decompose(g)
+    assert set(d.nodes()) == set(g.nodes())
+    assert set(d.edges()) == set(g.edges())
+
+
+def test_figure_2_inequality_chain():
+    """tw(G) ≤ tw(M(D(G))) ≤ tw(M(G)) on a star gate (Sec 4.3.2)."""
+    g = star_gate(8)
+    tw_g = treewidth_bound(g)
+    tw_mdg = treewidth_bound(moralize(decompose(g)))
+    tw_mg = treewidth_bound(moralize(g))
+    assert tw_g <= tw_mdg <= tw_mg
+    assert tw_mdg == 2  # safe-plan-style graphs have tw(M(D(G))) = 2
+    assert tw_mg == 8
+
+
+def test_decompose_preserves_leaf_attributes():
+    g = star_gate(5)
+    d = decompose(g)
+    assert d.nodes[0]["prob"] == 0.5
+    aux_kinds = {
+        d.nodes[n]["kind"] for n in d.nodes() if isinstance(n, tuple)
+    }
+    assert aux_kinds == {"or"}

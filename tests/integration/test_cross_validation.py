@@ -1,0 +1,133 @@
+"""Cross-validation: every evaluator in the library must agree.
+
+The methods compared, wherever applicable:
+
+* possible-worlds enumeration (ground truth, Definition 2.1);
+* partial-lineage evaluation, in-memory and SQLite-backed (the paper);
+* full lineage + exact DPLL (the MayBMS proxy);
+* read-once factorisation (when it applies);
+* lifted extensional inference (safe queries);
+* Karp-Luby sampling (statistically).
+"""
+
+import random
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.db import ProbabilisticDatabase
+from repro.lineage.dnf import lineage_of_query
+from repro.lineage.exact import dnf_probability
+from repro.lineage.readonce import read_once_probability
+from repro.lineage.sampling import karp_luby
+from repro.query.hierarchy import is_hierarchical
+from repro.query.parser import parse_query
+from repro.extensional import lifted_probability
+from repro.sqlbackend import SQLitePartialLineageEvaluator
+
+from tests.conftest import make_rst_database, oracle_probability
+
+QUERIES = [
+    ("R(x)", True),
+    ("R(x), S(x,y)", True),
+    ("S(x,y), T(y)", True),
+    ("R(x), T(y)", True),
+    ("R(x), S(x,y), T(y)", False),  # the #P-hard q_u
+    ("S(x,y)", True),
+]
+
+
+@pytest.mark.parametrize("text,safe", QUERIES)
+def test_all_methods_agree(text: str, safe: bool, rng):
+    q = parse_query(text)
+    for trial in range(12):
+        db = make_rst_database(rng)
+        expected = oracle_probability(q, db)
+
+        pl = PartialLineageEvaluator(db).evaluate_query(q)
+        assert pl.boolean_probability() == pytest.approx(expected), (text, trial)
+
+        sql_ev = SQLitePartialLineageEvaluator(db)
+        try:
+            sql = sql_ev.evaluate_query(q)
+            assert sql.boolean_probability() == pytest.approx(expected)
+        finally:
+            sql_ev.close()
+
+        f, probs = lineage_of_query(q, db)
+        assert dnf_probability(f, probs) == pytest.approx(expected)
+
+        ro = read_once_probability(f, probs)
+        if ro is not None:
+            assert ro == pytest.approx(expected)
+
+        if safe:
+            assert is_hierarchical(q)
+            assert lifted_probability(q, db) == pytest.approx(expected)
+
+
+def test_sampling_agrees_statistically(rng):
+    q = parse_query("R(x), S(x,y), T(y)")
+    db = make_rst_database(rng)
+    expected = oracle_probability(q, db)
+    f, probs = lineage_of_query(q, db)
+    if f.is_false:
+        pytest.skip("degenerate instance")
+    est = karp_luby(f, probs, 40000, random.Random(0))
+    assert est == pytest.approx(expected, abs=0.02)
+
+
+def test_workload_instances_cross_validate():
+    """Table 1 queries on generated micro-instances: partial lineage must
+    match full lineage per answer."""
+    from repro.workload.generator import WorkloadParams, generate_database
+    from repro.workload.queries import TABLE1_QUERIES
+    from repro.lineage.dnf import answer_lineages
+
+    db = generate_database(WorkloadParams(N=2, m=5, r_f=0.4, fanout=3, seed=7))
+    for bench in TABLE1_QUERIES.values():
+        pl = PartialLineageEvaluator(db).evaluate_query(
+            bench.query, list(bench.join_order)
+        )
+        answers = pl.answer_probabilities()
+        dnfs, probs = answer_lineages(bench.query, db)
+        assert set(answers) == set(dnfs), bench.name
+        for h, f in dnfs.items():
+            assert answers[h] == pytest.approx(dnf_probability(f, probs)), (
+                bench.name,
+                h,
+            )
+
+
+def test_conditioning_count_matches_symbolic_leaves(rng):
+    """Each conditioned ε-tuple creates exactly one network leaf; conditioned
+    symbolic tuples create And gates instead. Together they equal the
+    offending count."""
+    from repro.core.network import NodeKind
+
+    q = parse_query("R(x), S(x,y), T(y)")
+    for _ in range(15):
+        db = make_rst_database(rng)
+        result = PartialLineageEvaluator(db).evaluate_query(q, ["R", "S", "T"])
+        net = result.network
+        leaves = len(net.symbolic_leaves())
+        single_parent_ands = sum(
+            1
+            for v in net.nodes()
+            if net.kind(v) is NodeKind.AND and len(net.parents(v)) == 1
+        )
+        assert leaves + single_parent_ands == result.offending_count
+
+
+def test_order_invariance_of_final_probability(rng):
+    """Different join orders produce different plans and networks but the
+    same query probability."""
+    q = parse_query("R(x), S(x,y), T(y)")
+    orders = (["R", "S", "T"], ["T", "S", "R"], ["S", "R", "T"], ["S", "T", "R"])
+    for _ in range(10):
+        db = make_rst_database(rng)
+        values = [
+            PartialLineageEvaluator(db).evaluate_query(q, order).boolean_probability()
+            for order in orders
+        ]
+        assert values == pytest.approx([values[0]] * len(orders))

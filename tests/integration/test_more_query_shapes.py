@@ -1,0 +1,108 @@
+"""Oracle cross-validation on a wider range of query shapes.
+
+The core test suite focuses on the paper's running example; this module
+widens the query pool — longer chains, stars, constants, repeated variables,
+disconnected bodies — all checked against possible-worlds enumeration.
+"""
+
+import random
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.db import ProbabilisticDatabase, brute_force_probability
+from repro.lineage.dnf import lineage_of_query
+from repro.lineage.exact import dnf_probability
+from repro.query.grounding import world_satisfies
+from repro.query.parser import parse_query
+from repro.sqlbackend import SQLitePartialLineageEvaluator
+
+
+def make_wide_database(rng: random.Random) -> ProbabilisticDatabase:
+    """R(A), S(A,B), T(B), U(B,C), V(C) over tiny domains."""
+    db = ProbabilisticDatabase()
+    dom = range(rng.randint(1, 2))
+
+    def prob() -> float:
+        return 1.0 if rng.random() < 0.35 else rng.uniform(0.1, 0.9)
+
+    db.add_relation(
+        "R", ("A",), {(a,): prob() for a in dom if rng.random() < 0.8}
+    )
+    db.add_relation(
+        "S", ("A", "B"),
+        {(a, b): prob() for a in dom for b in dom if rng.random() < 0.7},
+    )
+    db.add_relation(
+        "T", ("B",), {(b,): prob() for b in dom if rng.random() < 0.8}
+    )
+    db.add_relation(
+        "U", ("B", "C"),
+        {(b, c): prob() for b in dom for c in dom if rng.random() < 0.7},
+    )
+    db.add_relation(
+        "V", ("C",), {(c,): prob() for c in dom if rng.random() < 0.8}
+    )
+    return db
+
+
+QUERIES = [
+    "R(x), S(x,y), U(y,z)",              # chain of 3, unsafe
+    "R(x), S(x,y), U(y,z), V(z)",        # chain of 4, unsafe
+    "S(x,y), T(y), U(y,z)",              # star on y
+    "R(x), S(x,y), T(y), U(y,z), V(z)",  # the full path
+    "S(x,y), U(y,x)",                    # cyclic variable pattern
+    "R(0), S(0,y), T(y)",                # constants
+    "S(x,x)",                            # repeated variable
+    "R(x), V(z)",                        # disconnected
+    "q(y) :- S(x,y), U(y,z)",            # headed
+]
+
+
+@pytest.mark.parametrize("text", QUERIES)
+def test_partial_lineage_matches_oracle(text, rng):
+    q = parse_query(text)
+    for trial in range(8):
+        db = make_wide_database(rng)
+        result = PartialLineageEvaluator(db).evaluate_query(q)
+        if q.is_boolean:
+            expected = brute_force_probability(
+                db, lambda w: world_satisfies(q, w)
+            )
+            assert result.boolean_probability() == pytest.approx(expected), (
+                text,
+                trial,
+            )
+        else:
+            from repro.db import brute_force_answer_probabilities
+            from repro.query.grounding import answers_in_world
+
+            expected = brute_force_answer_probabilities(
+                db, lambda w: answers_in_world(q, w)
+            )
+            answers = result.answer_probabilities()
+            assert set(answers) == set(expected)
+            for k in expected:
+                assert answers[k] == pytest.approx(expected[k]), (text, k)
+
+
+@pytest.mark.parametrize("text", QUERIES[:5])
+def test_sql_and_dpll_agree_on_wide_shapes(text, rng):
+    q = parse_query(text)
+    for _ in range(4):
+        db = make_wide_database(rng)
+        mem = PartialLineageEvaluator(db).evaluate_query(q)
+        ev = SQLitePartialLineageEvaluator(db)
+        try:
+            sql = ev.evaluate_query(q)
+            ma, sa = mem.answer_probabilities(), sql.answer_probabilities()
+            assert set(ma) == set(sa)
+            for k in ma:
+                assert sa[k] == pytest.approx(ma[k])
+        finally:
+            ev.close()
+        f, probs = lineage_of_query(q, db)
+        if q.is_boolean:
+            assert dnf_probability(f, probs) == pytest.approx(
+                mem.boolean_probability()
+            )

@@ -1,0 +1,82 @@
+"""Tests for lineage DNF construction (Definition 3.5, Example 3.6)."""
+
+import pytest
+
+from repro.db import ProbabilisticDatabase
+from repro.lineage.dnf import DNF, EventVar, answer_lineages, lineage_of_query
+from repro.query.parser import parse_query
+
+
+def example_3_6_db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    rows = {(i, j): 0.5 for i in (1, 2) for j in (1, 2)}
+    db.add_relation("R", ("A", "B"), dict(rows))
+    db.add_relation("S", ("B", "C"), dict(rows))
+    return db
+
+
+def test_example_3_6_lineage():
+    """q = R(x,y), S(y,z): lineage is the 8-clause DNF ∨ r_iy s_yk."""
+    db = example_3_6_db()
+    f, probs = lineage_of_query(parse_query("R(x,y), S(y,z)"), db)
+    assert len(f) == 8
+    assert len(f.variables()) == 8
+    expected = {
+        frozenset({EventVar("R", (i, j)), EventVar("S", (j, k))})
+        for i in (1, 2)
+        for j in (1, 2)
+        for k in (1, 2)
+    }
+    assert f.clauses == frozenset(expected)
+    assert all(p == 0.5 for p in probs.values())
+
+
+def test_constants_true_false():
+    f = DNF()
+    assert f.is_false and not f.is_true
+    t = DNF([frozenset()])
+    assert t.is_true
+    assert "false" in repr(f) and "true" in repr(t)
+
+
+def test_clause_dedup():
+    x = EventVar("R", (1,))
+    f = DNF([frozenset({x}), frozenset({x})])
+    assert len(f) == 1
+
+
+def test_evaluate():
+    x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    f = DNF([frozenset({x, y})])
+    assert f.evaluate({x: True, y: True})
+    assert not f.evaluate({x: True, y: False})
+    assert not f.evaluate({x: True})  # missing vars default to False
+
+
+def test_empty_lineage_for_unsatisfiable_query():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("S", ("A",), {(2,): 0.5})
+    f, probs = lineage_of_query(parse_query("R(x), S(x)"), db)
+    assert f.is_false
+    assert probs == {}
+
+
+def test_answer_lineages_partition_by_head():
+    db = ProbabilisticDatabase()
+    db.add_relation(
+        "S", ("H", "B"), {(1, 1): 0.5, (1, 2): 0.5, (2, 1): 0.25}
+    )
+    dnfs, probs = answer_lineages(parse_query("q(h) :- S(h,y)"), db)
+    assert set(dnfs) == {(1,), (2,)}
+    assert len(dnfs[(1,)]) == 2
+    assert len(dnfs[(2,)]) == 1
+    assert probs[EventVar("S", (2, 1))] == 0.25
+
+
+def test_lineage_includes_deterministic_tuples():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 1.0})
+    f, probs = lineage_of_query(parse_query("R(x)"), db)
+    assert len(f) == 1
+    assert probs[EventVar("R", (1,))] == 1.0

@@ -1,0 +1,97 @@
+"""Tests for the lineage event algebra (UCQs, conjunctions, conditionals)."""
+
+import pytest
+
+from repro.db import ProbabilisticDatabase, brute_force_probability
+from repro.errors import ProbabilityError
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.events import (
+    conditional_probability,
+    conjoin,
+    conjunction_probability,
+    disjoin,
+    ucq_probability,
+)
+from repro.query.grounding import world_satisfies
+from repro.query.parser import parse_query
+
+from tests.conftest import make_rst_database
+
+
+def v(i: int) -> EventVar:
+    return EventVar("R", (i,))
+
+
+def test_disjoin_conjoin_algebra():
+    f = DNF([{v(1)}])
+    g = DNF([{v(2)}])
+    assert len(disjoin(f, g)) == 2
+    assert conjoin(f, g).clauses == frozenset({frozenset({v(1), v(2)})})
+    assert conjoin(f, DNF()).is_false
+    assert conjoin(f, DNF([frozenset()])) == f
+    assert disjoin(DNF(), g) == g
+
+
+def test_ucq_with_shared_tuples(rng):
+    """Disjuncts sharing relations are correlated; the union of lineages
+    accounts for it exactly (checked against possible worlds)."""
+    q1 = parse_query("R(x), S(x,y)")
+    q2 = parse_query("S(x,y), T(y)")
+    for _ in range(12):
+        db = make_rst_database(rng)
+        got = ucq_probability([q1, q2], db)
+        expected = brute_force_probability(
+            db,
+            lambda w: world_satisfies(q1, w) or world_satisfies(q2, w),
+        )
+        assert got == pytest.approx(expected)
+
+
+def test_conjunction_with_shared_tuples(rng):
+    q1 = parse_query("R(x), S(x,y)")
+    q2 = parse_query("S(x,y), T(y)")
+    for _ in range(12):
+        db = make_rst_database(rng)
+        got = conjunction_probability([q1, q2], db)
+        expected = brute_force_probability(
+            db,
+            lambda w: world_satisfies(q1, w) and world_satisfies(q2, w),
+        )
+        assert got == pytest.approx(expected)
+
+
+def test_conditional_probability(rng):
+    q = parse_query("R(x), S(x,y), T(y)")
+    given = parse_query("T(y)")
+    checked = 0
+    for _ in range(15):
+        db = make_rst_database(rng)
+        p_given = brute_force_probability(
+            db, lambda w: world_satisfies(given, w)
+        )
+        if p_given == 0.0:
+            with pytest.raises(ProbabilityError):
+                conditional_probability(q, given, db)
+            continue
+        checked += 1
+        got = conditional_probability(q, given, db)
+        joint = brute_force_probability(
+            db,
+            lambda w: world_satisfies(q, w) and world_satisfies(given, w),
+        )
+        assert got == pytest.approx(joint / p_given)
+    assert checked > 5
+
+
+def test_union_bounds():
+    """Pr(q1 ∨ q2) between max and sum of the parts."""
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    db.add_relation("S", ("A",), {(1,): 0.5})
+    db.add_relation("T", ("A",), {(1,): 0.5})
+    q1, q2 = parse_query("R(x), T(x)"), parse_query("S(x), T(x)")
+    p1 = 0.25
+    union = ucq_probability([q1, q2], db)
+    assert max(p1, p1) - 1e-9 <= union <= 2 * p1 + 1e-9
+    # T is shared: Pr = Pr(T) (1 - (1-Pr R)(1-Pr S)) = .5 * .75
+    assert union == pytest.approx(0.375)

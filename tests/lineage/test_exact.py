@@ -1,0 +1,117 @@
+"""Tests for the exact DPLL DNF solver (the MayBMS proxy)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import DPLLStats, dnf_probability
+
+
+def brute_force_dnf(dnf: DNF, probs: dict[EventVar, float]) -> float:
+    variables = sorted(dnf.variables())
+    total = 0.0
+    for values in itertools.product((False, True), repeat=len(variables)):
+        world = dict(zip(variables, values))
+        weight = 1.0
+        for v, present in world.items():
+            weight *= probs[v] if present else 1 - probs[v]
+        if dnf.evaluate(world):
+            total += weight
+    return total
+
+
+def random_dnf(rng: random.Random, n_vars: int, n_clauses: int):
+    variables = [EventVar("R", (i,)) for i in range(n_vars)]
+    clauses = []
+    for _ in range(n_clauses):
+        size = rng.randint(1, min(3, n_vars))
+        clauses.append(frozenset(rng.sample(variables, size)))
+    probs = {
+        v: rng.choice([1.0, rng.uniform(0.05, 0.95)]) for v in variables
+    }
+    return DNF(clauses), probs
+
+
+def test_constants():
+    assert dnf_probability(DNF(), {}) == 0.0
+    assert dnf_probability(DNF([frozenset()]), {}) == 1.0
+
+
+def test_single_variable():
+    x = EventVar("R", (1,))
+    assert dnf_probability(DNF([{x}]), {x: 0.3}) == pytest.approx(0.3)
+
+
+def test_independent_or():
+    x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    f = DNF([{x}, {y}])
+    assert dnf_probability(f, {x: 0.5, y: 0.5}) == pytest.approx(0.75)
+
+
+def test_conjunction():
+    x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    f = DNF([{x, y}])
+    assert dnf_probability(f, {x: 0.5, y: 0.4}) == pytest.approx(0.2)
+
+
+def test_shared_variable_requires_shannon():
+    x, y, z = (EventVar("R", (i,)) for i in range(3))
+    f = DNF([{x, y}, {x, z}])
+    # Pr = p(x) (1 - (1-p(y))(1-p(z)))
+    assert dnf_probability(f, {x: 0.5, y: 0.5, z: 0.5}) == pytest.approx(
+        0.5 * 0.75
+    )
+
+
+def test_deterministic_variables_simplified():
+    x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    f = DNF([{x, y}])
+    assert dnf_probability(f, {x: 1.0, y: 0.4}) == pytest.approx(0.4)
+    # a clause of only deterministic variables makes the formula true
+    assert dnf_probability(DNF([{x}]), {x: 1.0}) == 1.0
+
+
+def test_zero_probability_variables_drop_clauses():
+    x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    f = DNF([{x}, {y}])
+    assert dnf_probability(f, {x: 0.0, y: 0.4}) == pytest.approx(0.4)
+    assert dnf_probability(DNF([{x}]), {x: 0.0}) == 0.0
+
+
+def test_matches_brute_force_randomized():
+    rng = random.Random(3)
+    for _ in range(60):
+        f, probs = random_dnf(rng, rng.randint(1, 8), rng.randint(1, 10))
+        assert dnf_probability(f, probs) == pytest.approx(
+            brute_force_dnf(f, probs)
+        )
+
+
+def test_stats_populated():
+    x, y, z = (EventVar("R", (i,)) for i in range(3))
+    f = DNF([{x, y}, {y, z}, {z, x}])
+    stats = DPLLStats()
+    dnf_probability(f, {x: 0.5, y: 0.5, z: 0.5}, stats=stats)
+    assert stats.calls > 0
+    assert stats.shannon_branches > 0
+
+
+def test_budget_guard():
+    # K_{n,n}-style lineage: x_i y_j for all i,j — exponential for DPLL.
+    xs = [EventVar("X", (i,)) for i in range(12)]
+    ys = [EventVar("Y", (j,)) for j in range(12)]
+    f = DNF([frozenset({x, y}) for x in xs for y in ys])
+    probs = {v: 0.5 for v in xs + ys}
+    with pytest.raises(InferenceError, match="budget"):
+        dnf_probability(f, probs, max_calls=50)
+
+
+def test_hard_bipartite_still_exact_with_budget():
+    xs = [EventVar("X", (i,)) for i in range(5)]
+    ys = [EventVar("Y", (j,)) for j in range(5)]
+    f = DNF([frozenset({x, y}) for x in xs for y in ys])
+    probs = {v: 0.5 for v in xs + ys}
+    assert dnf_probability(f, probs) == pytest.approx(brute_force_dnf(f, probs))

@@ -1,0 +1,136 @@
+"""Tests for OBDD compilation [17]."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+from repro.lineage.obdd import (
+    FALSE,
+    TRUE,
+    build_obdd,
+    default_variable_order,
+    obdd_probability,
+)
+
+from tests.lineage.test_exact import brute_force_dnf, random_dnf
+
+
+def v(i: int) -> EventVar:
+    return EventVar("R", (i,))
+
+
+def test_terminals():
+    assert build_obdd(DNF()).root == FALSE
+    assert build_obdd(DNF([frozenset()])).root == TRUE
+    assert build_obdd(DNF()).probability({}) == 0.0
+
+
+def test_single_variable():
+    d = build_obdd(DNF([{v(1)}]))
+    assert len(d) == 1
+    assert d.probability({v(1): 0.3}) == pytest.approx(0.3)
+    assert d.evaluate({v(1): True})
+    assert not d.evaluate({v(1): False})
+
+
+def test_disjunction_structure():
+    d = build_obdd(DNF([{v(1)}, {v(2)}]))
+    assert len(d) == 2
+    assert d.probability({v(1): 0.5, v(2): 0.5}) == pytest.approx(0.75)
+
+
+def test_reduction_merges_isomorphic_nodes():
+    # (x ∧ y) ∨ (x ∧ z) under order x,y,z: 3 nodes (x, then y, then z)
+    f = DNF([{v(1), v(2)}, {v(1), v(3)}])
+    d = build_obdd(f, order=[v(1), v(2), v(3)])
+    assert len(d) == 3
+
+
+def test_evaluate_matches_dnf_semantics():
+    rng = random.Random(3)
+    f, probs = random_dnf(rng, 5, 6)
+    d = build_obdd(f)
+    variables = sorted(f.variables())
+    for values in itertools.product((False, True), repeat=len(variables)):
+        world = dict(zip(variables, values))
+        assert d.evaluate(world) == f.evaluate(world)
+
+
+def test_probability_matches_dpll_randomized():
+    rng = random.Random(11)
+    for _ in range(30):
+        f, probs = random_dnf(rng, rng.randint(1, 7), rng.randint(1, 9))
+        assert obdd_probability(f, probs) == pytest.approx(
+            dnf_probability(f, probs)
+        )
+        assert obdd_probability(f, probs) == pytest.approx(
+            brute_force_dnf(f, probs)
+        )
+
+
+def test_probability_reusable_under_new_probs():
+    f = DNF([{v(1), v(2)}, {v(2), v(3)}])
+    d = build_obdd(f)
+    assert d.probability({v(1): 0.5, v(2): 0.5, v(3): 0.5}) == pytest.approx(
+        dnf_probability(f, {v(1): 0.5, v(2): 0.5, v(3): 0.5})
+    )
+    new_probs = {v(1): 0.9, v(2): 0.1, v(3): 0.4}
+    assert d.probability(new_probs) == pytest.approx(
+        dnf_probability(f, new_probs)
+    )
+
+
+def test_order_must_cover_variables():
+    with pytest.raises(ValueError, match="misses"):
+        build_obdd(DNF([{v(1), v(2)}]), order=[v(1)])
+
+
+def test_node_budget():
+    with pytest.raises(CapacityError, match="OBDD"):
+        build_obdd(DNF([{v(1)}, {v(2)}]), max_nodes=1)
+
+
+def test_order_sensitivity():
+    """The order matters: a grouped hierarchical order keeps R(x),S(x,y)
+    lineage linear, while separating the groups blows the width up."""
+    n = 10
+    rs = [EventVar("R", (a,)) for a in range(n)]
+    ss = [EventVar("S", (a, b)) for a in range(n) for b in range(2)]
+    f = DNF(
+        [frozenset({rs[a], EventVar("S", (a, b))}) for a in range(n) for b in range(2)]
+    )
+    grouped = [t for a in range(n) for t in (rs[a], ss[2 * a], ss[2 * a + 1])]
+    small = build_obdd(f, order=grouped)
+    assert len(small) <= 3 * n
+    separated = rs + ss  # all R first: width 2^n
+    with pytest.raises(CapacityError):
+        build_obdd(f, order=separated, max_nodes=200)
+
+
+def test_default_order_starts_at_most_frequent():
+    f = DNF([{v(1), v(2)}, {v(1), v(3)}, {v(1)}])
+    order = default_variable_order(f)
+    assert order[0] == v(1)
+
+
+def test_strictly_hierarchical_lineage_small_obdd():
+    """R(x), S(x,y) lineage compiles to a linear-size OBDD under the default
+    order — the [17] result our baseline relies on."""
+    from repro.db import ProbabilisticDatabase
+    from repro.lineage.dnf import lineage_of_query
+    from repro.query.parser import parse_query
+
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(a,): 0.5 for a in range(10)})
+    db.add_relation(
+        "S", ("A", "B"),
+        {(a, b): 0.5 for a in range(10) for b in range(3)},
+    )
+    f, probs = lineage_of_query(parse_query("R(x), S(x,y)"), db)
+    d = build_obdd(f)
+    assert len(d) <= 2 * len(f.variables())
+    assert d.probability(probs) == pytest.approx(dnf_probability(f, probs))

@@ -1,0 +1,105 @@
+"""Tests for read-once factorisation."""
+
+import random
+
+import pytest
+
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+from repro.lineage.readonce import (
+    AndNode,
+    OrNode,
+    VarLeaf,
+    read_once_probability,
+    read_once_tree,
+)
+
+
+def v(i: int) -> EventVar:
+    return EventVar("R", (i,))
+
+
+def test_single_clause_is_and():
+    tree = read_once_tree(DNF([{v(1), v(2)}]))
+    assert isinstance(tree, AndNode)
+    assert {leaf.var for leaf in tree.children} == {v(1), v(2)}
+
+
+def test_single_variable_is_leaf():
+    assert read_once_tree(DNF([{v(1)}])) == VarLeaf(v(1))
+
+
+def test_or_of_disjoint_clauses():
+    tree = read_once_tree(DNF([{v(1)}, {v(2)}]))
+    assert isinstance(tree, OrNode)
+
+
+def test_common_factor():
+    # x(y ∨ z)
+    tree = read_once_tree(DNF([{v(1), v(2)}, {v(1), v(3)}]))
+    assert tree is not None
+    probs = {v(i): 0.5 for i in (1, 2, 3)}
+    assert read_once_probability(
+        DNF([{v(1), v(2)}, {v(1), v(3)}]), probs
+    ) == pytest.approx(0.5 * 0.75)
+
+
+def test_cross_product_and_split():
+    # (x1 ∨ x2)(y1 ∨ y2) expands to 4 clauses
+    f = DNF([{v(1), v(3)}, {v(1), v(4)}, {v(2), v(3)}, {v(2), v(4)}])
+    tree = read_once_tree(f)
+    assert isinstance(tree, AndNode)
+    probs = {v(i): 0.5 for i in range(1, 5)}
+    assert read_once_probability(f, probs) == pytest.approx(0.75 * 0.75)
+
+
+def test_non_read_once_returns_none():
+    # xy ∨ yz ∨ zx : the triangle, the canonical non-read-once monotone DNF
+    f = DNF([{v(1), v(2)}, {v(2), v(3)}, {v(3), v(1)}])
+    assert read_once_tree(f) is None
+    assert read_once_probability(f, {v(i): 0.5 for i in (1, 2, 3)}) is None
+
+
+def test_path_query_lineage_not_read_once():
+    # x1 y1 ∨ x1 y2 ∨ x2 y2 : P4-like co-occurrence, not read-once
+    f = DNF([{v(1), v(3)}, {v(1), v(4)}, {v(2), v(4)}])
+    assert read_once_tree(f) is None
+
+
+def test_constants():
+    assert read_once_probability(DNF(), {}) == 0.0
+    assert read_once_probability(DNF([frozenset()]), {}) == 1.0
+    assert read_once_tree(DNF()) is None
+
+
+def test_matches_dpll_on_strictly_hierarchical_lineage():
+    """Strictly hierarchical queries (Thm 4.2) yield read-once lineage; both
+    engines must agree on it."""
+    from repro.db import ProbabilisticDatabase
+    from repro.lineage.dnf import lineage_of_query
+    from repro.query.parser import parse_query
+
+    rng = random.Random(9)
+    q = parse_query("R(x), S(x,y)")
+    for _ in range(20):
+        db = ProbabilisticDatabase()
+        db.add_relation(
+            "R", ("A",), {(a,): rng.uniform(0.1, 0.9) for a in range(3)}
+        )
+        db.add_relation(
+            "S",
+            ("A", "B"),
+            {
+                (a, b): rng.uniform(0.1, 0.9)
+                for a in range(3)
+                for b in range(3)
+                if rng.random() < 0.7
+            },
+        )
+        f, probs = lineage_of_query(q, db)
+        got = read_once_probability(f, probs)
+        if f.is_false:
+            assert got == 0.0
+            continue
+        assert got is not None, "strictly hierarchical lineage must factor"
+        assert got == pytest.approx(dnf_probability(f, probs))

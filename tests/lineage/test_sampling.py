@@ -1,0 +1,77 @@
+"""Statistical tests for the sampling estimators."""
+
+import random
+
+import pytest
+
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+from repro.lineage.sampling import karp_luby, naive_monte_carlo
+
+
+def v(i: int) -> EventVar:
+    return EventVar("R", (i,))
+
+
+@pytest.fixture
+def triangle():
+    f = DNF([{v(1), v(2)}, {v(2), v(3)}, {v(3), v(1)}])
+    probs = {v(i): 0.5 for i in (1, 2, 3)}
+    return f, probs, dnf_probability(f, probs)
+
+
+def test_naive_monte_carlo_converges(triangle):
+    f, probs, exact = triangle
+    est = naive_monte_carlo(f, probs, 40000, random.Random(1))
+    assert est == pytest.approx(exact, abs=0.02)
+
+
+def test_karp_luby_converges(triangle):
+    f, probs, exact = triangle
+    est = karp_luby(f, probs, 40000, random.Random(2))
+    assert est == pytest.approx(exact, abs=0.02)
+
+
+def test_karp_luby_small_probability():
+    """Karp-Luby stays accurate in relative terms when Pr is tiny; naive MC
+    with the same samples would mostly miss."""
+    f = DNF([{v(1), v(2)}])
+    probs = {v(1): 0.01, v(2): 0.01}
+    est = karp_luby(f, probs, 20000, random.Random(3))
+    assert est == pytest.approx(1e-4, rel=0.15)
+
+
+def test_constants():
+    assert naive_monte_carlo(DNF([frozenset()]), {}, 10) == 1.0
+    assert naive_monte_carlo(DNF(), {}, 10) == 0.0
+    assert karp_luby(DNF([frozenset()]), {}, 10) == 1.0
+    assert karp_luby(DNF(), {}, 10) == 0.0
+
+
+def test_positive_sample_counts_required():
+    with pytest.raises(ValueError):
+        naive_monte_carlo(DNF([{v(1)}]), {v(1): 0.5}, 0)
+    with pytest.raises(ValueError):
+        karp_luby(DNF([{v(1)}]), {v(1): 0.5}, -5)
+
+
+def test_estimators_reproducible_with_seed(triangle):
+    f, probs, _ = triangle
+    a = karp_luby(f, probs, 1000, random.Random(42))
+    b = karp_luby(f, probs, 1000, random.Random(42))
+    assert a == b
+
+
+def test_karp_luby_unbiasedness_randomized():
+    rng = random.Random(17)
+    for _ in range(5):
+        variables = [v(i) for i in range(5)]
+        clauses = [
+            frozenset(rng.sample(variables, rng.randint(1, 3)))
+            for _ in range(4)
+        ]
+        f = DNF(clauses)
+        probs = {x: rng.uniform(0.1, 0.9) for x in variables}
+        exact = dnf_probability(f, probs)
+        est = karp_luby(f, probs, 30000, rng)
+        assert est == pytest.approx(exact, abs=0.03)

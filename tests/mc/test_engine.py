@@ -1,0 +1,66 @@
+"""Tests for the MCDB-style world sampler."""
+
+import random
+
+import pytest
+
+from repro.bid import BIDDatabase
+from repro.db import ProbabilisticDatabase
+from repro.mc import mc_answer_probabilities, mc_query_probability, sample_world
+from repro.query.parser import parse_query
+
+from tests.conftest import make_rst_database, oracle_probability
+
+
+def test_sample_world_respects_certainty():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 1.0, (2,): 0.5})
+    rng = random.Random(0)
+    for _ in range(50):
+        world = sample_world(db, rng)
+        assert (1,) in world["R"]
+
+
+def test_mc_probability_converges(rng):
+    q = parse_query("R(x), S(x,y), T(y)")
+    db = make_rst_database(rng)
+    est = mc_query_probability(q, db, 30000, random.Random(1))
+    assert est == pytest.approx(oracle_probability(q, db), abs=0.02)
+
+
+def test_mc_answer_probabilities(rng):
+    from repro.core.executor import PartialLineageEvaluator
+
+    db = make_rst_database(rng)
+    q = parse_query("q(x) :- R(x), S(x,y)")
+    exact = PartialLineageEvaluator(db).evaluate_query(q).answer_probabilities()
+    est = mc_answer_probabilities(q, db, 30000, random.Random(2))
+    for row, p in exact.items():
+        assert est.get(row, 0.0) == pytest.approx(p, abs=0.02)
+
+
+def test_mc_on_bid_database():
+    db = BIDDatabase()
+    db.add_relation(
+        "L", ("P", "C"), ("P",),
+        {("ann", "paris"): 0.6, ("ann", "tokyo"): 0.4},
+    )
+    db.add_relation("C", ("C",), ("C",), {("paris",): 0.5})
+    rng = random.Random(3)
+    # block exclusivity holds in every sample
+    for _ in range(100):
+        world = sample_world(db, rng)
+        assert len(world["L"]) <= 1
+    q = parse_query("L(x,y), C(y)")
+    est = mc_query_probability(q, db, 30000, random.Random(4))
+    assert est == pytest.approx(0.3, abs=0.02)
+
+
+def test_sample_count_validation():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    q = parse_query("R(x)")
+    with pytest.raises(ValueError):
+        mc_query_probability(q, db, 0)
+    with pytest.raises(ValueError):
+        mc_answer_probabilities(q, db, -1)

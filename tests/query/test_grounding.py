@@ -1,0 +1,85 @@
+"""Tests for query grounding and world satisfaction."""
+
+import pytest
+
+from repro.query.grounding import (
+    active_domain,
+    all_groundings,
+    answers_in_world,
+    world_satisfies,
+)
+from repro.query.parser import parse_query
+from repro.query.syntax import Variable
+
+
+@pytest.fixture
+def world():
+    return {
+        "R": {(1,), (2,)},
+        "S": {(1, 1), (1, 2), (3, 1)},
+        "T": {(1,)},
+    }
+
+
+def test_world_satisfies(world):
+    assert world_satisfies(parse_query("R(x), S(x,y)"), world)
+    assert world_satisfies(parse_query("R(x), S(x,y), T(y)"), world)
+    assert not world_satisfies(parse_query("R(x), S(x,y), T(x)"), {
+        "R": {(2,)}, "S": {(2, 1)}, "T": {(1,)},
+    })
+
+
+def test_world_satisfies_empty_relation(world):
+    assert not world_satisfies(parse_query("R(x), S(x,y)"), {"R": set(), "S": world["S"]})
+
+
+def test_constants_in_atoms(world):
+    assert world_satisfies(parse_query("S(1, y)"), world)
+    assert not world_satisfies(parse_query("S(2, y)"), world)
+
+
+def test_repeated_variable(world):
+    # S(x, x) matches only (1, 1)
+    groundings = all_groundings(parse_query("S(x, x)"), world)
+    assert groundings == [{"S": (1, 1)}]
+
+
+def test_all_groundings_dedup(world):
+    q = parse_query("R(x), S(x,y)")
+    clauses = all_groundings(q, world)
+    assert {tuple(sorted(c.items())) for c in clauses} == {
+        (("R", (1,)), ("S", (1, 1))),
+        (("R", (1,)), ("S", (1, 2))),
+    }
+
+
+def test_answers_in_world(world):
+    q = parse_query("q(x) :- R(x), S(x,y)")
+    assert answers_in_world(q, world) == {(1,)}
+    boolean = parse_query("R(x), S(x,y)")
+    assert answers_in_world(boolean, world) == {()}
+
+
+def test_active_domain(world):
+    q = parse_query("R(x), S(x,y)")
+    assert active_domain(q, world, Variable("x")) == {1, 2, 3}
+    assert active_domain(q, world, Variable("y")) == {1, 2}
+
+
+def test_projection_dedup_of_identical_clauses():
+    # Two groundings that select the same tuples collapse to one clause.
+    world = {"R": {(1, 1), (1, 2)}, "S": {(1,)}}
+    q = parse_query("R(x,y), S(x)")
+    clauses = all_groundings(q, world)
+    assert len(clauses) == 2
+
+
+def test_groundings_with_initial_binding(world):
+    from repro.query.grounding import groundings
+    from repro.query.syntax import Variable
+
+    q = parse_query("R(x), S(x,y)")
+    bound = list(groundings(q, world, {Variable("x"): 1}))
+    assert all(b[Variable("x")] == 1 for b in bound)
+    assert {b[Variable("y")] for b in bound} == {1, 2}
+    assert list(groundings(q, world, {Variable("x"): 9})) == []

@@ -1,0 +1,69 @@
+"""Tests for the hierarchy (safety) analysis."""
+
+from repro.query.hierarchy import (
+    hierarchy_violations,
+    is_hierarchical,
+    is_strictly_hierarchical,
+    root_variables,
+)
+from repro.query.parser import parse_query
+from repro.query.syntax import Variable
+
+
+def test_classic_safe_queries():
+    assert is_hierarchical(parse_query("R(x)"))
+    assert is_hierarchical(parse_query("R(x), S(x,y)"))
+    assert is_hierarchical(parse_query("R(x,y), S(x,z)"))
+    assert is_hierarchical(parse_query("R(x), S(y)"))  # disconnected
+
+
+def test_classic_unsafe_query():
+    # q_u of Section 4.1, the running example — #P-hard.
+    q = parse_query("R(x), S(x,y), T(y)")
+    assert not is_hierarchical(q)
+    (violation,) = hierarchy_violations(q)
+    assert {v.name for v in violation} == {"x", "y"}
+
+
+def test_table1_queries_are_unsafe():
+    from repro.workload.queries import TABLE1_QUERIES
+
+    for bench in TABLE1_QUERIES.values():
+        assert not is_hierarchical(bench.query), bench.name
+
+
+def test_head_variables_treated_as_constants():
+    # Without the head, h would be a root variable making this hierarchical.
+    q = parse_query("q(h) :- R(h,x), S(h,x,y)")
+    assert is_hierarchical(q)
+    q2 = parse_query("q(h) :- R(h,x), S(h,x,y), R2(h,y)")
+    assert not is_hierarchical(q2)
+
+
+def test_strictly_hierarchical():
+    assert is_strictly_hierarchical(parse_query("R(x), S(x,y)"))
+    assert is_strictly_hierarchical(parse_query("R(x), S(x,y), U(x,y,z)"))
+    # Safe but not strictly hierarchical (Theorem 4.2's separating example).
+    assert not is_strictly_hierarchical(parse_query("R(x,y), S(x,z)"))
+    assert not is_strictly_hierarchical(parse_query("R(x), S(x,y), T(y)"))
+
+
+def test_strict_implies_hierarchical():
+    queries = [
+        "R(x)",
+        "R(x), S(x,y)",
+        "R(x), S(x,y), U(x,y,z)",
+        "R(x,y), S(x,z)",
+        "R(x), S(x,y), T(y)",
+        "R(x), S(y)",
+    ]
+    for text in queries:
+        q = parse_query(text)
+        if is_strictly_hierarchical(q):
+            assert is_hierarchical(q), text
+
+
+def test_root_variables():
+    q = parse_query("R(x), S(x,y)")
+    assert root_variables(q) == [Variable("x")]
+    assert root_variables(parse_query("R(x), S(x,y), T(y)")) == []

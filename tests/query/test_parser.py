@@ -1,0 +1,60 @@
+"""Tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.errors import QuerySemanticsError, QuerySyntaxError
+from repro.query.parser import parse_query
+from repro.query.syntax import Constant, Variable
+
+
+def test_headed_query():
+    q = parse_query("q(h) :- R1(h,x), S1(h,x,y), R2(h,y)")
+    assert q.name == "q"
+    assert q.head == (Variable("h"),)
+    assert [a.relation for a in q.atoms] == ["R1", "S1", "R2"]
+    assert not q.is_boolean
+
+
+def test_boolean_forms():
+    assert parse_query("q :- R(x)").is_boolean
+    assert parse_query("q() :- R(x)").is_boolean
+    assert parse_query("R(x), S(x,y)").is_boolean
+
+
+def test_constants():
+    q = parse_query("R(x, 3), S(x, 'abc'), T(x, 2.5)")
+    assert q.atoms[0].terms[1] == Constant(3)
+    assert q.atoms[1].terms[1] == Constant("abc")
+    assert q.atoms[2].terms[1] == Constant(2.5)
+
+
+def test_negative_numbers():
+    q = parse_query("R(x, -3)")
+    assert q.atoms[0].terms[1] == Constant(-3)
+
+
+def test_roundtrip_str():
+    text = "q(h) :- R1(h, x), S1(h, x, y), R2(h, y)"
+    assert str(parse_query(text)) == text
+
+
+def test_syntax_errors():
+    for bad in ("R(", "R(x))", "q(3) :- R(x)", "q(h) :-", ":- R(x)", "R(x) S(y)", "R(x,)"):
+        with pytest.raises((QuerySyntaxError, QuerySemanticsError)):
+            parse_query(bad)
+
+
+def test_self_join_rejected():
+    with pytest.raises(QuerySemanticsError, match="self-join"):
+        parse_query("R(x), R(y)")
+
+
+def test_unbound_head_variable_rejected():
+    with pytest.raises(QuerySemanticsError, match="head variable"):
+        parse_query("q(z) :- R(x)")
+
+
+def test_whitespace_insensitive():
+    a = parse_query("q(h):-R(h,x),S(h,x,y)")
+    b = parse_query("q( h )  :-  R( h , x ) , S( h , x , y )")
+    assert a == b

@@ -1,0 +1,75 @@
+"""Tests for query AST operations."""
+
+import pytest
+
+from repro.errors import QuerySemanticsError
+from repro.query.parser import parse_query
+from repro.query.syntax import Atom, ConjunctiveQuery, Constant, Variable
+
+
+def test_atom_variables_dedup_order():
+    a = Atom("R", (Variable("x"), Constant(1), Variable("y"), Variable("x")))
+    assert a.variables() == (Variable("x"), Variable("y"))
+    assert not a.is_ground()
+    assert Atom("R", (Constant(1),)).is_ground()
+
+
+def test_atom_substitute():
+    a = Atom("R", (Variable("x"), Variable("y")))
+    b = a.substitute({Variable("x"): 7})
+    assert b.terms == (Constant(7), Variable("y"))
+
+
+def test_query_variables_order():
+    q = parse_query("R(x,y), S(y,z)")
+    assert [v.name for v in q.variables()] == ["x", "y", "z"]
+
+
+def test_subgoals_of():
+    q = parse_query("R(x), S(x,y), T(y)")
+    assert q.subgoals_of(Variable("x")) == {"R", "S"}
+    assert q.subgoals_of(Variable("y")) == {"S", "T"}
+
+
+def test_existential_variables_exclude_head():
+    q = parse_query("q(h) :- R(h,x), S(h,x,y)")
+    assert [v.name for v in q.existential_variables()] == ["x", "y"]
+
+
+def test_substitute_drops_bound_head_vars():
+    q = parse_query("q(h) :- R(h,x), S(h,x)")
+    ground = q.substitute({Variable("h"): 1})
+    assert ground.is_boolean
+    assert ground.atoms[0].terms[0] == Constant(1)
+
+
+def test_connected_components():
+    q = parse_query("R(x), S(x,y), T(z), U(z,w)")
+    comps = q.connected_components()
+    names = sorted(tuple(sorted(a.relation for a in c.atoms)) for c in comps)
+    assert names == [("R", "S"), ("T", "U")]
+
+
+def test_connected_components_head_vars_do_not_connect():
+    q = parse_query("q(h) :- R(h,x), S(h,y)")
+    assert len(q.connected_components()) == 2
+
+
+def test_empty_body_rejected():
+    with pytest.raises(QuerySemanticsError):
+        ConjunctiveQuery(head=(), atoms=())
+
+
+def test_atom_for():
+    q = parse_query("R(x), S(x,y)")
+    assert q.atom_for("S").relation == "S"
+    with pytest.raises(QuerySemanticsError):
+        q.atom_for("Z")
+
+
+def test_boolean_view_idempotent():
+    q = parse_query("q(h) :- R(h,x)")
+    view = q.boolean_view()
+    assert view.is_boolean
+    assert view.boolean_view() is view  # already boolean: returns itself
+    assert view.atoms == q.atoms

@@ -1,0 +1,34 @@
+"""The generated API reference must match the committed copy."""
+
+import pathlib
+import sys
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs"
+
+
+def test_api_doc_is_current():
+    sys.path.insert(0, str(DOCS))
+    try:
+        import generate_api
+    finally:
+        sys.path.pop(0)
+    generated = generate_api.generate()
+    committed = (DOCS / "api.md").read_text()
+    assert generated == committed, (
+        "docs/api.md is stale — regenerate with `python docs/generate_api.py`"
+    )
+
+
+def test_api_doc_covers_key_symbols():
+    text = (DOCS / "api.md").read_text()
+    for symbol in (
+        "PartialLineageEvaluator",
+        "AndOrNetwork",
+        "PLRelation",
+        "pl_join",
+        "partial_lineage_dnf",
+        "dnf_probability",
+        "generate_database",
+        "bid_query_probability",
+    ):
+        assert symbol in text, symbol

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_database, main
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def csv_db(tmp_path):
+    (tmp_path / "R.csv").write_text("A,p\n1,0.5\n2,1.0\n")
+    (tmp_path / "S.csv").write_text("A,B,p\n1,x,0.5\n1,y,0.5\n2,x,0.9\n")
+    (tmp_path / "T.csv").write_text("B,p\nx,1.0\ny,0.8\n")
+    return tmp_path
+
+
+def test_load_database(csv_db):
+    db = load_database(str(csv_db))
+    assert sorted(db.names()) == ["R", "S", "T"]
+    assert db["R"].probability((1,)) == 0.5
+    assert db["S"].probability((1, "x")) == 0.5  # mixed int/str values
+    assert db["T"].probability(("y",)) == 0.8
+
+
+def test_load_database_errors(tmp_path):
+    with pytest.raises(ReproError, match="no .csv"):
+        load_database(str(tmp_path))
+    (tmp_path / "R.csv").write_text("A,B\n1,2\n")  # missing p column
+    with pytest.raises(ReproError, match="'p'"):
+        load_database(str(tmp_path))
+
+
+def test_query_command(csv_db, capsys):
+    code = main(["query", str(csv_db), "q(x) :- R(x), S(x,y), T(y)"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "answer" in out and "probability" in out
+    assert "offending" in out
+
+
+def test_query_command_boolean_and_order(csv_db, capsys):
+    code = main([
+        "query", str(csv_db), "R(x), S(x,y), T(y)", "--join-order", "T,S,R",
+    ])
+    assert code == 0
+    assert "()" in capsys.readouterr().out
+
+
+def test_query_command_optimize(csv_db, capsys):
+    code = main(["query", str(csv_db), "R(x), S(x,y), T(y)", "--optimize"])
+    assert code == 0
+    assert "optimised join order" in capsys.readouterr().out
+
+
+def test_analyze_command(capsys):
+    assert main(["analyze", "R(x), S(x,y)"]) == 0
+    out = capsys.readouterr().out
+    assert "hierarchical (safe):      True" in out
+    assert "safe plan" in out
+
+    assert main(["analyze", "R(x), S(x,y), T(y)"]) == 0
+    out = capsys.readouterr().out
+    assert "hierarchical (safe):      False" in out
+    assert "none" in out
+
+
+def test_workload_command(capsys):
+    code = main([
+        "workload", "P1", "--n", "2", "--m", "10", "--rf", "0.2",
+        "--baseline", "--sample",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "partial-lineage" in out
+    assert "full-lineage-dpll" in out
+    assert "karp-luby" in out
+
+
+def test_error_exit_code(tmp_path, capsys):
+    code = main(["query", str(tmp_path), "R(x)"])
+    assert code == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_workload_save(tmp_path, capsys):
+    target = tmp_path / "instance"
+    code = main([
+        "workload", "P1", "--n", "1", "--m", "6", "--save", str(target),
+    ])
+    assert code == 0
+    assert (target / "S1.csv").exists()
+    from repro.io import load_database
+
+    db = load_database(target)
+    assert len(db["S1"]) == 6
+
+
+def test_query_command_explain(csv_db, capsys):
+    code = main([
+        "query", str(csv_db), "R(x), S(x,y), T(y)", "--explain",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "⋈" in out and "scan" in out

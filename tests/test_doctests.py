@@ -1,0 +1,21 @@
+"""Run every module's doctests — the documented examples must stay true."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+@pytest.mark.parametrize("module_name", ["repro"] + MODULES)
+def test_doctests(module_name: str):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, raise_on_error=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,70 @@
+"""Tests for CSV persistence of probabilistic databases."""
+
+import pytest
+
+from repro.db import ProbabilisticDatabase
+from repro.errors import ReproError
+from repro.io import load_database, save_database
+
+
+@pytest.fixture
+def db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 1.0})
+    db.add_relation(
+        "S", ("A", "B"), {(1, "x"): 0.25, (2, "y z"): 0.125}
+    )
+    return db
+
+
+def test_round_trip(db, tmp_path):
+    save_database(db, tmp_path)
+    loaded = load_database(tmp_path)
+    assert sorted(loaded.names()) == sorted(db.names())
+    for rel in db:
+        assert dict(loaded[rel.name].items()) == dict(rel.items())
+        assert loaded[rel.name].schema == rel.schema
+
+
+def test_round_trip_preserves_float_probabilities(tmp_path):
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.1 + 0.2})  # 0.30000000000000004
+    save_database(db, tmp_path)
+    loaded = load_database(tmp_path)
+    assert loaded["R"].probability((1,)) == db["R"].probability((1,))
+
+
+def test_save_creates_directory(db, tmp_path):
+    target = tmp_path / "nested" / "dir"
+    save_database(db, target)
+    assert (target / "R.csv").exists()
+
+
+def test_workload_round_trip(tmp_path):
+    from repro.workload.generator import WorkloadParams, generate_database
+
+    db = generate_database(WorkloadParams(N=2, m=8, seed=3))
+    save_database(db, tmp_path)
+    loaded = load_database(tmp_path)
+    for rel in db:
+        assert dict(loaded[rel.name].items()) == dict(rel.items()), rel.name
+
+
+def test_load_errors(tmp_path):
+    with pytest.raises(ReproError, match="no .csv"):
+        load_database(tmp_path)
+    (tmp_path / "R.csv").write_text("A,B\n1,2\n")
+    with pytest.raises(ReproError, match="'p'"):
+        load_database(tmp_path)
+
+
+def test_loaded_database_evaluates(db, tmp_path):
+    from repro.core.executor import PartialLineageEvaluator
+    from repro.query.parser import parse_query
+
+    save_database(db, tmp_path)
+    loaded = load_database(tmp_path)
+    q = parse_query("R(x), S(x, y)")
+    a = PartialLineageEvaluator(db).evaluate_query(q).boolean_probability()
+    b = PartialLineageEvaluator(loaded).evaluate_query(q).boolean_probability()
+    assert a == pytest.approx(b)

@@ -1,0 +1,88 @@
+"""Tests for the Section 6.1 data generator."""
+
+import pytest
+
+from repro.workload.generator import WorkloadParams, generate_database
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        WorkloadParams(N=0)
+    with pytest.raises(ValueError):
+        WorkloadParams(fanout=1)
+    with pytest.raises(ValueError):
+        WorkloadParams(r_f=1.5)
+    with pytest.raises(ValueError):
+        WorkloadParams(r_d=-0.1)
+
+
+def test_tables_and_sizes():
+    params = WorkloadParams(N=3, m=20, seed=0)
+    db = generate_database(params)
+    assert sorted(db.names()) == [
+        "R1", "R2", "R3", "R4", "S1", "S2", "S3", "T1", "T2"
+    ]
+    # every relation has exactly N*m tuples (paper: "size of each relation
+    # is exactly N*m")
+    for name in db.names():
+        assert len(db[name]) == params.N * params.m, name
+
+
+def test_schemas():
+    db = generate_database(WorkloadParams(N=2, m=5))
+    assert db["R1"].schema.attributes == ("H", "A")
+    assert db["S1"].schema.attributes == ("H", "A", "B")
+    assert db["T1"].schema.attributes == ("H", "A", "B", "C")
+    assert db["T2"].schema.attributes == ("H", "A", "B", "C", "D")
+
+
+def test_deterministic_given_seed():
+    a = generate_database(WorkloadParams(N=2, m=10, seed=5))
+    b = generate_database(WorkloadParams(N=2, m=10, seed=5))
+    for name in a.names():
+        assert dict(a[name].items()) == dict(b[name].items())
+    c = generate_database(WorkloadParams(N=2, m=10, seed=6))
+    assert any(
+        dict(a[name].items()) != dict(c[name].items()) for name in a.names()
+    )
+
+
+def test_r_d_controls_determinism():
+    all_det = generate_database(WorkloadParams(N=2, m=30, r_d=0.0, seed=1))
+    assert all_det["R1"].deterministic_fraction() == 1.0
+    all_unc = generate_database(WorkloadParams(N=2, m=30, r_d=1.0, seed=1))
+    assert all_unc["R1"].deterministic_fraction() == 0.0
+    half = generate_database(WorkloadParams(N=2, m=200, r_d=0.5, seed=1))
+    assert 0.35 < half["R1"].deterministic_fraction() < 0.65
+
+
+def test_s_tables_always_uncertain():
+    db = generate_database(WorkloadParams(N=2, m=30, r_d=0.0, seed=2))
+    assert db["S1"].deterministic_fraction() == 0.0
+    assert db["T1"].deterministic_fraction() == 0.0
+
+
+def test_r_f_zero_satisfies_fd():
+    """With r_f = 0, S satisfies (H,A) -> B, so Table 1 plans are data safe."""
+    db = generate_database(WorkloadParams(N=2, m=30, r_f=0.0, seed=3))
+    for name in ("S1", "S2", "S3"):
+        assert db[name].satisfies_fd(("H", "A"), ("B",)), name
+
+
+def test_r_f_one_violates_fd():
+    db = generate_database(WorkloadParams(N=2, m=30, r_f=1.0, fanout=3, seed=4))
+    assert not db["S1"].satisfies_fd(("H", "A"), ("B",))
+
+
+def test_fd_violation_fraction_tracks_r_f():
+    params = WorkloadParams(N=1, m=400, r_f=0.3, fanout=2, seed=5)
+    db = generate_database(params)
+    groups = db["S1"].group_by(("H", "A"))
+    violating = sum(1 for rows in groups.values() if len(rows) > 1)
+    assert 0.15 < violating / len(groups) < 0.45
+
+
+def test_h_values_cover_domain():
+    db = generate_database(WorkloadParams(N=4, m=10, seed=6))
+    hs = {row[0] for row in db["S1"]}
+    assert hs == {0, 1, 2, 3}

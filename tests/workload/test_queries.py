@@ -1,0 +1,54 @@
+"""Tests for the Table 1 query definitions."""
+
+import pytest
+
+from repro.core.plan import left_deep_plan, plan_schema
+from repro.query.hierarchy import is_hierarchical
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import TABLE1_QUERIES, benchmark_query
+
+
+def test_table1_contents():
+    assert set(TABLE1_QUERIES) == {"P1", "P2", "P3", "S1", "S2", "S3"}
+    assert benchmark_query("P1").join_order == ("R1", "S1", "R2")
+    assert benchmark_query("S3").join_order == ("R1", "T2", "R2", "R3", "R4")
+    # P1 and S1 share the query (the paper's "P1/S1" row)
+    assert benchmark_query("P1").text == benchmark_query("S1").text
+
+
+def test_unknown_query_name():
+    with pytest.raises(KeyError, match="unknown benchmark query"):
+        benchmark_query("P9")
+
+
+def test_all_queries_parse_and_are_unsafe():
+    for bench in TABLE1_QUERIES.values():
+        q = bench.query
+        assert q.head and q.head[0].name == "h"
+        assert not is_hierarchical(q), bench.name
+
+
+def test_join_orders_match_query_relations():
+    for bench in TABLE1_QUERIES.values():
+        relations = {a.relation for a in bench.query.atoms}
+        assert set(bench.join_order) == relations, bench.name
+
+
+def test_plans_build_and_validate_against_generated_data():
+    db = generate_database(WorkloadParams(N=2, m=5, seed=0))
+    for bench in TABLE1_QUERIES.values():
+        plan = left_deep_plan(bench.query, list(bench.join_order))
+        assert plan_schema(plan, db) == ("h",), bench.name
+
+
+def test_queries_evaluate_on_small_instances():
+    from repro.core.executor import PartialLineageEvaluator
+
+    db = generate_database(WorkloadParams(N=2, m=4, r_f=0.3, seed=1))
+    for bench in TABLE1_QUERIES.values():
+        result = PartialLineageEvaluator(db).evaluate_query(
+            bench.query, list(bench.join_order)
+        )
+        answers = result.answer_probabilities()
+        assert set(answers) <= {(0,), (1,)}
+        assert all(0.0 <= p <= 1.0 + 1e-12 for p in answers.values()), bench.name
