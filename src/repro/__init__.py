@@ -83,6 +83,7 @@ from repro.extensional import lifted_answer_probabilities, lifted_probability, s
 from repro.lineage import (
     DNF,
     EventVar,
+    EventVarInterner,
     Interval,
     OBDD,
     answer_lineages,
@@ -95,6 +96,7 @@ from repro.lineage import (
     obdd_probability,
     read_once_probability,
 )
+from repro.perf import CacheStats, SubformulaCache
 from repro.query import (
     Atom,
     ConjunctiveQuery,
@@ -147,6 +149,7 @@ __all__ = [
     # intensional baselines
     "DNF",
     "EventVar",
+    "EventVarInterner",
     "lineage_of_query",
     "answer_lineages",
     "dnf_probability",
@@ -158,6 +161,9 @@ __all__ = [
     "obdd_probability",
     "Interval",
     "approximate_probability",
+    # performance infrastructure
+    "CacheStats",
+    "SubformulaCache",
     # statistics & optimiser
     "fanout_profile",
     "fd_violation_count",

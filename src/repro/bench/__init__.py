@@ -14,7 +14,7 @@ from repro.bench.harness import (
     run_partial_lineage_sqlite,
     run_sampling,
 )
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, write_json_report
 
 __all__ = [
     "MethodResult",
@@ -23,4 +23,5 @@ __all__ = [
     "run_full_lineage",
     "run_sampling",
     "format_table",
+    "write_json_report",
 ]

@@ -19,6 +19,7 @@ from repro.errors import InferenceError
 from repro.lineage.dnf import answer_lineages
 from repro.lineage.exact import DPLLStats, dnf_probability
 from repro.lineage.sampling import karp_luby
+from repro.perf.cache import SubformulaCache
 from repro.sqlbackend.executor import SQLitePartialLineageEvaluator
 from repro.workload.queries import BenchmarkQuery
 
@@ -38,7 +39,33 @@ class MethodResult:
     dpll_calls: int = 0
     #: True when the method hit its work budget and gave up.
     timed_out: bool = False
+    #: Sampling throughput (drawn samples per wall-clock second) — sampling
+    #: methods only.
+    samples_per_sec: float = 0.0
+    #: Shared-subformula cache hit-rate — cache-backed exact methods only.
+    cache_hit_rate: float | None = None
     extra: dict = field(default_factory=dict)
+
+    def work_counters(self) -> dict:
+        """The per-method counters, JSON-shaped (zero/None entries dropped)."""
+        counters: dict = {
+            "seconds": self.seconds,
+            "answers": len(self.answers),
+        }
+        if self.offending:
+            counters["offending"] = self.offending
+        if self.network_nodes:
+            counters["network_nodes"] = self.network_nodes
+        if self.dpll_calls:
+            counters["dpll_calls"] = self.dpll_calls
+        if self.samples_per_sec:
+            counters["samples_per_sec"] = self.samples_per_sec
+        if self.cache_hit_rate is not None:
+            counters["cache_hit_rate"] = self.cache_hit_rate
+        if self.timed_out:
+            counters["timed_out"] = True
+        counters.update(self.extra)
+        return counters
 
 
 def run_partial_lineage(
@@ -103,8 +130,14 @@ def run_full_lineage(
     db: ProbabilisticDatabase,
     bench: BenchmarkQuery,
     max_calls: int = 2_000_000,
+    cache: SubformulaCache | None = None,
 ) -> MethodResult:
-    """The MayBMS-style competitor: ground full lineage, solve each DNF exactly."""
+    """The MayBMS-style competitor: ground full lineage, solve each DNF exactly.
+
+    Passing a shared :class:`~repro.perf.SubformulaCache` lets the N
+    per-answer DPLL solves reuse each other's subformula probabilities; the
+    result then carries the cache's hit-rate and counters.
+    """
     start = time.perf_counter()
     dnfs, probs = answer_lineages(bench.query, db)
     answers: dict[Row, float] = {}
@@ -114,20 +147,24 @@ def run_full_lineage(
     for answer, dnf in dnfs.items():
         try:
             answers[answer] = dnf_probability(
-                dnf, probs, max_calls=max_calls, stats=stats
+                dnf, probs, max_calls=max_calls, stats=stats, cache=cache
             )
         except InferenceError:
             timed_out = True
             break
         calls += stats.calls
     seconds = time.perf_counter() - start
-    return MethodResult(
+    result = MethodResult(
         "full-lineage-dpll",
         answers,
         seconds,
         dpll_calls=calls,
         timed_out=timed_out,
     )
+    if cache is not None:
+        result.cache_hit_rate = cache.stats.hit_rate
+        result.extra["cache"] = cache.stats.as_dict()
+    return result
 
 
 def run_sampling(
@@ -135,16 +172,30 @@ def run_sampling(
     bench: BenchmarkQuery,
     samples: int = 5000,
     seed: int = 0,
+    method: str = "auto",
 ) -> MethodResult:
-    """Approximate baseline: Karp-Luby on the full lineage of every answer."""
+    """Approximate baseline: Karp-Luby on the full lineage of every answer.
+
+    *seed* always feeds a fresh generator, so benchmark runs never fall back
+    to an unseeded ``random.Random()``; *method* picks the vectorized or
+    scalar estimator (see :func:`repro.lineage.sampling.karp_luby`).
+    """
     rng = random.Random(seed)
     start = time.perf_counter()
     dnfs, probs = answer_lineages(bench.query, db)
     answers = {
-        answer: karp_luby(dnf, probs, samples, rng) for answer, dnf in dnfs.items()
+        answer: karp_luby(dnf, probs, samples, rng, method=method)
+        for answer, dnf in dnfs.items()
     }
     seconds = time.perf_counter() - start
-    return MethodResult("karp-luby", answers, seconds)
+    drawn = samples * len(dnfs)
+    return MethodResult(
+        "karp-luby",
+        answers,
+        seconds,
+        samples_per_sec=drawn / seconds if seconds > 0 else 0.0,
+        extra={"samples": samples, "method": method},
+    )
 
 
 def agreement(a: MethodResult, b: MethodResult, tolerance: float = 1e-6) -> bool:

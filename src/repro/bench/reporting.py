@@ -1,12 +1,16 @@
-"""Plain-text rendering of benchmark rows and series.
+"""Plain-text and JSON rendering of benchmark rows and series.
 
 The benchmark scripts print, for every figure of the paper, the same series
 the figure plots (method × parameter → seconds), as aligned text tables that
-land in ``bench_output.txt``.
+land in ``bench_output.txt``. Machine-readable trajectories (per-method work
+counters: samples/sec, cache hit-rates, speedups) are written as JSON via
+:func:`write_json_report` so successive PRs can be compared mechanically.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 from typing import Sequence
 
 
@@ -91,6 +95,31 @@ def ascii_chart(
                 f"{'█' * bar(y)}▏ {_fmt(y)}{unit}"
             )
     return "\n".join(lines)
+
+
+def write_json_report(path: str | pathlib.Path, payload: dict) -> pathlib.Path:
+    """Write a benchmark payload as stable, diff-friendly JSON.
+
+    Keys are sorted and floats pass through ``json`` untouched, so reruns
+    with identical numbers produce byte-identical files — the property the
+    ``BENCH_*.json`` trajectory files rely on.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> target = os.path.join(tempfile.mkdtemp(), "BENCH_demo.json")
+    >>> p = write_json_report(target, {"b": 1, "a": {"speedup": 12.5}})
+    >>> print(p.read_text(), end="")
+    {
+      "a": {
+        "speedup": 12.5
+      },
+      "b": 1
+    }
+    """
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def _fmt(value: object) -> str:

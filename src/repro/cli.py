@@ -1,16 +1,21 @@
 """Command-line interface.
 
-Three subcommands, mirroring how the paper's system is exercised:
+Four subcommands, mirroring how the paper's system is exercised:
 
 ``repro query``
     Evaluate a conjunctive query over a CSV-backed probabilistic database
     and print per-answer probabilities plus the data-safety report.
 ``repro workload``
     Generate a Section 6.1 benchmark instance and run a Table 1 query with
-    the competing methods, printing the comparison row.
+    the competing methods, printing the comparison row. ``--seed`` feeds
+    both the generator and every sampling estimator, so runs are
+    reproducible end to end.
 ``repro analyze``
     Static analysis of a query: hierarchy (safety), strict hierarchy
     (bounded lineage treewidth), and the safe plan if one exists.
+``repro bench``
+    The scalar-vs-vectorized sampling + DPLL-cache micro-benchmark;
+    writes the machine-readable ``BENCH_mc_dpll.json`` trajectory file.
 
 Database directory format: one ``<Relation>.csv`` per relation, first line a
 header of attribute names, a trailing ``p`` column with the tuple
@@ -109,7 +114,14 @@ def cmd_workload(args: argparse.Namespace) -> int:
     if args.baseline:
         methods.append(run_full_lineage)
     if args.sample:
-        methods.append(run_sampling)
+        # Reuse the workload seed so the sampler never falls back to an
+        # unseeded random.Random() — benchmark runs stay reproducible.
+        methods.append(
+            lambda db, bench: run_sampling(
+                db, bench, samples=args.samples, seed=args.seed,
+                method=args.mc_method,
+            )
+        )
     rows = []
     for method in methods:
         outcome = method(db, bench)
@@ -119,14 +131,29 @@ def cmd_workload(args: argparse.Namespace) -> int:
                 "dnf" if outcome.timed_out else f"{outcome.seconds:.4f}",
                 outcome.offending or "-",
                 len(outcome.answers),
+                f"{outcome.samples_per_sec:.0f}" if outcome.samples_per_sec else "-",
             )
         )
     print(format_table(
-        ("method", "seconds", "#offending", "#answers"),
+        ("method", "seconds", "#offending", "#answers", "samples/s"),
         rows,
         title=f"query {args.query}: {bench.text}",
     ))
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import mc_dpll
+
+    argv = [
+        "--out", args.out,
+        "--samples", str(args.samples),
+        "--n", str(args.n),
+        "--m", str(args.m),
+        "--seed", str(args.seed),
+        "--query", args.query,
+    ]
+    return mc_dpll.main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -164,9 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the full-lineage DPLL competitor")
     w.add_argument("--sample", action="store_true",
                    help="also run Karp-Luby sampling")
+    w.add_argument("--samples", type=int, default=5000,
+                   help="Monte-Carlo samples for --sample (default 5000)")
+    w.add_argument("--mc-method", default="auto",
+                   choices=("auto", "vectorized", "scalar"),
+                   help="sampling implementation for --sample")
     w.add_argument("--save", metavar="DIR",
                    help="persist the generated instance as CSV files")
     w.set_defaults(func=cmd_workload)
+
+    b = sub.add_parser(
+        "bench",
+        help="run the sampling/DPLL-cache micro-benchmark, write "
+             "BENCH_mc_dpll.json",
+    )
+    b.add_argument("--out", default="BENCH_mc_dpll.json")
+    b.add_argument("--samples", type=int, default=50_000)
+    b.add_argument("--n", type=int, default=2)
+    b.add_argument("--m", type=int, default=60)
+    b.add_argument("--seed", type=int, default=7)
+    b.add_argument("--query", default="P1", choices=sorted(TABLE1_QUERIES))
+    b.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -81,7 +81,10 @@ class EvaluationResult:
         return self.offending_count == 0
 
     def answer_probabilities(
-        self, engine: str = "auto", dpll_max_calls: int = 5_000_000
+        self,
+        engine: str = "auto",
+        dpll_max_calls: int = 5_000_000,
+        cache=None,
     ) -> dict[Row, float]:
         """Exact probability of each output tuple.
 
@@ -95,6 +98,11 @@ class EvaluationResult:
         ``"ve"``, ``"dpll"``, ``"tree"`` (bottom-up propagation, rejects
         non-tree-factorable networks), or ``"junction"`` (one clique-tree
         calibration per component, all marginals shared).
+
+        *cache* is an optional shared :class:`~repro.perf.SubformulaCache`
+        for the DPLL paths: the per-answer marginal solves then reuse each
+        other's subformula probabilities, and the cache survives across
+        queries when the caller keeps it.
         """
         from repro.core.junction import all_marginals
         from repro.core.treeprop import is_tree_factorable, tree_marginals
@@ -113,7 +121,7 @@ class EvaluationResult:
             for l in nodes:
                 if l not in marginals:
                     marginals[l] = compute_marginal(
-                        self.network, l, engine, dpll_max_calls
+                        self.network, l, engine, dpll_max_calls, cache
                     )
         return {row: p * marginals[l] for row, l, p in rows}
 

@@ -271,7 +271,7 @@ def assignment_probability(
 
 
 def _dpll_marginal(
-    net: AndOrNetwork, node: int, max_calls: int = 5_000_000
+    net: AndOrNetwork, node: int, max_calls: int = 5_000_000, cache=None
 ) -> float:
     """``Pr(node=1)`` by compiling the partial-lineage DNF and running the
     exact DPLL solver — the structure-exploiting path for high-treewidth
@@ -281,7 +281,7 @@ def _dpll_marginal(
     from repro.lineage.exact import dnf_probability
 
     dnf, probs = partial_lineage_dnf(net, node)
-    return dnf_probability(dnf, probs, max_calls=max_calls)
+    return dnf_probability(dnf, probs, max_calls=max_calls, cache=cache)
 
 
 def compute_marginal(
@@ -289,6 +289,7 @@ def compute_marginal(
     node: int,
     engine: str = "auto",
     dpll_max_calls: int = 5_000_000,
+    cache=None,
 ) -> float:
     """``Pr(node = 1)`` exactly.
 
@@ -302,11 +303,15 @@ def compute_marginal(
       at most :data:`VE_WIDTH_LIMIT`, e.g. hash-collapsed tree networks),
       DPLL beyond; if DNF compilation itself is infeasible, fall back to
       variable elimination up to :data:`VE_WIDTH_HARD_LIMIT`.
+
+    *cache* is an optional shared :class:`~repro.perf.SubformulaCache` for
+    the DPLL path, letting repeated marginal computations (e.g. one per
+    answer tuple) reuse subformula probabilities across nodes.
     """
     if node == EPSILON:
         return 1.0
     if engine == "dpll":
-        return _dpll_marginal(net, node, dpll_max_calls)
+        return _dpll_marginal(net, node, dpll_max_calls, cache)
     if engine not in ("auto", "ve"):
         raise ValueError(f"unknown inference engine {engine!r}")
     relevant = net.ancestors([node])
@@ -314,7 +319,7 @@ def compute_marginal(
     factors = network_factors(net, relevant)
     if engine == "auto" and induced_width(factors, keep={node}) > VE_WIDTH_LIMIT:
         try:
-            return _dpll_marginal(net, node, dpll_max_calls)
+            return _dpll_marginal(net, node, dpll_max_calls, cache)
         except CapacityError:
             pass  # DNF blow-up: retry below with variable elimination
     reduced = [reduce_evidence(f, {node: 1}) for f in factors]
@@ -326,13 +331,16 @@ def compute_marginals(
     nodes: Iterable[int],
     engine: str = "auto",
     dpll_max_calls: int = 5_000_000,
+    cache=None,
 ) -> dict[int, float]:
     """Marginals ``Pr(v=1)`` for several nodes, sharing ancestor pruning.
 
     Each node's computation touches only its own ancestors, so disconnected
-    parts of the network (e.g. per-head-value components) never meet.
+    parts of the network (e.g. per-head-value components) never meet. A
+    shared *cache* (see :func:`compute_marginal`) lets the per-node DPLL
+    solves reuse each other's subformula results.
     """
     out: dict[int, float] = {}
     for v in dict.fromkeys(nodes):
-        out[v] = compute_marginal(net, v, engine, dpll_max_calls)
+        out[v] = compute_marginal(net, v, engine, dpll_max_calls, cache)
     return out

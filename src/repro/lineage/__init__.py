@@ -22,7 +22,13 @@ Modules
     Theorem 4.2.
 """
 
-from repro.lineage.dnf import DNF, EventVar, lineage_of_query, answer_lineages
+from repro.lineage.dnf import (
+    DNF,
+    EventVar,
+    EventVarInterner,
+    lineage_of_query,
+    answer_lineages,
+)
 from repro.lineage.exact import dnf_probability
 from repro.lineage.readonce import read_once_tree, read_once_probability
 from repro.lineage.approx_bounds import Interval, approximate_probability
@@ -39,6 +45,7 @@ from repro.lineage.treewidth import primal_graph, treewidth_exact, treewidth_upp
 
 __all__ = [
     "EventVar",
+    "EventVarInterner",
     "DNF",
     "lineage_of_query",
     "answer_lineages",

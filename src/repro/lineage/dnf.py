@@ -85,6 +85,72 @@ class DNF:
         return " ∨ ".join(f"({p})" for p in parts)
 
 
+class EventVarInterner:
+    """Hash-cons :class:`EventVar` objects to dense integer ids.
+
+    The inference and sampling engines all work over integer variable ids;
+    interning assigns each distinct variable one id (``0, 1, 2, ...`` in
+    first-seen order) and keeps the reverse table, so clause sets become
+    small ``frozenset[int]`` values that hash and compare fast and can index
+    straight into NumPy probability vectors or incidence matrices. One
+    interner can be shared across the per-answer lineages of a multi-answer
+    query, giving every engine the same id space.
+
+    Examples
+    --------
+    >>> pool = EventVarInterner()
+    >>> x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    >>> pool.intern(x), pool.intern(y), pool.intern(x)
+    (0, 1, 0)
+    >>> pool.var(1)
+    EventVar(relation='R', row=(2,))
+    >>> len(pool)
+    2
+    """
+
+    __slots__ = ("_ids", "_vars")
+
+    def __init__(self) -> None:
+        self._ids: dict[EventVar, int] = {}
+        self._vars: list[EventVar] = []
+
+    def __len__(self) -> int:
+        return len(self._vars)
+
+    def intern(self, var: EventVar) -> int:
+        """Dense id of *var*, assigning the next free id on first sight."""
+        ident = self._ids.get(var)
+        if ident is None:
+            ident = len(self._vars)
+            self._ids[var] = ident
+            self._vars.append(var)
+        return ident
+
+    def var(self, ident: int) -> EventVar:
+        """The variable behind a dense id."""
+        return self._vars[ident]
+
+    def id_of(self, var: EventVar) -> int:
+        """Id of an already-interned variable (``KeyError`` otherwise)."""
+        return self._ids[var]
+
+    def variables(self) -> tuple[EventVar, ...]:
+        """All interned variables, in id order."""
+        return tuple(self._vars)
+
+    def intern_clauses(self, dnf: "DNF") -> frozenset[frozenset[int]]:
+        """Clause set of *dnf* over dense integer ids."""
+        return frozenset(
+            frozenset(self.intern(v) for v in c) for c in dnf.clauses
+        )
+
+    def probability_vector(
+        self, probs: Mapping[EventVar, float]
+    ) -> list[float]:
+        """Per-id probabilities for every interned variable, in id order."""
+        return [float(probs[v]) for v in self._vars]
+
+
 def lineage_of_query(
     query: ConjunctiveQuery, db: ProbabilisticDatabase
 ) -> tuple[DNF, dict[EventVar, float]]:

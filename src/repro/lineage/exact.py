@@ -8,7 +8,11 @@ variable, with the standard optimisations that make it competitive —
   ``Pr(F1 ∨ F2) = 1 - (1 - Pr(F1)) (1 - Pr(F2))``;
 * **common-variable factoring**: a variable in every clause factors out,
   ``Pr(x ∧ F') = p(x) · Pr(F')``;
-* **memoisation** of sub-formula probabilities;
+* **memoisation** of sub-formula probabilities — per call by default, or
+  across calls through a shared :class:`~repro.perf.SubformulaCache` keyed
+  by rename-invariant canonical forms, so the N per-answer lineages of a
+  multi-answer query reuse each other's independent-partition and
+  Shannon-cofactor results;
 * deterministic variables (probability 1) simplified away up front.
 
 Worst-case exponential, as it must be (#P-hardness); on nearly-read-once
@@ -24,7 +28,8 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.errors import InferenceError
-from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.dnf import DNF, EventVar, EventVarInterner
+from repro.perf.cache import SubformulaCache, canonical_key
 
 #: Clauses over integer variable ids (internal representation).
 _Clauses = frozenset[frozenset[int]]
@@ -43,11 +48,21 @@ class DPLLStats:
 
 
 class _Solver:
-    def __init__(self, probs: list[float], max_calls: int) -> None:
+    def __init__(
+        self,
+        probs: list[float],
+        max_calls: int,
+        cache: SubformulaCache | None = None,
+    ) -> None:
         self.probs = probs
         self.memo: dict[_Clauses, float] = {}
         self.stats = DPLLStats()
         self.max_calls = max_calls
+        self.cache = cache
+        # Canonical keys are O(|F| log |F|) to build; remember them per
+        # identical clause set so repeats within this call pay only a dict
+        # lookup before hitting the shared cache.
+        self._keys: dict[_Clauses, tuple] = {}
 
     def probability(self, clauses: _Clauses) -> float:
         self.stats.calls += 1
@@ -60,6 +75,18 @@ class _Solver:
             return 0.0
         if frozenset() in clauses:
             return 1.0
+        if self.cache is not None:
+            key = self._keys.get(clauses)
+            if key is None:
+                key = canonical_key(clauses, self.probs)
+                self._keys[clauses] = key
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                return hit
+            result = self._components(clauses)
+            self.cache.put(key, result)
+            return result
         hit = self.memo.get(clauses)
         if hit is not None:
             self.stats.memo_hits += 1
@@ -146,6 +173,7 @@ def dnf_probability(
     *,
     max_calls: int = 5_000_000,
     stats: DPLLStats | None = None,
+    cache: SubformulaCache | None = None,
 ) -> float:
     """Exact probability of a positive DNF over independent variables.
 
@@ -162,6 +190,12 @@ def dnf_probability(
         paper's Fig. 6/7 "both systems fail" regime).
     stats:
         Optional accounting object, filled in place.
+    cache:
+        Optional shared :class:`~repro.perf.SubformulaCache`. When given, it
+        replaces the per-call memo: every solved subformula is stored under
+        a rename-invariant canonical key, so later calls (e.g. the other
+        answers of the same query) reuse the work. ``stats.memo_hits`` then
+        counts shared-cache hits.
 
     Examples
     --------
@@ -170,27 +204,42 @@ def dnf_probability(
     >>> f = DNF([frozenset([x]), frozenset([y])])
     >>> round(dnf_probability(f, {x: 0.5, y: 0.5}), 6)
     0.75
+
+    A shared cache turns the second, isomorphic solve into a lookup:
+
+    >>> from repro.perf import SubformulaCache
+    >>> shared = SubformulaCache()
+    >>> f2 = DNF([frozenset([x, y])])
+    >>> _ = dnf_probability(f2, {x: 0.3, y: 0.4}, cache=shared)
+    >>> z, w = EventVar("S", (1,)), EventVar("S", (2,))
+    >>> f3 = DNF([frozenset([z, w])])
+    >>> _ = dnf_probability(f3, {z: 0.3, w: 0.4}, cache=shared)
+    >>> shared.stats.hits >= 1
+    True
     """
     if dnf.is_true:
         return 1.0
     if dnf.is_false:
         return 0.0
-    variables = sorted(dnf.variables())
-    ids = {v: i for i, v in enumerate(variables)}
-    p = [float(probs[v]) for v in variables]
+    interner = EventVarInterner()
+    for v in sorted(dnf.variables()):
+        interner.intern(v)
+    p = interner.probability_vector(probs)
     clauses: set[frozenset[int]] = set()
     for clause in dnf.clauses:
-        if any(p[ids[v]] == 0.0 for v in clause):
+        if any(p[interner.id_of(v)] == 0.0 for v in clause):
             continue
-        reduced = frozenset(ids[v] for v in clause if p[ids[v]] < 1.0)
+        reduced = frozenset(
+            interner.id_of(v) for v in clause if p[interner.id_of(v)] < 1.0
+        )
         clauses.add(reduced)
     if frozenset() in clauses:
         return 1.0
     if not clauses:
         return 0.0
-    solver = _Solver(p, max_calls)
+    solver = _Solver(p, max_calls, cache)
     old_limit = sys.getrecursionlimit()
-    sys.setrecursionlimit(max(old_limit, 10_000 + 6 * len(variables)))
+    sys.setrecursionlimit(max(old_limit, 10_000 + 6 * len(interner)))
     try:
         result = solver.probability(frozenset(clauses))
     finally:

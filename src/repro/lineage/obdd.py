@@ -21,6 +21,7 @@ from typing import Mapping, Sequence
 
 from repro.errors import CapacityError
 from repro.lineage.dnf import DNF, EventVar
+from repro.perf.cache import SubformulaCache
 
 #: Terminal node ids.
 FALSE, TRUE = 0, 1
@@ -104,6 +105,8 @@ def build_obdd(
     dnf: DNF,
     order: Sequence[EventVar] | None = None,
     max_nodes: int = 200_000,
+    *,
+    cache: SubformulaCache | None = None,
 ) -> OBDD:
     """Compile a monotone DNF into a reduced OBDD.
 
@@ -116,6 +119,13 @@ def build_obdd(
         cover every variable of the formula.
     max_nodes:
         Construction budget; :class:`~repro.errors.CapacityError` beyond it.
+    cache:
+        Optional shared :class:`~repro.perf.SubformulaCache`. The compiled
+        node table depends only on the clause structure *over order
+        positions*, so two lineages that look the same once variables are
+        replaced by their positions (e.g. the per-answer lineages of a
+        Section 6.1 multi-answer query) share one compilation; a hit returns
+        a fresh :class:`OBDD` wrapping the cached nodes under the new order.
 
     Examples
     --------
@@ -134,6 +144,19 @@ def build_obdd(
     if missing:
         raise ValueError(f"order misses variables: {sorted(map(str, missing))}")
     position = {v: i for i, v in enumerate(order)}
+
+    structure_key = None
+    if cache is not None:
+        structure_key = (
+            "obdd",
+            frozenset(
+                frozenset(position[v] for v in c) for c in dnf.clauses
+            ),
+        )
+        hit = cache.get(structure_key)
+        if hit is not None:
+            nodes, root = hit
+            return OBDD(order=order, nodes=list(nodes), root=root)
 
     obdd = OBDD(order=order)
     unique: dict[tuple[int, int, int], int] = {}
@@ -185,6 +208,8 @@ def build_obdd(
         obdd.root = compile_clauses(dnf.clauses)
     finally:
         sys.setrecursionlimit(old_limit)
+    if cache is not None:
+        cache.put(structure_key, (tuple(obdd.nodes), obdd.root))
     return obdd
 
 
@@ -193,6 +218,8 @@ def obdd_probability(
     probs: Mapping[EventVar, float],
     order: Sequence[EventVar] | None = None,
     max_nodes: int = 200_000,
+    *,
+    cache: SubformulaCache | None = None,
 ) -> float:
     """Convenience: compile and evaluate in one call."""
-    return build_obdd(dnf, order, max_nodes).probability(probs)
+    return build_obdd(dnf, order, max_nodes, cache=cache).probability(probs)

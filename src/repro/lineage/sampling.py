@@ -10,32 +10,130 @@ Two estimators, used as approximate baselines (Section 7 mentions sampling
   that clause being true, and estimate the union via the first-satisfied-
   clause indicator. Relative-error guarantees independent of ``Pr(F)``.
 
-Both accept any random generator with ``random()`` (``random.Random`` or a
-seeded instance), keeping runs reproducible.
+Each estimator has two interchangeable implementations selected by the
+``method`` flag:
+
+* ``"vectorized"`` (the ``"auto"`` default) — worlds are drawn in NumPy
+  blocks: one ``(batch, n_vars)`` uniform matrix compared against the
+  probability vector, clause satisfaction decided by one matrix product
+  against the clause-incidence matrix, and Karp-Luby's first-satisfied-clause
+  check done with ``argmax`` over the ``(batch, n_clauses)`` boolean array.
+  One to two orders of magnitude faster than the loop at benchmark sample
+  counts.
+* ``"scalar"`` — the original pure-Python loop, kept as the readable
+  reference implementation the statistical tests cross-check against.
+
+Both paths are unbiased and statistically equivalent; they consume
+randomness differently, so estimates agree only within sampling tolerance.
+The scalar path accepts any generator with ``random()`` (``random.Random``
+or a seeded instance); the vectorized path accepts ``numpy.random.Generator``
+directly or derives one deterministically from the given ``random.Random``,
+keeping runs reproducible either way.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Mapping
+from bisect import bisect_left
+from typing import Iterator, Mapping
+
+import numpy as np
 
 from repro.errors import InferenceError
-from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.dnf import DNF, EventVar, EventVarInterner
+
+#: Soft cap on world-matrix cells per batch; batches shrink as formulas grow
+#: so peak memory stays flat while throughput stays matrix-shaped.
+_BATCH_CELL_BUDGET = 4_000_000
+
+_METHODS = ("auto", "vectorized", "scalar")
+
+
+def _check_method(method: str) -> bool:
+    """Validate *method*; True when the vectorized path should run."""
+    if method not in _METHODS:
+        raise ValueError(
+            f"unknown sampling method {method!r}; expected one of {_METHODS}"
+        )
+    return method != "scalar"
+
+
+def numpy_generator(
+    rng: random.Random | np.random.Generator | None,
+) -> np.random.Generator:
+    """A NumPy generator matching *rng*.
+
+    ``numpy.random.Generator`` instances pass through; a ``random.Random``
+    seeds a fresh generator from its stream (deterministic given the
+    Random's state); ``None`` gives an OS-seeded generator.
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        return np.random.default_rng()
+    return np.random.default_rng(rng.getrandbits(128))
+
+
+def _batches(samples: int, width: int, batch_size: int | None) -> Iterator[int]:
+    """Yield per-batch sample counts summing to *samples*."""
+    if batch_size is None:
+        batch_size = max(256, _BATCH_CELL_BUDGET // max(width, 1))
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    remaining = samples
+    while remaining > 0:
+        n = min(batch_size, remaining)
+        yield n
+        remaining -= n
+
+
+def _incidence(
+    clauses: list[frozenset[int]], n_vars: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clause-incidence matrix (float32 for the matmul) and clause sizes."""
+    inc = np.zeros((len(clauses), n_vars), dtype=np.float32)
+    for row, clause in enumerate(clauses):
+        inc[row, list(clause)] = 1.0
+    sizes = inc.sum(axis=1)
+    return inc, sizes
+
+
+def _interned(
+    dnf: DNF, probs: Mapping[EventVar, float]
+) -> tuple[list[frozenset[int]], np.ndarray]:
+    """Clauses over dense ids plus the id-indexed probability vector."""
+    interner = EventVarInterner()
+    for v in sorted(dnf.variables()):
+        interner.intern(v)
+    clauses = [
+        frozenset(interner.id_of(v) for v in c)
+        for c in sorted(dnf.clauses, key=lambda c: sorted(map(str, c)))
+    ]
+    p = np.asarray(interner.probability_vector(probs), dtype=np.float64)
+    return clauses, p
 
 
 def naive_monte_carlo(
     dnf: DNF,
     probs: Mapping[EventVar, float],
     samples: int,
-    rng: random.Random | None = None,
+    rng: random.Random | np.random.Generator | None = None,
+    *,
+    method: str = "auto",
+    batch_size: int | None = None,
 ) -> float:
     """Estimate ``Pr(dnf)`` by sampling *samples* independent worlds."""
     if samples <= 0:
         raise ValueError("samples must be positive")
+    vectorized = _check_method(method)
     if dnf.is_true:
         return 1.0
     if dnf.is_false:
         return 0.0
+    if vectorized:
+        return _naive_vectorized(dnf, probs, samples, rng, batch_size)
+    if isinstance(rng, np.random.Generator):
+        raise TypeError("the scalar path needs a random.Random generator")
     rng = rng or random.Random()
     variables = sorted(dnf.variables())
     clauses = [sorted(c) for c in dnf.clauses]
@@ -47,11 +145,32 @@ def naive_monte_carlo(
     return hits / samples
 
 
+def _naive_vectorized(
+    dnf: DNF,
+    probs: Mapping[EventVar, float],
+    samples: int,
+    rng: random.Random | np.random.Generator | None,
+    batch_size: int | None,
+) -> float:
+    clauses, p = _interned(dnf, probs)
+    inc, sizes = _incidence(clauses, p.size)
+    gen = numpy_generator(rng)
+    hits = 0
+    for n in _batches(samples, p.size, batch_size):
+        worlds = gen.random((n, p.size)) < p
+        satisfied_vars = worlds.astype(np.float32) @ inc.T
+        hits += int(np.any(satisfied_vars >= sizes, axis=1).sum())
+    return hits / samples
+
+
 def karp_luby(
     dnf: DNF,
     probs: Mapping[EventVar, float],
     samples: int,
-    rng: random.Random | None = None,
+    rng: random.Random | np.random.Generator | None = None,
+    *,
+    method: str = "auto",
+    batch_size: int | None = None,
 ) -> float:
     """Karp-Luby estimator for the probability of a DNF union.
 
@@ -63,16 +182,23 @@ def karp_luby(
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
+    vectorized = _check_method(method)
     if dnf.is_true:
         return 1.0
     if dnf.is_false:
         return 0.0
+    if vectorized:
+        return _karp_luby_vectorized(dnf, probs, samples, rng, batch_size)
+    if isinstance(rng, np.random.Generator):
+        raise TypeError("the scalar path needs a random.Random generator")
     rng = rng or random.Random()
     clauses = sorted(dnf.clauses, key=lambda c: sorted(map(str, c)))
     weights = []
     for c in clauses:
         w = 1.0
-        for v in c:
+        # Sorted so the rounding order (and hence the weight's last bits)
+        # does not depend on the process's hash seed.
+        for v in sorted(c):
             w *= probs[v]
         weights.append(w)
     total = sum(weights)
@@ -87,7 +213,7 @@ def karp_luby(
     hits = 0
     for _ in range(samples):
         r = rng.random() * total
-        index = _bisect(cumulative, r)
+        index = bisect_left(cumulative, r)
         chosen = clauses[index]
         world = {
             v: True if v in chosen else rng.random() < probs[v]
@@ -105,12 +231,44 @@ def karp_luby(
     return total * hits / samples
 
 
-def _bisect(cumulative: list[float], r: float) -> int:
-    lo, hi = 0, len(cumulative) - 1
-    while lo < hi:
-        mid = (lo + hi) // 2
-        if cumulative[mid] < r:
-            lo = mid + 1
-        else:
-            hi = mid
-    return lo
+def _karp_luby_vectorized(
+    dnf: DNF,
+    probs: Mapping[EventVar, float],
+    samples: int,
+    rng: random.Random | np.random.Generator | None,
+    batch_size: int | None,
+) -> float:
+    clauses, p = _interned(dnf, probs)
+    n_vars = p.size
+    inc, sizes = _incidence(clauses, n_vars)
+    weights = np.array(
+        [float(np.prod(p[list(c)])) for c in clauses], dtype=np.float64
+    )
+    cumulative = np.cumsum(weights)
+    total = float(cumulative[-1])
+    if total == 0.0:
+        return 0.0
+
+    # Ragged clause → padded index matrix; the pad column n_vars is a scratch
+    # variable so forcing it True is a no-op on the real world.
+    max_len = max(len(c) for c in clauses)
+    padded = np.full((len(clauses), max_len), n_vars, dtype=np.intp)
+    for row, clause in enumerate(clauses):
+        members = sorted(clause)
+        padded[row, : len(members)] = members
+    p_ext = np.append(p, 1.0)
+
+    gen = numpy_generator(rng)
+    hits = 0
+    for n in _batches(samples, n_vars, batch_size):
+        r = gen.random(n) * total
+        chosen = np.searchsorted(cumulative, r, side="left")
+        worlds = gen.random((n, n_vars + 1)) < p_ext
+        worlds[np.arange(n)[:, None], padded[chosen]] = True
+        satisfied_vars = worlds[:, :n_vars].astype(np.float32) @ inc.T
+        satisfied = satisfied_vars >= sizes
+        if not bool(satisfied[np.arange(n), chosen].all()):
+            raise InferenceError("sampled world does not satisfy its own clause")
+        first = np.argmax(satisfied, axis=1)
+        hits += int((first == chosen).sum())
+    return total * hits / samples

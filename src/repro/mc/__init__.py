@@ -12,10 +12,12 @@ from repro.mc.engine import (
     mc_answer_probabilities,
     mc_query_probability,
     sample_world,
+    sample_worlds,
 )
 
 __all__ = [
     "sample_world",
+    "sample_worlds",
     "mc_query_probability",
     "mc_answer_probabilities",
 ]

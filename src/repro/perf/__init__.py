@@ -1,0 +1,16 @@
+"""Performance infrastructure: cross-call caches and work counters.
+
+The inference engines each memoise within a single call; this package holds
+the state that is worth keeping *between* calls — most importantly the
+canonical-key subformula cache that lets the DPLL solver and the OBDD
+builder reuse results across the N per-answer lineages of a multi-answer
+query (Section 6.1's "N Boolean queries" view).
+"""
+
+from repro.perf.cache import CacheStats, SubformulaCache, canonical_key
+
+__all__ = [
+    "CacheStats",
+    "SubformulaCache",
+    "canonical_key",
+]

@@ -1,0 +1,143 @@
+"""Canonical-key subformula cache shared across inference calls.
+
+The DPLL solver (:func:`repro.lineage.exact.dnf_probability`) and the OBDD
+builder (:func:`repro.lineage.obdd.build_obdd`) both memoise per call, but a
+multi-answer query (the "N Boolean queries" view of Section 6.1) solves N
+structurally similar DNFs back to back and the per-call memos forget
+everything in between. :class:`SubformulaCache` is the cross-call store: a
+bounded LRU map from a *canonical* subformula key to its probability (or
+compiled OBDD structure), with hit/miss/eviction counters so benchmarks can
+report a hit-rate.
+
+Keys are made rename-invariant by :func:`canonical_key`: variables are
+relabelled ``0..k-1`` in a deterministic order, and the key records the full
+clause structure over the new labels together with the per-label probability
+vector. Two formulas mapping to the same key are therefore identical up to a
+probability-preserving renaming, so sharing the cached value is always sound
+— renaming hurts only the hit-rate, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+
+@dataclass
+class CacheStats:
+    """Counter triple for one :class:`SubformulaCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of :meth:`SubformulaCache.get` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / lookups``; 0.0 before the first lookup."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for JSON benchmark reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SubformulaCache:
+    """Bounded LRU cache keyed by canonical subformula descriptions.
+
+    Examples
+    --------
+    >>> cache = SubformulaCache(max_entries=2)
+    >>> cache.put("a", 0.5)
+    >>> cache.get("a")
+    0.5
+    >>> cache.get("b") is None
+    True
+    >>> cache.put("b", 0.25); cache.put("c", 0.75)   # evicts "a"
+    >>> cache.get("a") is None
+    True
+    >>> (cache.stats.hits, cache.stats.misses, cache.stats.evictions)
+    (1, 2, 1)
+    """
+
+    __slots__ = ("max_entries", "stats", "_entries")
+
+    def __init__(self, max_entries: int = 200_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """Cached value for *key*, or ``None``; counts the hit or miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert (or refresh) a binding, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+
+def canonical_key(
+    clauses: Iterable[frozenset[int]], probs: Sequence[float]
+) -> tuple:
+    """Rename-invariant key for a positive DNF over integer variable ids.
+
+    Variables are relabelled in ascending ``(probability, id)`` order; the key
+    is the sorted clause structure over the new labels plus the probability
+    vector. Equal keys imply equal probability (the key is a complete
+    description of the formula up to variable renaming), so a cache keyed this
+    way can never return a wrong answer — at worst a renaming that the
+    deterministic tie-break does not recognise costs a hit.
+
+    Examples
+    --------
+    >>> a = [frozenset({0, 1}), frozenset({1, 2})]
+    >>> b = [frozenset({5, 7}), frozenset({7, 9})]   # same shape, new names
+    >>> pa = [0.1, 0.2, 0.3]
+    >>> pb = {5: 0.1, 7: 0.2, 9: 0.3}
+    >>> canonical_key(a, pa) == canonical_key(b, pb)
+    True
+    >>> canonical_key(a, [0.1, 0.2, 0.4]) == canonical_key(a, pa)
+    False
+    """
+    variables = sorted({v for c in clauses for v in c})
+    prob_of = probs.__getitem__  # works for sequences and id-keyed mappings
+    ranked = sorted(variables, key=lambda v: (prob_of(v), v))
+    relabel = {v: i for i, v in enumerate(ranked)}
+    shape = tuple(
+        sorted(tuple(sorted(relabel[v] for v in c)) for c in clauses)
+    )
+    weights = tuple(prob_of(v) for v in ranked)
+    return (shape, weights)

@@ -1,0 +1,44 @@
+"""Smoke test for the mc_dpll benchmark runner (reduced sample counts)."""
+
+import json
+
+from repro.bench.mc_dpll import main, mc_tolerance, run_benchmark
+
+
+def test_run_benchmark_payload_shape():
+    payload = run_benchmark(samples=300, m=20, cache_queries=("P1", "P2"))
+    assert payload["benchmark"] == "mc_dpll"
+    sampling = payload["sampling"]
+    for section in ("karp_luby", "naive_monte_carlo", "mc_query_probability"):
+        assert sampling[section]["speedup"] > 0
+        assert sampling[section]["vectorized_samples_per_sec"] > 0
+    cache = payload["dpll_cache"]
+    assert set(cache["queries"]) == {"P1", "P2"}
+    assert cache["totals"]["misses"] > 0
+    for q in cache["queries"].values():
+        assert q["agrees_with_partial_lineage"]
+    acceptance = payload["acceptance"]
+    assert acceptance["dpll_cache_hit_rate_nonzero"] is True
+    assert acceptance["tolerance"] == mc_tolerance(300)
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_mc_dpll.json"
+    code = main(["--out", str(out), "--samples", "300", "--m", "20"])
+    assert out.exists()
+    payload = json.loads(out.read_text())
+    assert {"benchmark", "workload", "sampling", "dpll_cache",
+            "acceptance"} <= set(payload)
+    # The >=10x speedup flags are only meaningful at benchmark sample
+    # counts (fixed vectorization overhead dominates a 300-sample run),
+    # so only the count-independent acceptance entries are asserted here.
+    assert code in (0, 1)
+    acceptance = payload["acceptance"]
+    assert acceptance["methods_agree_within_tolerance"] is True
+    assert acceptance["dpll_cache_hit_rate_nonzero"] is True
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_tolerance_scales_inversely_with_sqrt_samples():
+    assert mc_tolerance(50_000) == 0.05
+    assert mc_tolerance(12_500) == 0.1

@@ -1,0 +1,101 @@
+"""Statistical agreement between the scalar and vectorized samplers.
+
+The two implementations consume randomness differently, so equality is
+tolerance-based: both must land near the exact DPLL answer on seeded small
+DNFs, and the vectorized path must be reproducible given a seed.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+from repro.lineage.sampling import karp_luby, naive_monte_carlo
+
+
+def v(i: int) -> EventVar:
+    return EventVar("R", (i,))
+
+
+@pytest.fixture
+def triangle():
+    f = DNF([{v(1), v(2)}, {v(2), v(3)}, {v(3), v(1)}])
+    probs = {v(i): 0.5 for i in (1, 2, 3)}
+    return f, probs, dnf_probability(f, probs)
+
+
+@pytest.mark.parametrize("estimator", [naive_monte_carlo, karp_luby])
+def test_scalar_and_vectorized_agree_on_triangle(triangle, estimator):
+    f, probs, exact = triangle
+    scalar = estimator(f, probs, 40000, random.Random(11), method="scalar")
+    vectorized = estimator(f, probs, 40000, random.Random(11),
+                           method="vectorized")
+    assert scalar == pytest.approx(exact, abs=0.02)
+    assert vectorized == pytest.approx(exact, abs=0.02)
+    assert vectorized == pytest.approx(scalar, abs=0.03)
+
+
+@pytest.mark.parametrize("estimator", [naive_monte_carlo, karp_luby])
+def test_scalar_and_vectorized_agree_on_random_dnfs(estimator):
+    rng = random.Random(23)
+    for _ in range(4):
+        variables = [v(i) for i in range(6)]
+        clauses = [
+            frozenset(rng.sample(variables, rng.randint(1, 3)))
+            for _ in range(5)
+        ]
+        f = DNF(clauses)
+        probs = {x: rng.uniform(0.1, 0.9) for x in variables}
+        exact = dnf_probability(f, probs)
+        est = estimator(f, probs, 30000, rng, method="vectorized")
+        assert est == pytest.approx(exact, abs=0.03)
+
+
+def test_vectorized_reproducible_with_seed(triangle):
+    f, probs, _ = triangle
+    a = karp_luby(f, probs, 5000, random.Random(42), method="vectorized")
+    b = karp_luby(f, probs, 5000, random.Random(42), method="vectorized")
+    assert a == b
+
+
+def test_vectorized_accepts_numpy_generator(triangle):
+    f, probs, exact = triangle
+    est = karp_luby(f, probs, 40000, np.random.default_rng(9))
+    assert est == pytest.approx(exact, abs=0.02)
+
+
+def test_vectorized_batching_splits_do_not_change_statistics(triangle):
+    f, probs, exact = triangle
+    est = naive_monte_carlo(f, probs, 30001, random.Random(4),
+                            method="vectorized", batch_size=1000)
+    assert est == pytest.approx(exact, abs=0.02)
+
+
+def test_karp_luby_vectorized_small_probability():
+    f = DNF([{v(1), v(2)}])
+    probs = {v(1): 0.01, v(2): 0.01}
+    est = karp_luby(f, probs, 20000, random.Random(3), method="vectorized")
+    assert est == pytest.approx(1e-4, rel=0.15)
+
+
+def test_vectorized_constants_and_validation():
+    assert karp_luby(DNF([frozenset()]), {}, 10, method="vectorized") == 1.0
+    assert karp_luby(DNF(), {}, 10, method="vectorized") == 0.0
+    assert naive_monte_carlo(DNF([frozenset()]), {}, 10,
+                             method="vectorized") == 1.0
+    with pytest.raises(ValueError):
+        naive_monte_carlo(DNF([{v(1)}]), {v(1): 0.5}, 10, method="bogus")
+    with pytest.raises(TypeError):
+        naive_monte_carlo(DNF([{v(1)}]), {v(1): 0.5}, 10,
+                          np.random.default_rng(0), method="scalar")
+
+
+def test_deterministic_variables_always_hold():
+    """Probability-1 variables must be true in every sampled world."""
+    f = DNF([{v(1), v(2)}])
+    probs = {v(1): 1.0, v(2): 0.5}
+    est = naive_monte_carlo(f, probs, 30000, random.Random(8),
+                            method="vectorized")
+    assert est == pytest.approx(0.5, abs=0.02)

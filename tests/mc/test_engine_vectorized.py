@@ -1,0 +1,116 @@
+"""Vectorized world sampling cross-checked against exact evaluation.
+
+Includes the exact-vs-MC cross-check on the Figure 4 walkthrough instance:
+the paper's running example database, whose Boolean probability the exact
+DPLL path computes, must be reproduced by both sampling implementations.
+"""
+
+import random
+
+import pytest
+
+from repro.bid import BIDDatabase
+from repro.db import ProbabilisticDatabase
+from repro.mc import (
+    mc_answer_probabilities,
+    mc_query_probability,
+    sample_world,
+    sample_worlds,
+)
+from repro.query.parser import parse_query
+
+from tests.conftest import make_rst_database, oracle_probability
+
+
+def fig4_database() -> ProbabilisticDatabase:
+    """The Figure 4 walkthrough instance (examples/walkthrough_fig4.py)."""
+    db = ProbabilisticDatabase()
+    db.add_relation(
+        "R", ("A",),
+        {("a1",): 0.5, ("a2",): 0.5, ("a3",): 0.3, ("a4",): 0.4},
+    )
+    db.add_relation(
+        "S", ("A", "B"),
+        {
+            ("a1", "b1"): 0.11, ("a1", "b2"): 0.12,
+            ("a2", "b1"): 0.13, ("a2", "b2"): 0.14,
+            ("a3", "b1"): 0.15, ("a4", "b1"): 0.16,
+        },
+    )
+    db.add_relation("T", ("B",), {("b1",): 0.2, ("b2",): 0.3})
+    return db
+
+
+def test_fig4_exact_vs_mc_cross_check():
+    db = fig4_database()
+    q = parse_query("R(x), S(x,y), T(y)")
+    exact = oracle_probability(q, db)
+    scalar = mc_query_probability(q, db, 50000, random.Random(1),
+                                  method="scalar")
+    vectorized = mc_query_probability(q, db, 50000, random.Random(1),
+                                      method="vectorized")
+    assert scalar == pytest.approx(exact, abs=0.01)
+    assert vectorized == pytest.approx(exact, abs=0.01)
+
+
+def test_fig4_answer_probabilities_vectorized():
+    from repro.core.executor import PartialLineageEvaluator
+
+    db = fig4_database()
+    q = parse_query("q(x) :- R(x), S(x,y), T(y)")
+    exact = PartialLineageEvaluator(db).evaluate_query(q).answer_probabilities()
+    est = mc_answer_probabilities(q, db, 60000, random.Random(2),
+                                  method="vectorized")
+    assert set(est) <= set(exact)
+    for row, p in exact.items():
+        assert est.get(row, 0.0) == pytest.approx(p, abs=0.01)
+
+
+def test_sample_worlds_matches_sample_world_distribution(rng):
+    db = make_rst_database(rng)
+    count = 20000
+    worlds = sample_worlds(db, count, random.Random(5))
+    assert len(worlds) == count
+    # Per-tuple frequencies track the marginal probabilities.
+    for rel in db:
+        for row, p in rel.items():
+            freq = sum(row in w[rel.name] for w in worlds) / count
+            assert freq == pytest.approx(p, abs=0.02)
+
+
+def test_sample_worlds_bid_block_exclusivity():
+    db = BIDDatabase()
+    db.add_relation(
+        "L", ("P", "C"), ("P",),
+        {("ann", "paris"): 0.6, ("ann", "tokyo"): 0.4},
+    )
+    worlds = sample_worlds(db, 5000, random.Random(6))
+    picks = {"paris": 0, "tokyo": 0}
+    for w in worlds:
+        assert len(w["L"]) <= 1
+        for row in w["L"]:
+            picks[row[1]] += 1
+    assert picks["paris"] / 5000 == pytest.approx(0.6, abs=0.02)
+    assert picks["tokyo"] / 5000 == pytest.approx(0.4, abs=0.02)
+
+
+def test_scalar_and_vectorized_query_probability_agree(rng):
+    q = parse_query("R(x), S(x,y), T(y)")
+    db = make_rst_database(rng)
+    exact = oracle_probability(q, db)
+    for method in ("scalar", "vectorized"):
+        est = mc_query_probability(q, db, 30000, random.Random(7),
+                                   method=method)
+        assert est == pytest.approx(exact, abs=0.02)
+
+
+def test_vectorized_method_rejected_on_bid():
+    db = BIDDatabase()
+    db.add_relation("C", ("C",), ("C",), {("paris",): 0.5})
+    q = parse_query("C(y)")
+    with pytest.raises(TypeError):
+        mc_query_probability(q, db, 100, random.Random(0),
+                             method="vectorized")
+    # auto silently falls back to the scalar sampler for BID databases
+    est = mc_query_probability(q, db, 30000, random.Random(8))
+    assert est == pytest.approx(0.5, abs=0.02)
