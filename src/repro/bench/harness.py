@@ -72,14 +72,16 @@ def run_partial_lineage(
     db: ProbabilisticDatabase,
     bench: BenchmarkQuery,
     max_calls: int = 2_000_000,
+    engine: str = "columnar",
 ) -> MethodResult:
     """This paper's method: pL evaluation + And-Or network inference.
 
     *max_calls* bounds the final-inference DPLL exactly like the competitor's
     budget in :func:`run_full_lineage`, keeping comparisons symmetric.
+    *engine* selects the operator backend (``"columnar"`` or ``"rows"``).
     """
     start = time.perf_counter()
-    result = PartialLineageEvaluator(db).evaluate_query(
+    result = PartialLineageEvaluator(db, engine=engine).evaluate_query(
         bench.query, list(bench.join_order)
     )
     try:

@@ -14,8 +14,14 @@ Four subcommands, mirroring how the paper's system is exercised:
     Static analysis of a query: hierarchy (safety), strict hierarchy
     (bounded lineage treewidth), and the safe plan if one exists.
 ``repro bench``
-    The scalar-vs-vectorized sampling + DPLL-cache micro-benchmark;
-    writes the machine-readable ``BENCH_mc_dpll.json`` trajectory file.
+    Machine-readable benchmarks. ``--suite mc_dpll`` (default) is the
+    scalar-vs-vectorized sampling + DPLL-cache micro-benchmark
+    (``BENCH_mc_dpll.json``); ``--suite columnar`` scales Fig. 5-style
+    workloads over instance size and compares the row and columnar
+    operator engines (``BENCH_columnar.json``).
+
+``query`` and ``workload`` accept ``--engine {columnar,rows}`` to pick the
+operator backend of the partial-lineage evaluator (columnar by default).
 
 Database directory format: one ``<Relation>.csv`` per relation, first line a
 header of attribute names, a trailing ``p`` column with the tuple
@@ -53,9 +59,9 @@ from repro.workload.queries import TABLE1_QUERIES, benchmark_query
 def cmd_query(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     query = parse_query(args.query)
-    evaluator = PartialLineageEvaluator(db)
+    evaluator = PartialLineageEvaluator(db, engine=args.engine)
     if args.optimize:
-        choice = choose_join_order(query, db)
+        choice = choose_join_order(query, db, engine=args.engine)
         order = list(choice.order)
         print(f"optimised join order: {' , '.join(order)} "
               f"({choice.offending} offending)")
@@ -110,7 +116,10 @@ def cmd_workload(args: argparse.Namespace) -> int:
     if args.save:
         save_database(db, args.save)
         print(f"saved the instance to {args.save}")
-    methods = [run_partial_lineage, run_partial_lineage_sqlite]
+    methods = [
+        lambda db, bench: run_partial_lineage(db, bench, engine=args.engine),
+        run_partial_lineage_sqlite,
+    ]
     if args.baseline:
         methods.append(run_full_lineage)
     if args.sample:
@@ -143,10 +152,22 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "columnar":
+        from repro.bench import columnar
+
+        out = args.out if args.out is not None else "BENCH_columnar.json"
+        argv = [
+            "--out", out,
+            "--n", str(args.n),
+            "--seed", str(args.seed),
+            "--sizes", *[str(m) for m in args.sizes],
+            "--min-speedup", str(args.min_speedup),
+        ]
+        return columnar.main(argv)
     from repro.bench import mc_dpll
 
     argv = [
-        "--out", args.out,
+        "--out", args.out if args.out is not None else "BENCH_mc_dpll.json",
         "--samples", str(args.samples),
         "--n", str(args.n),
         "--m", str(args.m),
@@ -173,6 +194,8 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--digits", type=int, default=6)
     q.add_argument("--explain", action="store_true",
                    help="print the annotated plan tree before evaluating")
+    q.add_argument("--engine", default="columnar", choices=("columnar", "rows"),
+                   help="operator backend for the pL evaluator")
     q.set_defaults(func=cmd_query)
 
     a = sub.add_parser("analyze", help="static safety analysis of a query")
@@ -198,19 +221,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampling implementation for --sample")
     w.add_argument("--save", metavar="DIR",
                    help="persist the generated instance as CSV files")
+    w.add_argument("--engine", default="columnar", choices=("columnar", "rows"),
+                   help="operator backend for the pL evaluator")
     w.set_defaults(func=cmd_workload)
 
     b = sub.add_parser(
         "bench",
-        help="run the sampling/DPLL-cache micro-benchmark, write "
-             "BENCH_mc_dpll.json",
+        help="run a machine-readable benchmark suite (mc_dpll or columnar)",
     )
-    b.add_argument("--out", default="BENCH_mc_dpll.json")
-    b.add_argument("--samples", type=int, default=50_000)
+    b.add_argument("--suite", default="mc_dpll", choices=("mc_dpll", "columnar"))
+    b.add_argument("--out", default=None,
+                   help="output JSON path (default BENCH_<suite>.json)")
+    b.add_argument("--samples", type=int, default=50_000,
+                   help="[mc_dpll] Monte-Carlo samples")
     b.add_argument("--n", type=int, default=2)
-    b.add_argument("--m", type=int, default=60)
+    b.add_argument("--m", type=int, default=60, help="[mc_dpll] instance size")
     b.add_argument("--seed", type=int, default=7)
-    b.add_argument("--query", default="P1", choices=sorted(TABLE1_QUERIES))
+    b.add_argument("--query", default="P1", choices=sorted(TABLE1_QUERIES),
+                   help="[mc_dpll] Table 1 query")
+    b.add_argument("--sizes", type=int, nargs="+",
+                   default=[200, 800, 3200],
+                   help="[columnar] instance sizes m to scale over")
+    b.add_argument("--min-speedup", type=float, default=10.0,
+                   help="[columnar] acceptance: columnar-over-rows speedup "
+                        "required on the largest instance")
     b.set_defaults(func=cmd_bench)
     return parser
 

@@ -12,6 +12,10 @@ Modules
     The mixed extensional/intensional operators of Section 5.3: selection,
     independent project, deduplication, conditioning, ``cSet``, and the
     pL-join.
+``columnar``
+    The vectorized columnar execution backend: dictionary-encoded pL-relation
+    columns and NumPy kernels for every operator, allocating the same network
+    nodes as the row engine.
 ``plan``
     Relational plan AST (Scan/Select/Project/Join) and the left-deep plan
     builder used for the Table 1 queries.
@@ -27,6 +31,7 @@ Modules
 
 from repro.core.network import AndOrNetwork, EPSILON, NodeKind
 from repro.core.plrelation import PLRelation
+from repro.core.columnar import ColumnarPLRelation, ValueInterner
 from repro.core.plan import Join, Project, Scan, Select, left_deep_plan, plan_schema
 from repro.core.executor import EvaluationResult, PartialLineageEvaluator
 from repro.core.inference import compute_marginal, compute_marginals
@@ -52,6 +57,8 @@ __all__ = [
     "NodeKind",
     "EPSILON",
     "PLRelation",
+    "ColumnarPLRelation",
+    "ValueInterner",
     "Scan",
     "Select",
     "Project",

@@ -1,0 +1,746 @@
+"""Columnar pL-relations: the vectorized execution backend (Section 5.3).
+
+The row-at-a-time operators in :mod:`repro.core.operators` walk Python dicts
+tuple by tuple, so on large instances the *extensional* arithmetic — the part
+the paper proves is linear-time — dominates wall-clock. This module stores a
+pL-relation column-wise and reimplements every operator as NumPy array
+kernels:
+
+* a ``float64`` probability column and an ``int64`` lineage-node column;
+* dictionary-encoded key columns: every attribute value is interned once in a
+  shared :class:`ValueInterner` and the relation stores only its ``int64``
+  code, so selections, join-key comparisons, and group-bys are integer
+  array operations;
+* ``select_eq`` is a boolean mask; ``independent_project`` groups by
+  (key, lineage) via ``np.unique`` and merges probabilities with a log-space
+  ``1 - Π(1-p)`` grouped reduction; ``deduplicate`` batches whole Or groups
+  into one :meth:`~repro.core.network.AndOrNetwork.add_gates` call; ``cset``
+  is an ``np.unique`` fanout count plus a ``p < 1`` mask; ``condition``
+  bulk-allocates leaves/gates; ``pl_join`` is a sort + ``searchsorted``
+  key join that splits numeric-multiply pairs from gate-needing pairs in one
+  vectorized pass.
+
+Every kernel preserves the row engine's *operation order* — first-occurrence
+group ordering, left-major/right-stable match ordering, row-order
+conditioning — so an evaluation through this backend allocates exactly the
+same network nodes (same ids, same structure) as the reference row engine,
+with probabilities agreeing to float round-off. ``tests/property`` checks
+this equivalence on random databases and plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.core.plrelation import PLRelation
+from repro.db.relation import ProbabilisticRelation
+from repro.db.schema import Row
+from repro.errors import CapacityError, SchemaError
+
+__all__ = [
+    "ValueInterner",
+    "ColumnarPLRelation",
+    "ColumnarProjected",
+    "from_base",
+    "select_eq",
+    "select_where",
+    "independent_project",
+    "deduplicate",
+    "project",
+    "condition",
+    "cset",
+    "cset_mask",
+    "pl_join_raw",
+    "pl_join",
+]
+
+
+class ValueInterner:
+    """Append-only dictionary encoding of attribute values.
+
+    Every distinct value (by ``==``/``hash``, exactly the row engine's tuple
+    equality) gets one non-negative ``int64`` code; all columnar relations of
+    one evaluation share a single interner, so codes are directly comparable
+    across relations and a join never has to look at the values themselves.
+    """
+
+    __slots__ = ("_codes", "_values")
+
+    def __init__(self) -> None:
+        self._codes: dict = {}
+        self._values: list = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def intern(self, value) -> int:
+        """Code of *value*, interning it first if unseen."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._values)
+            self._codes[value] = code
+            self._values.append(value)
+        return code
+
+    def code_of(self, value) -> int | None:
+        """Code of *value*, or ``None`` when it was never interned (in which
+        case no columnar relation anywhere contains it)."""
+        return self._codes.get(value)
+
+    def encode_column(self, values: Sequence) -> np.ndarray:
+        """Encode one column of values into an ``int64`` code array.
+
+        Numeric columns take a vectorized path: ``np.unique`` collapses the
+        column to its distinct values at C speed and only those few pass
+        through the Python-level intern dict. Everything else (strings, mixed
+        types) falls back to a plain loop.
+        """
+        n = len(values)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        arr = None
+        try:
+            arr = np.asarray(values)
+        except (ValueError, TypeError):  # ragged / unconvertible
+            arr = None
+        if arr is not None and arr.ndim == 1 and arr.dtype.kind in "iufb":
+            uniq, inv = np.unique(arr, return_inverse=True)
+            return self._intern_unique(uniq)[inv]
+        out = np.empty(n, dtype=np.int64)
+        codes = self._codes
+        vals = self._values
+        for i, v in enumerate(values):
+            c = codes.get(v)
+            if c is None:
+                c = len(vals)
+                codes[v] = c
+                vals.append(v)
+            out[i] = c
+        return out
+
+    def _intern_unique(self, uniq: np.ndarray) -> np.ndarray:
+        """Intern a small array of distinct values; returns their codes."""
+        codes = self._codes
+        vals = self._values
+        append = vals.append
+        out = np.empty(uniq.size, dtype=np.int64)
+        for i, v in enumerate(uniq.tolist()):
+            c = codes.get(v)
+            if c is None:
+                c = len(vals)
+                codes[v] = c
+                append(v)
+            out[i] = c
+        return out
+
+    def decode_column(self, codes: np.ndarray) -> list:
+        """Values behind a code array, as native Python objects."""
+        vals = self._values
+        return [vals[c] for c in codes.tolist()]
+
+
+#: Transient columnar representation between independent project and
+#: deduplication (the analogue of ``operators.ProjectedRows``): already
+#: merged by (projected key, lineage), in first-occurrence order.
+@dataclass
+class ColumnarProjected:
+    codes: np.ndarray  # (rows, len(attributes)) int64
+    lineage: np.ndarray  # (rows,) int64
+    probs: np.ndarray  # (rows,) float64
+
+
+class ColumnarPLRelation:
+    """A pL-relation stored column-wise over a shared And-Or network.
+
+    Semantically identical to :class:`~repro.core.plrelation.PLRelation`
+    (Definition 5.2); the representation differs: ``codes`` holds the
+    dictionary-encoded key columns as an ``(n, arity)`` ``int64`` matrix,
+    ``lineage`` the network node per row, ``probs`` the probability column.
+    Row order is insertion order, as in the row engine.
+    """
+
+    __slots__ = (
+        "attributes",
+        "network",
+        "interner",
+        "name",
+        "codes",
+        "lineage",
+        "probs",
+        "_positions",
+    )
+
+    def __init__(
+        self,
+        attributes: Iterable[str],
+        network: AndOrNetwork,
+        interner: ValueInterner,
+        codes: np.ndarray,
+        lineage: np.ndarray,
+        probs: np.ndarray,
+        name: str = "",
+    ) -> None:
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"duplicate attributes: {self.attributes}")
+        self.network = network
+        self.interner = interner
+        self.name = name
+        self.codes = codes
+        self.lineage = lineage
+        self.probs = probs
+        if codes.shape != (len(lineage), len(self.attributes)):
+            raise SchemaError(
+                f"code matrix {codes.shape} does not match "
+                f"{len(lineage)} rows x {len(self.attributes)} attributes"
+            )
+        self._positions = {a: i for i, a in enumerate(self.attributes)}
+
+    # ------------------------------------------------------------------ access
+    def __len__(self) -> int:
+        return len(self.lineage)
+
+    def index_of(self, attribute: str) -> int:
+        """Position of *attribute* in the schema."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"pL-relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from None
+
+    def rows(self) -> list[Row]:
+        """All rows (decoded), in insertion order."""
+        k = len(self.attributes)
+        if k == 0:
+            return [()] * len(self)
+        cols = [
+            self.interner.decode_column(self.codes[:, j]) for j in range(k)
+        ]
+        return list(zip(*cols))
+
+    def items(self) -> Iterator[tuple[Row, int, float]]:
+        """Iterate over ``(row, lineage, probability)`` triples (decoded)."""
+        lineage = self.lineage.tolist()
+        probs = self.probs.tolist()
+        for row, l, p in zip(self.rows(), lineage, probs):
+            yield row, l, p
+
+    def symbolic_rows(self) -> list[Row]:
+        """Rows whose lineage is not ε — the intensional part."""
+        idx = np.flatnonzero(self.lineage != EPSILON)
+        rows = self.rows()
+        return [rows[i] for i in idx.tolist()]
+
+    def is_purely_extensional(self) -> bool:
+        """True when every row has trivial lineage."""
+        return bool((self.lineage == EPSILON).all())
+
+    def to_rows(self) -> PLRelation:
+        """Convert to a row-engine :class:`PLRelation` (same network)."""
+        out = PLRelation(self.attributes, self.network, name=self.name)
+        for row, l, p in self.items():
+            out.add(row, l, p)
+        return out
+
+    def _take(
+        self, indices: np.ndarray, name: str, positions: Sequence[int] | None = None
+    ) -> "ColumnarPLRelation":
+        """Gather a row subset (and optionally a column subset) by index."""
+        codes = self.codes[indices]
+        attrs = self.attributes
+        if positions is not None:
+            codes = codes[:, positions]
+            attrs = tuple(self.attributes[j] for j in positions)
+        return ColumnarPLRelation(
+            attrs,
+            self.network,
+            self.interner,
+            codes,
+            self.lineage[indices],
+            self.probs[indices],
+            name=name,
+        )
+
+    def __repr__(self) -> str:
+        sym = int((self.lineage != EPSILON).sum())
+        return (
+            f"<ColumnarPLRelation {self.name!r}({', '.join(self.attributes)}) "
+            f"{len(self)} rows, {sym} symbolic>"
+        )
+
+
+# ----------------------------------------------------------------- construction
+def from_base(
+    relation: ProbabilisticRelation,
+    network: AndOrNetwork,
+    interner: ValueInterner,
+    attributes: Iterable[str] | None = None,
+) -> ColumnarPLRelation:
+    """Lift an independent relation column-wise: every tuple gets lineage ε."""
+    attrs = tuple(
+        attributes if attributes is not None else relation.schema.attributes
+    )
+    codes, probs = encode_base(relation, interner)
+    lineage = np.full(len(relation), EPSILON, dtype=np.int64)
+    return ColumnarPLRelation(
+        attrs, network, interner, codes, lineage, probs, name=relation.name
+    )
+
+
+def encode_base(
+    relation: ProbabilisticRelation, interner: ValueInterner
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dictionary-encode a base relation: ``(codes matrix, probability column)``.
+
+    Network-independent (base tuples all carry lineage ε), so the result can
+    be cached across evaluations sharing one interner.
+    """
+    n = len(relation)
+    k = relation.schema.arity
+    codes = np.empty((n, k), dtype=np.int64)
+    if not n:
+        return codes, np.empty(0, dtype=np.float64)
+    rows = relation.rows()
+    probs = np.fromiter(
+        (p for _, p in relation.items()), dtype=np.float64, count=n
+    )
+    # Homogeneous numeric relations convert to one (n, k) matrix at C speed,
+    # so per column only the distinct values touch the Python-level interner.
+    arr = None
+    if k:
+        try:
+            arr = np.asarray(rows)
+        except (ValueError, TypeError):
+            arr = None
+        if arr is not None and (
+            arr.shape != (n, k) or arr.dtype.kind not in "iufb"
+        ):
+            arr = None
+    if arr is not None:
+        for j in range(k):
+            uniq, inv = np.unique(arr[:, j], return_inverse=True)
+            codes[:, j] = interner._intern_unique(uniq)[inv]
+    else:
+        columns = list(zip(*rows))
+        for j in range(k):
+            codes[:, j] = interner.encode_column(columns[j])
+    return codes, probs
+
+
+def from_plrelation(
+    rel: PLRelation, interner: ValueInterner
+) -> ColumnarPLRelation:
+    """Columnar view of a row-engine pL-relation (shares its network)."""
+    n = len(rel)
+    k = len(rel.attributes)
+    codes = np.empty((n, k), dtype=np.int64)
+    lineage = np.empty(n, dtype=np.int64)
+    probs = np.empty(n, dtype=np.float64)
+    rows = rel.rows()
+    if n:
+        columns = list(zip(*rows)) if k else []
+        for j in range(k):
+            codes[:, j] = interner.encode_column(columns[j])
+        for i, row in enumerate(rows):
+            lineage[i] = rel.lineage(row)
+            probs[i] = rel.probability(row)
+    return ColumnarPLRelation(
+        rel.attributes, rel.network, interner, codes, lineage, probs,
+        name=rel.name,
+    )
+
+
+# ------------------------------------------------------------------- grouping
+def _fuse(n: int, cols: list[np.ndarray]) -> np.ndarray:
+    """Fuse non-negative code columns into one ``int64`` key per row.
+
+    Mixed-radix packing; columns fused together must come from one shared
+    code space (concatenate both sides of a join before fusing). Falls back
+    to densifying intermediate keys if the radix product approaches 2^62.
+    """
+    if not cols:
+        return np.zeros(n, dtype=np.int64)
+    out = cols[0].astype(np.int64, copy=True)
+    for c in cols[1:]:
+        radix = int(c.max()) + 1 if c.size else 1
+        hi = int(out.max()) if out.size else 0
+        if (hi + 1) * radix >= 2 ** 62:
+            _, out = np.unique(out, return_inverse=True)
+            hi = int(out.max()) if out.size else 0
+            if (hi + 1) * radix >= 2 ** 62:
+                raise CapacityError(
+                    "composite key space exceeds 62 bits even after "
+                    "densification"
+                )
+        out = out * radix + c
+    return out
+
+
+def _group_first_occurrence(
+    n: int, cols: list[np.ndarray]
+) -> tuple[np.ndarray, int, np.ndarray]:
+    """Group rows by the fused key, numbering groups in first-occurrence
+    order (the row engine's dict-insertion order).
+
+    Returns ``(group id per row, group count, first row index per group)``.
+    """
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0, np.empty(0, dtype=np.int64)
+    fused = _fuse(n, cols)
+    _, first, inverse = np.unique(
+        fused, return_index=True, return_inverse=True
+    )
+    order = np.argsort(first, kind="stable")
+    rank = np.empty(order.size, dtype=np.int64)
+    rank[order] = np.arange(order.size)
+    return rank[inverse], order.size, first[order]
+
+
+def _concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(start, start+count)`` blocks, vectorized."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    reps = np.repeat(starts, counts)
+    offs = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    return reps + offs
+
+
+# --------------------------------------------------------------------- select
+def select_eq(
+    rel: ColumnarPLRelation, conditions: Mapping[str, object]
+) -> ColumnarPLRelation:
+    """Vectorized ``σ_{A=a, ...}``: one boolean mask over the code columns."""
+    mask = np.ones(len(rel), dtype=bool)
+    for attr, value in conditions.items():
+        j = rel.index_of(attr)
+        code = rel.interner.code_of(value)
+        if code is None:
+            mask[:] = False
+            break
+        mask &= rel.codes[:, j] == code
+    return rel._take(np.flatnonzero(mask), name=f"σ({rel.name})")
+
+
+def select_where(rel: ColumnarPLRelation, predicate) -> ColumnarPLRelation:
+    """Selection with an arbitrary row predicate.
+
+    The predicate sees decoded Python rows, so this is the row fallback the
+    columnar engine uses for exotic predicates: decode once, evaluate per
+    row, then gather with one mask.
+    """
+    mask = np.fromiter(
+        (bool(predicate(row)) for row in rel.rows()),
+        dtype=bool,
+        count=len(rel),
+    )
+    return rel._take(np.flatnonzero(mask), name=f"σ({rel.name})")
+
+
+# -------------------------------------------------------------------- project
+def independent_project(
+    rel: ColumnarPLRelation, attributes: Sequence[str]
+) -> ColumnarProjected:
+    """Vectorized independent project (Sec 5.3.2): group by (key, lineage),
+    merge probabilities as ``1 - Π(1-p)`` via a log-space grouped reduction."""
+    positions = [rel.index_of(a) for a in attributes]
+    n = len(rel)
+    cols = [rel.codes[:, j] for j in positions] + [rel.lineage]
+    gid, groups, first = _group_first_occurrence(n, cols)
+    counts = np.bincount(gid, minlength=groups)
+    with np.errstate(divide="ignore"):
+        logs = np.log1p(-rel.probs)
+    sums = np.bincount(gid, weights=logs, minlength=groups)
+    probs = -np.expm1(sums)
+    # Singleton groups pass their probability through bit-exactly.
+    single = counts == 1
+    probs[single] = rel.probs[first[single]]
+    codes = rel.codes[first][:, positions] if positions else np.empty(
+        (groups, 0), dtype=np.int64
+    )
+    return ColumnarProjected(
+        codes=codes, lineage=rel.lineage[first], probs=probs
+    )
+
+
+def deduplicate(
+    rel: ColumnarPLRelation,
+    attributes: Sequence[str],
+    projected: ColumnarProjected,
+) -> ColumnarPLRelation:
+    """Vectorized deduplication (Sec 5.3.2): same-value groups become one row
+    through an Or node, with the whole batch of Or gates allocated in one
+    :meth:`~repro.core.network.AndOrNetwork.add_gates` call."""
+    net = rel.network
+    lineage, probs, codes = projected.lineage, projected.probs, projected.codes
+    n = len(lineage)
+    k = codes.shape[1]
+    cols = [codes[:, j] for j in range(k)]
+    gid, groups, first = _group_first_occurrence(n, cols)
+    counts = np.bincount(gid, minlength=groups)
+    out_lineage = np.empty(groups, dtype=np.int64)
+    out_probs = np.empty(groups, dtype=np.float64)
+    single = counts == 1
+    out_lineage[single] = lineage[first[single]]
+    out_probs[single] = probs[first[single]]
+    multi = np.flatnonzero(~single)
+    if multi.size:
+        order = np.argsort(gid, kind="stable")
+        sorted_gid = gid[order]
+        seg_starts = np.searchsorted(sorted_gid, multi)
+        seg_counts = counts[multi]
+        flat = order[_concat_ranges(seg_starts, seg_counts)]
+        offsets = np.zeros(multi.size + 1, dtype=np.int64)
+        np.cumsum(seg_counts, out=offsets[1:])
+        gates = net.add_gates(
+            NodeKind.OR, lineage[flat], probs[flat], offsets=offsets
+        )
+        out_lineage[multi] = gates
+        out_probs[multi] = 1.0
+    return ColumnarPLRelation(
+        tuple(attributes),
+        net,
+        rel.interner,
+        codes[first],
+        out_lineage,
+        out_probs,
+        name=f"π({rel.name})",
+    )
+
+
+def project(
+    rel: ColumnarPLRelation, attributes: Sequence[str]
+) -> ColumnarPLRelation:
+    """Full projection ``π_A``: independent project + deduplication."""
+    return deduplicate(rel, attributes, independent_project(rel, attributes))
+
+
+# ---------------------------------------------------------------- conditioning
+def _target_mask(rel: ColumnarPLRelation, rows: Iterable[Row]) -> np.ndarray:
+    """Boolean mask of the given rows; raises on rows absent from *rel*."""
+    targets = [tuple(r) for r in rows]
+    if not targets:
+        return np.zeros(len(rel), dtype=bool)
+    interner = rel.interner
+    k = len(rel.attributes)
+    keys = np.empty((len(targets), k), dtype=np.int64)
+    missing: list[Row] = []
+    for i, row in enumerate(targets):
+        if len(row) != k:
+            raise SchemaError(
+                f"row {row!r} has arity {len(row)}, expected {k}"
+            )
+        ok = True
+        for j, v in enumerate(row):
+            code = interner.code_of(v)
+            if code is None:
+                ok = False
+                break
+            keys[i, j] = code
+        if not ok:
+            missing.append(row)
+            keys[i, :] = -1
+    n = len(rel)
+    cols = [
+        np.concatenate([rel.codes[:, j], np.maximum(keys[:, j], 0)])
+        for j in range(k)
+    ]
+    fused = _fuse(n + len(targets), cols)
+    rel_keys, target_keys = fused[:n], fused[n:]
+    valid = (keys >= 0).all(axis=1) if k else np.ones(len(targets), dtype=bool)
+    present = np.isin(target_keys, rel_keys) & valid
+    if not present.all():
+        decoded = [targets[i] for i in np.flatnonzero(~present).tolist()]
+        raise SchemaError(
+            f"cannot condition on absent rows: {sorted(decoded)}"
+        )
+    return np.isin(rel_keys, target_keys[present])
+
+
+def condition(
+    rel: ColumnarPLRelation, rows, recorder=None
+) -> ColumnarPLRelation:
+    """Vectorized ``Cond`` (Sec 5.3.3).
+
+    *rows* is either a boolean mask over the relation or an iterable of row
+    tuples. Uncertain ε-rows get bulk-allocated leaves; uncertain rows that
+    already carry lineage get single-parent And gates — in row order, in runs,
+    so node ids match the row engine's one-at-a-time allocation exactly.
+    """
+    if isinstance(rows, np.ndarray) and rows.dtype == bool:
+        mask = rows
+    else:
+        mask = _target_mask(rel, rows)
+    net = rel.network
+    todo = np.flatnonzero(mask & (rel.probs < 1.0))
+    lineage = rel.lineage.copy()
+    probs = rel.probs.copy()
+    out = ColumnarPLRelation(
+        rel.attributes,
+        net,
+        rel.interner,
+        rel.codes,
+        lineage,
+        probs,
+        name=f"cond({rel.name})",
+    )
+    if todo.size == 0:
+        return out
+    is_eps = rel.lineage[todo] == EPSILON
+    new_nodes = np.empty(todo.size, dtype=np.int64)
+    # Allocate in row order, in maximal same-kind runs, to keep node ids
+    # identical to the scalar path's interleaved allocation.
+    boundaries = np.flatnonzero(is_eps[1:] != is_eps[:-1]) + 1
+    run_starts = np.concatenate([[0], boundaries, [todo.size]])
+    for s, e in zip(run_starts[:-1], run_starts[1:]):
+        seg = todo[s:e]
+        if is_eps[s]:
+            new_nodes[s:e] = net.add_leaves(rel.probs[seg])
+        else:
+            new_nodes[s:e] = net.add_gates(
+                NodeKind.AND,
+                rel.lineage[seg][:, None],
+                rel.probs[seg][:, None],
+            )
+    lineage[todo] = new_nodes
+    probs[todo] = 1.0
+    if recorder is not None:
+        all_rows = rel.rows()
+        for i, node in zip(todo.tolist(), new_nodes.tolist()):
+            recorder(node, rel.name, all_rows[i])
+    return out
+
+
+# ----------------------------------------------------------------------- join
+def _join_positions(
+    left: ColumnarPLRelation, right: ColumnarPLRelation, on: Sequence[str]
+) -> tuple[list[int], list[int], list[int]]:
+    lpos = [left.index_of(a) for a in on]
+    rpos = [right.index_of(a) for a in on]
+    keep = [i for i, a in enumerate(right.attributes) if a not in set(on)]
+    return lpos, rpos, keep
+
+
+def _joint_keys(
+    left: ColumnarPLRelation,
+    right: ColumnarPLRelation,
+    lpos: Sequence[int],
+    rpos: Sequence[int],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fuse both sides' join-key columns in one shared key space."""
+    nl, nr = len(left), len(right)
+    cols = [
+        np.concatenate([left.codes[:, lj], right.codes[:, rj]])
+        for lj, rj in zip(lpos, rpos)
+    ]
+    fused = _fuse(nl + nr, cols)
+    return fused[:nl], fused[nl:]
+
+
+def cset_mask(
+    left: ColumnarPLRelation, right: ColumnarPLRelation, on: Sequence[str]
+) -> np.ndarray:
+    """Boolean mask of *left*'s offending tuples (Definition 5.14):
+    uncertain and joining with more than one tuple of *right*."""
+    lpos, rpos, _ = _join_positions(left, right, on)
+    lkeys, rkeys = _joint_keys(left, right, lpos, rpos)
+    uniq, inverse = np.unique(
+        np.concatenate([lkeys, rkeys]), return_inverse=True
+    )
+    linv, rinv = inverse[: len(left)], inverse[len(left):]
+    fanout = np.bincount(rinv, minlength=uniq.size)
+    return (left.probs < 1.0) & (fanout[linv] > 1)
+
+
+def cset(
+    left: ColumnarPLRelation, right: ColumnarPLRelation, on: Sequence[str]
+) -> list[Row]:
+    """``cSet(left, right)`` as decoded rows (row-engine API parity)."""
+    mask = cset_mask(left, right, on)
+    rows = left.rows()
+    return [rows[i] for i in np.flatnonzero(mask).tolist()]
+
+
+def pl_join_raw(
+    left: ColumnarPLRelation, right: ColumnarPLRelation, on: Sequence[str]
+) -> ColumnarPLRelation:
+    """Vectorized ``⋈_pL`` (Definition 5.13), *without* conditioning.
+
+    A key-encoded sort/``searchsorted`` join yields match index pairs in the
+    row engine's order (left-major, right insertion order within a key);
+    one vectorized pass then splits pairs whose sides both carry lineage
+    (batched And gates) from pairs folded by numeric multiplication.
+    """
+    if left.network is not right.network:
+        raise SchemaError("pL-join requires both sides to share one network")
+    if left.interner is not right.interner:
+        raise SchemaError(
+            "columnar pL-join requires both sides to share one interner"
+        )
+    net = left.network
+    lpos, rpos, keep = _join_positions(left, right, on)
+    lkeys, rkeys = _joint_keys(left, right, lpos, rpos)
+    r_order = np.argsort(rkeys, kind="stable")
+    r_sorted = rkeys[r_order]
+    starts = np.searchsorted(r_sorted, lkeys, side="left")
+    ends = np.searchsorted(r_sorted, lkeys, side="right")
+    counts = ends - starts
+    li = np.repeat(np.arange(len(left), dtype=np.int64), counts)
+    ri = r_order[_concat_ranges(starts, counts)]
+
+    ll = left.lineage[li]
+    rl = right.lineage[ri]
+    lp = left.probs[li]
+    rp = right.probs[ri]
+    out_lineage = np.where(rl == EPSILON, ll, rl)
+    out_probs = lp * rp
+    both = np.flatnonzero((ll != EPSILON) & (rl != EPSILON))
+    if both.size:
+        parents = np.stack([ll[both], rl[both]], axis=1)
+        edge_probs = np.stack([lp[both], rp[both]], axis=1)
+        out_lineage[both] = net.add_gates(NodeKind.AND, parents, edge_probs)
+        out_probs[both] = 1.0
+
+    out_attrs = left.attributes + tuple(right.attributes[i] for i in keep)
+    left_codes = left.codes[li]
+    if keep:
+        out_codes = np.concatenate(
+            [left_codes, right.codes[ri][:, keep]], axis=1
+        )
+    elif left_codes.shape[1]:
+        out_codes = left_codes
+    else:
+        out_codes = np.empty((len(li), 0), dtype=np.int64)
+    return ColumnarPLRelation(
+        out_attrs,
+        net,
+        left.interner,
+        out_codes,
+        out_lineage,
+        out_probs,
+        name=f"({left.name}⋈{right.name})",
+    )
+
+
+def pl_join(
+    left: ColumnarPLRelation,
+    right: ColumnarPLRelation,
+    on: Sequence[str],
+    recorder=None,
+) -> tuple[ColumnarPLRelation, int]:
+    """Safe join (Theorem 5.16): condition both sides on their cSets, then
+    ``⋈_pL`` — all steps vectorized. Returns (joined, conditioned count)."""
+    lmask = cset_mask(left, right, on)
+    rmask = cset_mask(right, left, on)
+    left2 = condition(left, lmask, recorder) if lmask.any() else left
+    right2 = condition(right, rmask, recorder) if rmask.any() else right
+    joined = pl_join_raw(left2, right2, on)
+    return joined, int(lmask.sum()) + int(rmask.sum())

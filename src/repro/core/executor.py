@@ -23,8 +23,13 @@ sits in between.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core import columnar as _columnar
+from repro.core.columnar import ColumnarPLRelation, ValueInterner
 from repro.core.inference import compute_marginal
 from repro.core.network import EPSILON, AndOrNetwork
 from repro.core.operators import pl_join, project, select_eq
@@ -35,6 +40,9 @@ from repro.db.schema import Row
 from repro.errors import PlanError
 from repro.query.syntax import ConjunctiveQuery, Constant, Variable
 
+#: Engines the evaluator can run the operator pipeline with.
+ENGINES = ("columnar", "rows")
+
 
 @dataclass
 class OperatorStat:
@@ -43,6 +51,8 @@ class OperatorStat:
     operator: str
     output_size: int
     conditioned: int = 0
+    #: Wall-clock spent in this operator alone (children excluded).
+    seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -188,21 +198,53 @@ class PartialLineageEvaluator:
     0.375
     """
 
-    def __init__(self, db: ProbabilisticDatabase, *, hashing: bool = True) -> None:
+    def __init__(
+        self,
+        db: ProbabilisticDatabase,
+        *,
+        hashing: bool = True,
+        engine: str = "columnar",
+    ) -> None:
         self.db = db
         #: Pass-through to :class:`AndOrNetwork`: disable to ablate the
         #: Section 5.4 node-reuse optimisation.
         self.hashing = hashing
+        if engine not in ENGINES:
+            raise PlanError(
+                f"unknown evaluation engine {engine!r}; choose from {ENGINES}"
+            )
+        #: ``"columnar"`` (vectorized NumPy operator pipeline, the default) or
+        #: ``"rows"`` (the row-at-a-time reference implementation). Both grow
+        #: identical networks; only throughput differs.
+        self.engine = engine
+        # Shared dictionary encoding plus a per-base-relation encode cache for
+        # the columnar engine: scans of the same (unmodified) relation across
+        # evaluations — e.g. the optimizer costing many join orders — reuse
+        # the code matrix instead of re-interning every value.
+        self._interner = ValueInterner()
+        self._base_cache: dict = {}
 
     # ------------------------------------------------------------ entry points
     def evaluate(self, plan: Plan) -> EvaluationResult:
-        """Evaluate an explicit plan; validates its schema first."""
+        """Evaluate an explicit plan; validates its schema first.
+
+        Regardless of engine, the result's ``relation`` is a row-backed
+        :class:`PLRelation` (the columnar engine converts its final — small —
+        output), so downstream consumers see one representation.
+        """
         plan_schema(plan, self.db)
         network = AndOrNetwork(hashing=self.hashing)
         stats: list[OperatorStat] = []
         conditioned: list[OffendingTuple] = []
         rel = self._eval(plan, network, stats, conditioned)
+        if isinstance(rel, ColumnarPLRelation):
+            rel = rel.to_rows()
         return EvaluationResult(rel, network, stats, conditioned)
+
+    def invalidate_cache(self) -> None:
+        """Drop the columnar base-relation encode cache (call after mutating
+        a base relation in place)."""
+        self._base_cache.clear()
 
     def evaluate_query(
         self, query: ConjunctiveQuery, join_order: list[str] | None = None
@@ -218,17 +260,31 @@ class PartialLineageEvaluator:
         stats: list[OperatorStat],
         provenance: list[OffendingTuple],
     ) -> PLRelation:
+        # The operators dispatch on the relation type, so the recursion is
+        # engine-agnostic; only the scan differs. Each operator's own wall
+        # time (children excluded) lands in its OperatorStat.
         if isinstance(plan, Scan):
-            rel = self._scan(plan, network)
+            start = time.perf_counter()
+            rel = (
+                self._scan_columnar(plan, network)
+                if self.engine == "columnar"
+                else self._scan(plan, network)
+            )
+            seconds = time.perf_counter() - start
         elif isinstance(plan, Select):
             child = self._eval(plan.child, network, stats, provenance)
+            start = time.perf_counter()
             rel = select_eq(child, dict(plan.conditions))
+            seconds = time.perf_counter() - start
         elif isinstance(plan, Project):
             child = self._eval(plan.child, network, stats, provenance)
+            start = time.perf_counter()
             rel = project(child, plan.attributes)
+            seconds = time.perf_counter() - start
         elif isinstance(plan, Join):
             left = self._eval(plan.left, network, stats, provenance)
             right = self._eval(plan.right, network, stats, provenance)
+            start = time.perf_counter()
             rel, conditioned = pl_join(
                 left,
                 right,
@@ -238,13 +294,79 @@ class PartialLineageEvaluator:
                 ),
             )
             stats.append(
-                OperatorStat(str(plan), output_size=len(rel), conditioned=conditioned)
+                OperatorStat(
+                    str(plan),
+                    output_size=len(rel),
+                    conditioned=conditioned,
+                    seconds=time.perf_counter() - start,
+                )
             )
             return rel
         else:
             raise PlanError(f"unknown plan node {plan!r}")
-        stats.append(OperatorStat(str(plan), output_size=len(rel)))
+        stats.append(
+            OperatorStat(str(plan), output_size=len(rel), seconds=seconds)
+        )
         return rel
+
+    # ------------------------------------------------------------------ scans
+    def _base_arrays(self, name: str):
+        """Cached dictionary encoding of a base relation (columnar engine)."""
+        base = self.db[name]
+        key = (name, id(base), len(base))
+        hit = self._base_cache.get(key)
+        if hit is None:
+            hit = _columnar.encode_base(base, self._interner)
+            self._base_cache[key] = hit
+        return hit
+
+    def _scan_columnar(
+        self, scan: Scan, network: AndOrNetwork
+    ) -> ColumnarPLRelation:
+        base = self.db[scan.relation]
+        codes, probs = self._base_arrays(scan.relation)
+        lineage = np.full(len(base), EPSILON, dtype=np.int64)
+        if scan.terms is None:
+            return ColumnarPLRelation(
+                base.schema.attributes,
+                network,
+                self._interner,
+                codes,
+                lineage,
+                probs,
+                name=base.name,
+            )
+        if len(scan.terms) != base.schema.arity:
+            raise PlanError(
+                f"scan of {scan.relation}: {len(scan.terms)} terms for arity "
+                f"{base.schema.arity}"
+            )
+        mask = np.ones(len(base), dtype=bool)
+        var_first: dict[str, int] = {}
+        for i, t in enumerate(scan.terms):
+            if isinstance(t, Constant):
+                code = self._interner.code_of(t.value)
+                if code is None:
+                    mask[:] = False
+                else:
+                    mask &= codes[:, i] == code
+            elif t.name in var_first:
+                mask &= codes[:, i] == codes[:, var_first[t.name]]
+            else:
+                var_first[t.name] = i
+        idx = np.flatnonzero(mask)
+        positions = list(var_first.values())
+        return ColumnarPLRelation(
+            tuple(var_first),
+            network,
+            self._interner,
+            codes[idx][:, positions] if positions else np.empty(
+                (idx.size, 0), dtype=np.int64
+            ),
+            lineage[idx],
+            probs[idx],
+            name=str(scan),
+        )
 
     def _scan(self, scan: Scan, network: AndOrNetwork) -> PLRelation:
         base = self.db[scan.relation]

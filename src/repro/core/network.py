@@ -38,6 +38,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+import numpy as np
+
 from repro.errors import CapacityError, ProbabilityError
 
 
@@ -149,6 +151,127 @@ class AndOrNetwork:
         if memoisable:
             self._gate_memo[key] = node
         return node
+
+    # -------------------------------------------------------------- bulk growth
+    def add_leaves(self, probabilities) -> np.ndarray:
+        """Bulk :meth:`add_leaf`: append one fresh leaf per probability.
+
+        Validates the whole array at once and returns the new node ids as an
+        ``int64`` array. Like :meth:`add_leaf`, leaves are never memoised —
+        every entry denotes a fresh independent event.
+        """
+        probs = np.asarray(probabilities, dtype=np.float64)
+        if probs.ndim != 1:
+            raise ValueError(f"add_leaves expects a 1-D array, got {probs.shape}")
+        if probs.size and not ((probs >= 0.0) & (probs <= 1.0)).all():
+            bad = probs[(probs < 0.0) | (probs > 1.0)][0]
+            raise ProbabilityError(f"leaf probability {bad} outside [0, 1]")
+        start = len(self._nodes)
+        self._nodes.extend(
+            _Node(NodeKind.LEAF, p, ()) for p in probs.tolist()
+        )
+        return np.arange(start, start + probs.size, dtype=np.int64)
+
+    def add_gates(
+        self, kind: NodeKind, parents, edge_probs, offsets=None
+    ) -> np.ndarray:
+        """Bulk :meth:`add_gate`: append many same-kind gates in one call.
+
+        Two input layouts are accepted:
+
+        * *rectangular* — ``parents`` and ``edge_probs`` are 2-D arrays of
+          shape ``(gates, arity)`` (``offsets`` omitted), for uniform-arity
+          batches such as the binary And gates of the pL-join;
+        * *ragged (CSR)* — ``parents`` and ``edge_probs`` are flat 1-D arrays
+          and ``offsets`` (length ``gates + 1``) delimits each gate's slice,
+          for variable-size batches such as deduplication's Or groups.
+
+        Canonicalisation, the single-parent collapse, and batch-wise
+        hash-consing of deterministic gates all match :meth:`add_gate`
+        gate-for-gate (in array order), so a bulk call allocates exactly the
+        node ids a loop of scalar calls would. Returns the gate ids as an
+        ``int64`` array.
+        """
+        if kind not in (NodeKind.AND, NodeKind.OR):
+            raise ValueError(f"gates must be And or Or, not {kind}")
+        parents = np.asarray(parents, dtype=np.int64)
+        edge_probs = np.asarray(edge_probs, dtype=np.float64)
+        if parents.shape != edge_probs.shape:
+            raise ValueError(
+                f"parents {parents.shape} and edge probabilities "
+                f"{edge_probs.shape} differ in shape"
+            )
+        if offsets is None:
+            if parents.ndim != 2:
+                raise ValueError(
+                    "without offsets, add_gates expects (gates, arity) arrays"
+                )
+            gates, arity = parents.shape
+            counts = np.full(gates, arity, dtype=np.int64)
+            offs = np.arange(gates + 1, dtype=np.int64) * arity
+            parents = parents.reshape(-1)
+            edge_probs = edge_probs.reshape(-1)
+        else:
+            if parents.ndim != 1:
+                raise ValueError("with offsets, add_gates expects flat arrays")
+            offs = np.asarray(offsets, dtype=np.int64)
+            if offs.ndim != 1 or offs.size == 0 or offs[0] != 0 or offs[-1] != parents.size:
+                raise ValueError(
+                    f"offsets must run from 0 to {parents.size}, got {offs!r}"
+                )
+            gates = offs.size - 1
+            counts = np.diff(offs)
+        if gates == 0:
+            return np.empty(0, dtype=np.int64)
+        if (counts <= 0).any():
+            raise ValueError("a gate needs at least one parent")
+        if parents.size:
+            if int(parents.min()) < 0 or int(parents.max()) >= len(self._nodes):
+                bad = parents[(parents < 0) | (parents >= len(self._nodes))][0]
+                raise ValueError(f"unknown parent node {bad}")
+            if not ((edge_probs >= 0.0) & (edge_probs <= 1.0)).all():
+                bad = edge_probs[(edge_probs < 0.0) | (edge_probs > 1.0)][0]
+                raise ProbabilityError(f"edge probability {bad} outside [0, 1]")
+        # Canonical per-gate sort by (parent, probability), exactly the scalar
+        # path's sorted() order; the gate id is the (stable) primary key.
+        gate_ids = np.repeat(np.arange(gates), counts)
+        order = np.lexsort((edge_probs, parents, gate_ids))
+        parents = parents[order]
+        edge_probs = edge_probs[order]
+        deterministic = (
+            np.minimum.reduceat(edge_probs, offs[:-1]) == 1.0
+        )
+        p_list = parents.tolist()
+        q_list = edge_probs.tolist()
+        starts = offs[:-1].tolist()
+        sizes = counts.tolist()
+        det_list = deterministic.tolist()
+        memo = self._gate_memo
+        hashing = self.hashing
+        nodes = self._nodes
+        out = np.empty(gates, dtype=np.int64)
+        for g in range(gates):
+            s = starts[g]
+            e = s + sizes[g]
+            plist = list(zip(p_list[s:e], q_list[s:e]))
+            det = det_list[g]
+            if det and len(plist) == 1:
+                out[g] = plist[0][0]
+                continue
+            if det and hashing:
+                key = (kind, tuple(plist))
+                hit = memo.get(key)
+                if hit is not None:
+                    out[g] = hit
+                    continue
+                nodes.append(_Node(kind, 0.0, tuple(plist)))
+                node = len(nodes) - 1
+                memo[key] = node
+            else:
+                nodes.append(_Node(kind, 0.0, tuple(plist)))
+                node = len(nodes) - 1
+            out[g] = node
+        return out
 
     # ------------------------------------------------------------ structure
     def __len__(self) -> int:

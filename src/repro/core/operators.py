@@ -18,12 +18,24 @@ column, creating network nodes only where the data forces it:
 
 All operators return new :class:`~repro.core.plrelation.PLRelation` objects
 sharing (and augmenting) the input's network.
+
+Engines
+-------
+Each public operator accepts either a row-backed
+:class:`~repro.core.plrelation.PLRelation` (the reference implementation,
+kept as the oracle behind ``engine="rows"``) or a
+:class:`~repro.core.columnar.ColumnarPLRelation`, in which case it dispatches
+to the vectorized NumPy kernel in :mod:`repro.core.columnar`. The two paths
+perform the same operations in the same order, so they grow identical
+networks; ``tests/property`` asserts the equivalence on random inputs.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
+from repro.core import columnar as _columnar
+from repro.core.columnar import ColumnarPLRelation
 from repro.core.network import EPSILON, NodeKind
 from repro.core.plrelation import PLRelation
 from repro.db.schema import Row
@@ -40,6 +52,8 @@ def select_eq(rel: PLRelation, conditions: Mapping[str, object]) -> PLRelation:
 
     Always data safe (Proposition 3.2); lineage and probability pass through.
     """
+    if isinstance(rel, ColumnarPLRelation):
+        return _columnar.select_eq(rel, conditions)
     idx = [(rel.index_of(a), v) for a, v in conditions.items()]
     out = rel.empty_like(name=f"σ({rel.name})")
     for row, l, p in rel.items():
@@ -49,7 +63,14 @@ def select_eq(rel: PLRelation, conditions: Mapping[str, object]) -> PLRelation:
 
 
 def select_where(rel: PLRelation, predicate) -> PLRelation:
-    """Selection with an arbitrary row predicate ``Row -> bool``."""
+    """Selection with an arbitrary row predicate ``Row -> bool``.
+
+    On columnar inputs this is the exotic-predicate fallback: rows are
+    decoded and the predicate runs row-at-a-time, then the result is gathered
+    back with one mask.
+    """
+    if isinstance(rel, ColumnarPLRelation):
+        return _columnar.select_where(rel, predicate)
     out = rel.empty_like(name=f"σ({rel.name})")
     for row, l, p in rel.items():
         if predicate(row):
@@ -66,6 +87,8 @@ def independent_project(rel: PLRelation, attributes: Sequence[str]) -> Projected
     projection of Eq. 3, restricted to same-lineage rows, and it never touches
     the network.
     """
+    if isinstance(rel, ColumnarPLRelation):
+        return _columnar.independent_project(rel, attributes)
     positions = [rel.index_of(a) for a in attributes]
     groups: dict[tuple[Row, int], float] = {}
     order: list[tuple[Row, int]] = []
@@ -91,6 +114,8 @@ def deduplicate(
     probability mass moves onto the edges; Theorem 5.10 shows the result obeys
     possible-worlds semantics.
     """
+    if isinstance(rel, ColumnarPLRelation):
+        return _columnar.deduplicate(rel, attributes, projected)
     net = rel.network
     groups: dict[Row, list[tuple[int, float]]] = {}
     order: list[Row] = []
@@ -136,8 +161,10 @@ def condition(
     Rows that are already deterministic are left untouched (conditioning them
     would add a useless node).
     """
+    if isinstance(rel, ColumnarPLRelation):
+        return _columnar.condition(rel, rows, recorder)
     targets = {tuple(r) for r in rows}
-    missing = targets - set(rel.rows())
+    missing = [r for r in targets if r not in rel]
     if missing:
         raise SchemaError(f"cannot condition on absent rows: {sorted(missing)}")
     net = rel.network
@@ -176,6 +203,8 @@ def cset(left: PLRelation, right: PLRelation, on: Sequence[str]) -> list[Row]:
     deterministic or not: a shared uncertain left tuple correlates its output
     tuples regardless of the partners' probabilities.
     """
+    if isinstance(left, ColumnarPLRelation):
+        return _columnar.cset(left, right, on)
     lpos, rpos, _ = _join_positions(left, right, on)
     fanout: dict[Row, int] = {}
     for row, _, _ in right.items():
@@ -198,6 +227,8 @@ def pl_join_raw(
     non-trivial lineage produce an And gate; otherwise probabilities multiply
     and the non-trivial lineage (if any) passes through.
     """
+    if isinstance(left, ColumnarPLRelation):
+        return _columnar.pl_join_raw(left, right, on)
     if left.network is not right.network:
         raise SchemaError("pL-join requires both sides to share one network")
     lpos, rpos, keep = _join_positions(left, right, on)
@@ -230,8 +261,10 @@ def pl_join(
     optional *recorder* ``(node, source, row)`` receives the provenance of
     every conditioned tuple (used for what-if analysis).
     """
+    if isinstance(left, ColumnarPLRelation):
+        return _columnar.pl_join(left, right, on, recorder)
     left_offending = cset(left, right, on)
-    right_offending = cset(right, left, [a for a in on])
+    right_offending = cset(right, left, on)
     left2 = condition(left, left_offending, recorder) if left_offending else left
     right2 = (
         condition(right, right_offending, recorder) if right_offending else right

@@ -89,6 +89,20 @@ class PLRelation:
             name or self.name,
         )
 
+    def to_columnar(self, interner=None):
+        """Column-oriented view of this relation (same network, same rows).
+
+        Returns a :class:`~repro.core.columnar.ColumnarPLRelation` whose key
+        columns are dictionary-encoded against *interner* (a fresh
+        :class:`~repro.core.columnar.ValueInterner` when omitted). Relations
+        that will be joined must share one interner.
+        """
+        from repro.core import columnar
+
+        return columnar.from_plrelation(
+            self, interner if interner is not None else columnar.ValueInterner()
+        )
+
     # --------------------------------------------------------------- access
     def add(self, row: Iterable, lineage: int, probability: float) -> None:
         """Insert a row with its lineage node and probability."""

@@ -1,0 +1,56 @@
+"""Smoke test for the columnar benchmark runner (reduced instance sizes)."""
+
+import json
+
+from repro.bench.columnar import run_benchmark, main
+
+
+def test_run_benchmark_payload_shape():
+    payload = run_benchmark(sizes=(20, 40), queries=("P1",), seed=3)
+    assert payload["benchmark"] == "columnar"
+    assert payload["workload"]["sizes"] == [20, 40]
+    assert len(payload["scaling"]) == 2
+    for point in payload["scaling"]:
+        assert point["rows_eval_seconds"] > 0
+        assert point["columnar_eval_seconds"] > 0
+        q = point["queries"]["P1"]
+        for engine in ("rows", "columnar"):
+            e = q[engine]
+            assert e["cold_eval_seconds"] > 0
+            assert e["eval_seconds"] > 0
+            assert e["tuples_per_sec"] > 0
+            assert e["operators"], "per-operator breakdown missing"
+            for op in e["operators"]:
+                assert {"operator", "output_size", "conditioned",
+                        "seconds"} <= set(op)
+        # The engines must be indistinguishable on results.
+        assert q["max_abs_answer_diff"] <= 1e-12
+        assert q["offending_match"] and q["network_match"]
+        assert q["rows"]["offending"] == q["columnar"]["offending"]
+    acceptance = payload["acceptance"]
+    assert acceptance["answers_agree_within_tolerance"] is True
+    assert acceptance["offending_counts_match"] is True
+    assert acceptance["network_sizes_match"] is True
+    assert acceptance["largest_instance_speedup"] > 0
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_columnar.json"
+    # --min-speedup 0.001: tiny instances measure correctness plumbing,
+    # not throughput; the committed BENCH_columnar.json uses the real 10x.
+    code = main(["--out", str(out), "--sizes", "20", "40",
+                 "--queries", "P1", "--min-speedup", "0.001"])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert {"benchmark", "workload", "environment", "scaling",
+            "acceptance"} <= set(payload)
+    assert payload["acceptance"]["speedup_at_least_min"] is True
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_main_rejects_bad_sizes(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["--sizes", "0"])
+    capsys.readouterr()
