@@ -73,26 +73,35 @@ def run_partial_lineage(
     bench: BenchmarkQuery,
     max_calls: int = 2_000_000,
     engine: str = "columnar",
+    inference: str = "auto",
+    workers: int | None = None,
 ) -> MethodResult:
     """This paper's method: pL evaluation + And-Or network inference.
 
     *max_calls* bounds the final-inference DPLL exactly like the competitor's
     budget in :func:`run_full_lineage`, keeping comparisons symmetric.
-    *engine* selects the operator backend (``"columnar"`` or ``"rows"``).
+    *engine* selects the operator backend (``"columnar"`` or ``"rows"``);
+    *inference* the final-inference path (see
+    :meth:`~repro.core.executor.EvaluationResult.answer_probabilities`);
+    *workers* the process-pool size for component-parallel inference
+    (``None`` stays in-process).
     """
     start = time.perf_counter()
-    result = PartialLineageEvaluator(db, engine=engine).evaluate_query(
-        bench.query, list(bench.join_order)
-    )
+    result = PartialLineageEvaluator(
+        db, engine=engine, workers=workers
+    ).evaluate_query(bench.query, list(bench.join_order))
     try:
-        answers = result.answer_probabilities(dpll_max_calls=max_calls)
+        answers = result.answer_probabilities(
+            engine=inference, dpll_max_calls=max_calls
+        )
         timed_out = False
     except InferenceError:
         answers = {}
         timed_out = True
     seconds = time.perf_counter() - start
+    method = "partial-lineage" if workers is None else f"partial-lineage-w{workers}"
     return MethodResult(
-        "partial-lineage",
+        method,
         answers,
         seconds,
         offending=result.offending_count,

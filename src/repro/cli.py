@@ -18,10 +18,14 @@ Four subcommands, mirroring how the paper's system is exercised:
     scalar-vs-vectorized sampling + DPLL-cache micro-benchmark
     (``BENCH_mc_dpll.json``); ``--suite columnar`` scales Fig. 5-style
     workloads over instance size and compares the row and columnar
-    operator engines (``BENCH_columnar.json``).
+    operator engines (``BENCH_columnar.json``); ``--suite parallel``
+    compares serial, component-sliced, and process-parallel final
+    inference (``BENCH_parallel.json``).
 
 ``query`` and ``workload`` accept ``--engine {columnar,rows}`` to pick the
-operator backend of the partial-lineage evaluator (columnar by default).
+operator backend of the partial-lineage evaluator (columnar by default),
+and ``--workers`` to fan final inference out over a process pool
+(in-process by default).
 
 Database directory format: one ``<Relation>.csv`` per relation, first line a
 header of attribute names, a trailing ``p`` column with the tuple
@@ -59,7 +63,9 @@ from repro.workload.queries import TABLE1_QUERIES, benchmark_query
 def cmd_query(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     query = parse_query(args.query)
-    evaluator = PartialLineageEvaluator(db, engine=args.engine)
+    evaluator = PartialLineageEvaluator(
+        db, engine=args.engine, workers=args.workers
+    )
     if args.optimize:
         choice = choose_join_order(query, db, engine=args.engine)
         order = list(choice.order)
@@ -117,7 +123,9 @@ def cmd_workload(args: argparse.Namespace) -> int:
         save_database(db, args.save)
         print(f"saved the instance to {args.save}")
     methods = [
-        lambda db, bench: run_partial_lineage(db, bench, engine=args.engine),
+        lambda db, bench: run_partial_lineage(
+            db, bench, engine=args.engine, workers=args.workers
+        ),
         run_partial_lineage_sqlite,
     ]
     if args.baseline:
@@ -152,6 +160,20 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "parallel":
+        from repro.bench import parallel
+
+        out = args.out if args.out is not None else "BENCH_parallel.json"
+        argv = [
+            "--out", out,
+            "--n", str(args.n),
+            "--seed", str(args.seed),
+            "--sizes", *[str(m) for m in args.sizes],
+        ]
+        if args.workers:
+            argv += ["--workers", *[str(w) for w in args.workers],
+                     "--parallel-workers", str(max(args.workers))]
+        return parallel.main(argv)
     if args.suite == "columnar":
         from repro.bench import columnar
 
@@ -196,6 +218,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the annotated plan tree before evaluating")
     q.add_argument("--engine", default="columnar", choices=("columnar", "rows"),
                    help="operator backend for the pL evaluator")
+    q.add_argument("--workers", type=int, default=None,
+                   help="process-pool size for component-parallel final "
+                        "inference (default: in-process)")
     q.set_defaults(func=cmd_query)
 
     a = sub.add_parser("analyze", help="static safety analysis of a query")
@@ -223,13 +248,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persist the generated instance as CSV files")
     w.add_argument("--engine", default="columnar", choices=("columnar", "rows"),
                    help="operator backend for the pL evaluator")
+    w.add_argument("--workers", type=int, default=None,
+                   help="process-pool size for component-parallel final "
+                        "inference (default: in-process)")
     w.set_defaults(func=cmd_workload)
 
     b = sub.add_parser(
         "bench",
-        help="run a machine-readable benchmark suite (mc_dpll or columnar)",
+        help="run a machine-readable benchmark suite "
+             "(mc_dpll, columnar, or parallel)",
     )
-    b.add_argument("--suite", default="mc_dpll", choices=("mc_dpll", "columnar"))
+    b.add_argument("--suite", default="mc_dpll",
+                   choices=("mc_dpll", "columnar", "parallel"))
     b.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<suite>.json)")
     b.add_argument("--samples", type=int, default=50_000,
@@ -245,6 +275,8 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--min-speedup", type=float, default=10.0,
                    help="[columnar] acceptance: columnar-over-rows speedup "
                         "required on the largest instance")
+    b.add_argument("--workers", type=int, nargs="+", default=None,
+                   help="[parallel] process-pool sizes to sweep")
     b.set_defaults(func=cmd_bench)
     return parser
 

@@ -31,7 +31,7 @@ Modules
 
 from repro.core.network import AndOrNetwork, EPSILON, NodeKind
 from repro.core.plrelation import PLRelation
-from repro.core.columnar import ColumnarPLRelation, ValueInterner
+from repro.core.columnar import ColumnarPLRelation, Comparison, ValueInterner
 from repro.core.plan import Join, Project, Scan, Select, left_deep_plan, plan_schema
 from repro.core.executor import EvaluationResult, PartialLineageEvaluator
 from repro.core.inference import compute_marginal, compute_marginals
@@ -43,8 +43,17 @@ from repro.core.approximate import (
     karp_luby_marginal,
     karp_luby_samples,
 )
-from repro.core.junction import CliqueTree, all_marginals, build_clique_tree
-from repro.core.treeprop import is_tree_factorable, tree_marginals
+from repro.core.junction import (
+    CliqueTree,
+    all_marginals,
+    build_clique_tree,
+    calibrate_clique_tree,
+)
+from repro.core.treeprop import (
+    is_tree_factorable,
+    tree_marginals,
+    tree_marginals_array,
+)
 from repro.core.optimizer import PlanChoice, choose_join_order, optimized_plan
 from repro.core.topk import RankedAnswer, TopKReport, top_k_answers
 from repro.core.whatif import Sensitivity, WhatIfAnalysis
@@ -58,6 +67,7 @@ __all__ = [
     "EPSILON",
     "PLRelation",
     "ColumnarPLRelation",
+    "Comparison",
     "ValueInterner",
     "Scan",
     "Select",
@@ -78,8 +88,10 @@ __all__ = [
     "CliqueTree",
     "all_marginals",
     "build_clique_tree",
+    "calibrate_clique_tree",
     "is_tree_factorable",
     "tree_marginals",
+    "tree_marginals_array",
     "PlanChoice",
     "choose_join_order",
     "optimized_plan",

@@ -45,6 +45,7 @@ __all__ = [
     "ValueInterner",
     "ColumnarPLRelation",
     "ColumnarProjected",
+    "Comparison",
     "from_base",
     "select_eq",
     "select_where",
@@ -94,10 +95,12 @@ class ValueInterner:
     def encode_column(self, values: Sequence) -> np.ndarray:
         """Encode one column of values into an ``int64`` code array.
 
-        Numeric columns take a vectorized path: ``np.unique`` collapses the
-        column to its distinct values at C speed and only those few pass
-        through the Python-level intern dict. Everything else (strings, mixed
-        types) falls back to a plain loop.
+        Numeric and all-string columns take a vectorized path: ``np.unique``
+        collapses the column to its distinct values at C speed (strings as a
+        fixed-width array, so the sort compares flat character buffers, not
+        Python objects) and only the few distinct values pass through the
+        Python-level intern dict. Everything else (mixed types, unhashable
+        oddities) falls back to a plain loop.
         """
         n = len(values)
         if n == 0:
@@ -107,9 +110,16 @@ class ValueInterner:
             arr = np.asarray(values)
         except (ValueError, TypeError):  # ragged / unconvertible
             arr = None
-        if arr is not None and arr.ndim == 1 and arr.dtype.kind in "iufb":
-            uniq, inv = np.unique(arr, return_inverse=True)
-            return self._intern_unique(uniq)[inv]
+        if arr is not None and arr.ndim == 1:
+            # A "U" dtype alone is not proof of a string column — np.asarray
+            # coerces mixed int/str input to strings, which would silently
+            # merge 1 and "1". Only trust it when every element really is str.
+            if arr.dtype.kind in "iufb" or (
+                arr.dtype.kind == "U"
+                and all(isinstance(v, str) for v in values)
+            ):
+                uniq, inv = np.unique(arr, return_inverse=True)
+                return self._intern_unique(uniq)[inv]
         out = np.empty(n, dtype=np.int64)
         codes = self._codes
         vals = self._values
@@ -430,19 +440,113 @@ def select_eq(
     return rel._take(np.flatnonzero(mask), name=f"σ({rel.name})")
 
 
-def select_where(rel: ColumnarPLRelation, predicate) -> ColumnarPLRelation:
-    """Selection with an arbitrary row predicate.
+#: Comparison operators :class:`Comparison` can compile. ``>`` / ``>=`` ride
+#: along for symmetry — they are the mirrored ``<`` / ``<=``.
+_COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
 
-    The predicate sees decoded Python rows, so this is the row fallback the
-    columnar engine uses for exotic predicates: decode once, evaluate per
-    row, then gather with one mask.
+
+@dataclass(frozen=True)
+class Comparison:
+    """A compilable selection predicate ``attribute <op> constant``.
+
+    Handed to :func:`select_where` (either engine) instead of a callable,
+    the predicate is evaluated as array expressions over the
+    dictionary-encoded column — no per-row Python call, no row decoding:
+
+    * ``==`` / ``!=`` compare codes directly: equal values share a code by
+      construction, so one interner lookup turns the predicate into a single
+      integer comparison against the column;
+    * ``<`` / ``<=`` / ``>`` / ``>=`` cannot read off codes (interning order
+      is first-appearance, not value order), so the column is collapsed to
+      its *distinct* codes with ``np.unique``, only those few values are
+      decoded and compared in Python, and the verdicts are gathered back
+      over the rows — O(distinct) comparisons instead of O(rows).
+
+    Examples
+    --------
+    >>> Comparison("A", "<", 3).matches((2, "x"), lambda a: 0)
+    True
     """
-    mask = np.fromiter(
-        (bool(predicate(row)) for row in rel.rows()),
-        dtype=bool,
-        count=len(rel),
-    )
+
+    attribute: str
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISON_OPS:
+            raise SchemaError(
+                f"unknown comparison operator {self.op!r}; "
+                f"choose from {_COMPARISON_OPS}"
+            )
+
+    def matches(self, row, index_of) -> bool:
+        """Row-at-a-time evaluation (the row engine's path)."""
+        v = row[index_of(self.attribute)]
+        if self.op == "==":
+            return v == self.value
+        if self.op == "!=":
+            return v != self.value
+        if self.op == "<":
+            return v < self.value
+        if self.op == "<=":
+            return v <= self.value
+        if self.op == ">":
+            return v > self.value
+        return v >= self.value
+
+    def mask(self, rel: "ColumnarPLRelation") -> np.ndarray:
+        """Boolean row mask over a columnar relation (the compiled path)."""
+        column = rel.codes[:, rel.index_of(self.attribute)]
+        if self.op in ("==", "!="):
+            code = rel.interner.code_of(self.value)
+            if code is None:
+                return np.full(len(rel), self.op == "!=", dtype=bool)
+            return column == code if self.op == "==" else column != code
+        uniq, inv = np.unique(column, return_inverse=True)
+        values = rel.interner.decode_column(uniq)
+        verdicts = np.fromiter(
+            (
+                self.matches((v,), lambda _attr: 0)
+                for v in values
+            ),
+            dtype=bool,
+            count=uniq.size,
+        )
+        return verdicts[inv]
+
+
+def select_where(rel: ColumnarPLRelation, predicate) -> ColumnarPLRelation:
+    """Selection with a row predicate — compiled when possible.
+
+    *predicate* may be a :class:`Comparison`, an iterable of them (their
+    conjunction), or an arbitrary callable. Comparisons are compiled to
+    array expressions over the encoded columns; the callable form is the
+    exotic-predicate fallback: decode once, evaluate per row, then gather
+    with one mask.
+    """
+    compiled = _as_comparisons(predicate)
+    if compiled is not None:
+        mask = np.ones(len(rel), dtype=bool)
+        for comparison in compiled:
+            mask &= comparison.mask(rel)
+    else:
+        mask = np.fromiter(
+            (bool(predicate(row)) for row in rel.rows()),
+            dtype=bool,
+            count=len(rel),
+        )
     return rel._take(np.flatnonzero(mask), name=f"σ({rel.name})")
+
+
+def _as_comparisons(predicate) -> list[Comparison] | None:
+    """*predicate* as a conjunction of comparisons, or ``None`` (callable)."""
+    if isinstance(predicate, Comparison):
+        return [predicate]
+    if isinstance(predicate, (list, tuple)) and all(
+        isinstance(c, Comparison) for c in predicate
+    ):
+        return list(predicate)
+    return None
 
 
 # -------------------------------------------------------------------- project

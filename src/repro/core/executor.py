@@ -75,6 +75,9 @@ class EvaluationResult:
     stats: list[OperatorStat] = field(default_factory=list)
     #: provenance per conditioning, in evaluation order
     conditioned_tuples: list[OffendingTuple] = field(default_factory=list)
+    #: default process-pool size for :meth:`answer_probabilities`
+    #: (``None`` = solve in-process), inherited from the evaluator
+    workers: int | None = None
 
     @property
     def offending_count(self) -> int:
@@ -95,6 +98,7 @@ class EvaluationResult:
         engine: str = "auto",
         dpll_max_calls: int = 5_000_000,
         cache=None,
+        workers: int | None = None,
     ) -> dict[Row, float]:
         """Exact probability of each output tuple.
 
@@ -103,19 +107,28 @@ class EvaluationResult:
         independent of the network by construction.
 
         *engine* selects the final inference path: ``"auto"`` (linear-time
-        tree propagation when the network is tree-factorable, otherwise
-        per-node as in :func:`repro.core.inference.compute_marginal`),
-        ``"ve"``, ``"dpll"``, ``"tree"`` (bottom-up propagation, rejects
-        non-tree-factorable networks), or ``"junction"`` (one clique-tree
-        calibration per component, all marginals shared).
+        tree propagation when the network is tree-factorable, otherwise the
+        component-sliced driver of :mod:`repro.perf.parallel`), ``"ve"`` /
+        ``"dpll"`` (component-sliced, forcing the respective per-component
+        engine), ``"serial"`` (the pre-slicing per-answer loop over
+        :func:`repro.core.inference.compute_marginal` — the oracle the
+        benchmarks compare against), ``"tree"`` (bottom-up propagation,
+        rejects non-tree-factorable networks), or ``"junction"`` (one
+        clique-tree calibration per component, all marginals shared).
 
         *cache* is an optional shared :class:`~repro.perf.SubformulaCache`
         for the DPLL paths: the per-answer marginal solves then reuse each
         other's subformula probabilities, and the cache survives across
-        queries when the caller keeps it.
+        queries when the caller keeps it. With process fan-out, worker cache
+        entries are merged back into it.
+
+        *workers* (default: the evaluator's ``workers`` knob) turns on
+        process-parallel solving of independent network components for the
+        sliced engines; ``None`` or ``1`` stays in-process.
         """
         from repro.core.junction import all_marginals
         from repro.core.treeprop import is_tree_factorable, tree_marginals
+        from repro.perf.parallel import parallel_marginals
 
         rows = list(self.relation.items())
         nodes = [l for _, l, _ in rows]
@@ -126,13 +139,22 @@ class EvaluationResult:
             marginals = tree_marginals(self.network, check=engine == "tree")
         elif engine == "junction":
             marginals = all_marginals(self.network, nodes)
-        else:
+        elif engine == "serial":
             marginals = {EPSILON: 1.0}
             for l in nodes:
                 if l not in marginals:
                     marginals[l] = compute_marginal(
-                        self.network, l, engine, dpll_max_calls, cache
+                        self.network, l, "auto", dpll_max_calls, cache
                     )
+        else:
+            marginals = parallel_marginals(
+                self.network,
+                nodes,
+                workers=workers if workers is not None else self.workers,
+                engine=engine,
+                dpll_max_calls=dpll_max_calls,
+                cache=cache,
+            )
         return {row: p * marginals[l] for row, l, p in rows}
 
     def approximate_answer_probabilities(
@@ -204,6 +226,7 @@ class PartialLineageEvaluator:
         *,
         hashing: bool = True,
         engine: str = "columnar",
+        workers: int | None = None,
     ) -> None:
         self.db = db
         #: Pass-through to :class:`AndOrNetwork`: disable to ablate the
@@ -213,6 +236,10 @@ class PartialLineageEvaluator:
             raise PlanError(
                 f"unknown evaluation engine {engine!r}; choose from {ENGINES}"
             )
+        #: Default process-pool size for final inference, handed to every
+        #: :class:`EvaluationResult` this evaluator produces (``None`` keeps
+        #: inference in-process; see :mod:`repro.perf.parallel`).
+        self.workers = workers
         #: ``"columnar"`` (vectorized NumPy operator pipeline, the default) or
         #: ``"rows"`` (the row-at-a-time reference implementation). Both grow
         #: identical networks; only throughput differs.
@@ -239,7 +266,9 @@ class PartialLineageEvaluator:
         rel = self._eval(plan, network, stats, conditioned)
         if isinstance(rel, ColumnarPLRelation):
             rel = rel.to_rows()
-        return EvaluationResult(rel, network, stats, conditioned)
+        return EvaluationResult(
+            rel, network, stats, conditioned, workers=self.workers
+        )
 
     def invalidate_cache(self) -> None:
         """Drop the columnar base-relation encode cache (call after mutating

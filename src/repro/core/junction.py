@@ -47,20 +47,31 @@ class CliqueTree:
     parents: list[int]
     #: calibrated beliefs, aligned with ``cliques``
     beliefs: list[Factor] = field(default_factory=list)
+    #: variable -> index of one clique containing it, precomputed at
+    #: calibration time so per-variable lookups are O(1) instead of a linear
+    #: scan over all cliques (``all_marginals`` reads many variables off one
+    #: calibrated tree).
+    clique_of: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.clique_of:
+            for i, clique in enumerate(self.cliques):
+                for var in clique:
+                    self.clique_of.setdefault(var, i)
 
     def marginal(self, var: int) -> float:
-        """``Pr(var = 1)`` from any clique containing *var*."""
-        for clique, belief in zip(self.cliques, self.beliefs):
-            if var in clique:
-                f = belief
-                for other in clique:
-                    if other != var:
-                        f = sum_out(f, other)
-                total = float(f.table.sum())
-                if total <= 0.0:
-                    raise InferenceError("clique tree holds zero mass")
-                return float(f.table[1]) / total
-        raise KeyError(f"variable {var} not covered by the clique tree")
+        """``Pr(var = 1)`` from a clique containing *var* (O(1) lookup)."""
+        index = self.clique_of.get(var)
+        if index is None:
+            raise KeyError(f"variable {var} not covered by the clique tree")
+        f = self.beliefs[index]
+        for other in self.cliques[index]:
+            if other != var:
+                f = sum_out(f, other)
+        total = float(f.table.sum())
+        if total <= 0.0:
+            raise InferenceError("clique tree holds zero mass")
+        return float(f.table[1]) / total
 
 
 def _elimination_cliques(
@@ -168,8 +179,25 @@ def build_clique_tree(
         factors = reduced
     if not factors:
         raise InferenceError("nothing to calibrate: no variables remain")
-    cliques, parents, assignment = _elimination_cliques(factors)
     del scalar  # beliefs are renormalised per marginal; the constant cancels
+    return calibrate_clique_tree(factors)
+
+
+def calibrate_clique_tree(
+    factors: list[Factor],
+    elimination: tuple[list[tuple[int, ...]], list[int], list[list[int]]]
+    | None = None,
+) -> CliqueTree:
+    """Calibrate a clique tree directly from decomposed factors.
+
+    *elimination* optionally supplies a precomputed
+    :func:`_elimination_cliques` result so callers that already ran the
+    min-fill pass (e.g. the component-sliced driver, which uses the clique
+    sizes as its width estimate) do not pay for it twice.
+    """
+    if elimination is None:
+        elimination = _elimination_cliques(factors)
+    cliques, parents, assignment = elimination
     potentials: list[Factor] = []
     for i, clique in enumerate(cliques):
         f = _unit_factor(clique)
@@ -239,25 +267,18 @@ def all_marginals(
     """
     targets = [v for v in (nodes if nodes is not None else list(net.nodes()))]
     out: dict[int, float] = {}
-    pending = [v for v in dict.fromkeys(targets) if v != EPSILON]
-    for v in targets:
+    components = net.components()
+    by_component: dict[int, list[int]] = {}
+    for v in dict.fromkeys(targets):
         if v == EPSILON:
             out[EPSILON] = 1.0
-    while pending:
-        seed = pending[0]
-        component = net.ancestors([seed])
-        # grow to cover every pending target sharing ancestry with the seed
-        grew = True
-        while grew:
-            grew = False
-            for v in pending:
-                if v not in component and (net.ancestors([v]) & component):
-                    component |= net.ancestors([v])
-                    grew = True
-        component.add(EPSILON)
-        tree = build_clique_tree(net, component)
-        for v in list(pending):
-            if v in component:
-                out[v] = tree.marginal(v)
-                pending.remove(v)
+            continue
+        by_component.setdefault(components.of(v), []).append(v)
+    for grouped in by_component.values():
+        # barren-node pruning: only the targets' ancestors matter
+        relevant = net.ancestors(grouped)
+        relevant.add(EPSILON)
+        tree = build_clique_tree(net, relevant)
+        for v in grouped:
+            out[v] = tree.marginal(v)
     return out

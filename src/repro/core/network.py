@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
 import numpy as np
@@ -67,6 +67,75 @@ class _Node:
     parents: tuple[tuple[int, float], ...]
 
 
+@dataclass(frozen=True)
+class Components:
+    """Connected components of a network's undirected graph, ε excluded.
+
+    ε (node 0) is a constant: it correlates nothing, so edges incident to it
+    are ignored and it belongs to no component (label ``-1``). Every other
+    node carries a component label in ``0..count-1``, numbered in
+    first-occurrence (node id) order. Two nodes share a label iff their joint
+    distribution does not factor between them — the unit of work for
+    component-sliced inference.
+    """
+
+    #: Component label per node id; ``-1`` for ε.
+    labels: np.ndarray
+    #: Number of components.
+    count: int
+    _members: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def of(self, node: int) -> int:
+        """Component label of *node* (``-1`` for ε)."""
+        return int(self.labels[node])
+
+    def members(self, label: int) -> np.ndarray:
+        """Ascending node ids of one component."""
+        hit = self._members.get(label)
+        if hit is None:
+            hit = np.flatnonzero(self.labels == label)
+            self._members[label] = hit
+        return hit
+
+    def sizes(self) -> np.ndarray:
+        """Component sizes, indexed by label."""
+        return np.bincount(self.labels[self.labels >= 0], minlength=self.count)
+
+
+@dataclass(frozen=True)
+class ComponentSlice:
+    """One extracted component as a standalone, picklable network.
+
+    ``network`` contains ε (id 0) plus the component's nodes, renumbered
+    ``1..k`` in their original ascending id order — so the topological
+    invariant (parents precede gates) carries over and every marginal in the
+    slice equals the same node's marginal in the source network. ``orig_ids``
+    maps slice ids back (``orig_ids[0] == 0`` for ε); :meth:`to_sub` maps
+    forward.
+    """
+
+    network: "AndOrNetwork"
+    #: Original node id per slice id (position 0 is ε).
+    orig_ids: np.ndarray
+    _sub_of: dict = field(compare=False, repr=False)
+
+    def to_sub(self, node: int) -> int:
+        """Slice id of an original node id."""
+        try:
+            return self._sub_of[node]
+        except KeyError:
+            raise KeyError(
+                f"node {node} is not part of this component slice"
+            ) from None
+
+    def to_orig(self, sub: int) -> int:
+        """Original node id of a slice id."""
+        return int(self.orig_ids[sub])
+
+    def __len__(self) -> int:
+        return len(self.network)
+
+
 class AndOrNetwork:
     """A growable And-Or network.
 
@@ -94,6 +163,7 @@ class AndOrNetwork:
         self.hashing = hashing
         self._nodes: list[_Node] = [_Node(NodeKind.LEAF, 1.0, ())]
         self._gate_memo: dict[tuple, int] = {}
+        self._components: Components | None = None
 
     # ------------------------------------------------------------- growth
     def add_leaf(self, probability: float) -> int:
@@ -323,6 +393,104 @@ class AndOrNetwork:
             for v, n in enumerate(self._nodes)
             for w, _ in n.parents
         ]
+
+    # ----------------------------------------------------------- components
+    def components(self) -> Components:
+        """Connected components of the undirected graph, ε excluded.
+
+        Union-find over :meth:`undirected_edges` (edges incident to ε are
+        skipped: a probability-1 constant correlates nothing). The result is
+        cached and recomputed only after the network has grown — nodes are
+        append-only, so a stale cache is detectable from the node count.
+
+        Examples
+        --------
+        >>> net = AndOrNetwork()
+        >>> x, y, z = (net.add_leaf(0.5) for _ in range(3))
+        >>> g = net.add_gate(NodeKind.OR, [(x, 1.0), (y, 1.0)])
+        >>> c = net.components()
+        >>> c.count, c.of(x) == c.of(g), c.of(x) == c.of(z)
+        (2, True, False)
+        """
+        cached = self._components
+        if cached is not None and len(cached.labels) == len(self._nodes):
+            return cached
+        n = len(self._nodes)
+        parent = list(range(n))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]  # path halving
+                x = parent[x]
+            return x
+
+        for v, node in enumerate(self._nodes):
+            for w, _ in node.parents:
+                if w == EPSILON:
+                    continue
+                rv, rw = find(v), find(w)
+                if rv != rw:
+                    parent[rv] = rw
+        labels = np.full(n, -1, dtype=np.int64)
+        label_of_root: dict[int, int] = {}
+        for v in range(1, n):
+            root = find(v)
+            label = label_of_root.get(root)
+            if label is None:
+                label = len(label_of_root)
+                label_of_root[root] = label
+            labels[v] = label
+        result = Components(labels, len(label_of_root))
+        self._components = result
+        return result
+
+    def component_of(self, node: int) -> int:
+        """Component label of *node* (``-1`` for ε)."""
+        return self.components().of(node)
+
+    def extract_component(self, node: int) -> ComponentSlice:
+        """Extract the component containing *node* as a standalone network.
+
+        The slice is a fresh :class:`AndOrNetwork` over ε plus the
+        component's nodes (ascending original order, so acyclicity is
+        preserved), with gate parents remapped. It is picklable — the unit
+        shipped to worker processes by :mod:`repro.perf.parallel` — and
+        marginals computed in it equal the source network's.
+
+        Examples
+        --------
+        >>> net = AndOrNetwork()
+        >>> x, y = net.add_leaf(0.3), net.add_leaf(0.8)
+        >>> g = net.add_gate(NodeKind.OR, [(x, 0.5), (y, 0.5)])
+        >>> part = net.extract_component(g)
+        >>> len(part.network), part.to_orig(part.to_sub(g))
+        (4, 3)
+        """
+        if node == EPSILON:
+            raise ValueError("ε belongs to no component")
+        comps = self.components()
+        members = comps.members(comps.of(node))
+        sub_of = {EPSILON: EPSILON}
+        for i, v in enumerate(members.tolist(), start=1):
+            sub_of[v] = i
+        subnet = AndOrNetwork(hashing=self.hashing)
+        nodes = subnet._nodes
+        memo = subnet._gate_memo
+        for v in members.tolist():
+            orig = self._nodes[v]
+            if orig.kind is NodeKind.LEAF:
+                nodes.append(orig)
+                continue
+            plist = tuple(
+                sorted((sub_of[w], q) for w, q in orig.parents)
+            )
+            nodes.append(_Node(orig.kind, orig.prob, plist))
+            if self.hashing and all(q == 1.0 for _, q in plist):
+                memo.setdefault((orig.kind, plist), len(nodes) - 1)
+        orig_ids = np.concatenate(
+            [np.zeros(1, dtype=np.int64), members.astype(np.int64)]
+        )
+        return ComponentSlice(subnet, orig_ids, sub_of)
 
     # ------------------------------------------------------------ semantics
     def conditional_probability(

@@ -63,14 +63,22 @@ def select_eq(rel: PLRelation, conditions: Mapping[str, object]) -> PLRelation:
 
 
 def select_where(rel: PLRelation, predicate) -> PLRelation:
-    """Selection with an arbitrary row predicate ``Row -> bool``.
+    """Selection with a row predicate.
 
-    On columnar inputs this is the exotic-predicate fallback: rows are
-    decoded and the predicate runs row-at-a-time, then the result is gathered
-    back with one mask.
+    *predicate* is either a callable ``Row -> bool``, a
+    :class:`~repro.core.columnar.Comparison` (``attribute <op> constant``),
+    or an iterable of comparisons (their conjunction). On columnar inputs
+    comparisons compile to array expressions over the encoded columns;
+    callables are the exotic-predicate fallback (decode rows, evaluate
+    row-at-a-time, gather with one mask). Both engines accept both forms,
+    so plans carry predicates without caring which backend runs them.
     """
     if isinstance(rel, ColumnarPLRelation):
         return _columnar.select_where(rel, predicate)
+    comparisons = _columnar._as_comparisons(predicate)
+    if comparisons is not None:
+        def predicate(row, _cs=comparisons, _idx=rel.index_of):
+            return all(c.matches(row, _idx) for c in _cs)
     out = rel.empty_like(name=f"σ({rel.name})")
     for row, l, p in rel.items():
         if predicate(row):

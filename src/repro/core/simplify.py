@@ -164,5 +164,9 @@ def compact_result(result: EvaluationResult) -> EvaluationResult:
         else:
             rel.add(row, mapping[l], p)
     return EvaluationResult(
-        rel, net, list(result.stats), list(result.conditioned_tuples)
+        rel,
+        net,
+        list(result.stats),
+        list(result.conditioned_tuples),
+        workers=result.workers,
     )

@@ -108,6 +108,27 @@ class SubformulaCache:
         """Drop every entry (counters are kept)."""
         self._entries.clear()
 
+    def entries(self) -> list[tuple[Hashable, object]]:
+        """All ``(key, value)`` bindings, LRU-first (picklable snapshot).
+
+        The export half of worker-cache merging: a worker process solves its
+        components against a fresh cache, ships the entries back, and the
+        caller folds them in with :meth:`merge`.
+        """
+        return list(self._entries.items())
+
+    def merge(self, entries: Iterable[tuple[Hashable, object]]) -> None:
+        """Fold another cache's :meth:`entries` into this one.
+
+        Existing bindings win (keys are canonical, so both sides would hold
+        the same value anyway); new bindings count as ordinary inserts and
+        respect the LRU bound. Stats counters are unaffected except for
+        evictions.
+        """
+        for key, value in entries:
+            if key not in self._entries:
+                self.put(key, value)
+
 
 def canonical_key(
     clauses: Iterable[frozenset[int]], probs: Sequence[float]

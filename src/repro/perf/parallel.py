@@ -1,0 +1,375 @@
+"""Component-sliced, process-parallel final inference.
+
+The marginals of a multi-answer query are independent solves, and the
+And-Or network of a Fig. 5-style workload splits into one connected
+component per head value once ε — a constant that correlates nothing — is
+set aside. This module exploits both facts:
+
+* :func:`sliced_marginals` groups the requested nodes by connected
+  component (:meth:`~repro.core.network.AndOrNetwork.components`), extracts
+  each needed component once
+  (:meth:`~repro.core.network.AndOrNetwork.extract_component`), and solves
+  every component with the cheapest applicable engine: the batched
+  tree-propagation kernel when the component is tree-factorable, one
+  clique-tree calibration shared by all of the component's targets when its
+  elimination width is small, and the DPLL path (against a shared
+  :class:`~repro.perf.SubformulaCache`) beyond. The expensive per-answer
+  width estimation of the serial path is replaced by one *early-exit*
+  min-degree pass per component (:func:`estimate_component`), which stops
+  the moment the width budget is exceeded.
+* :func:`parallel_marginals` fans the extracted components out over a
+  ``ProcessPoolExecutor``: components are chunked by estimated cost
+  (longest-processing-time-first over the factor-table sizes the
+  elimination pass produced), each worker solves its chunk against a fresh
+  subformula cache, and the workers' cache entries are merged back into the
+  caller's cache — the canonical keys are rename-invariant, so entries
+  survive the component id-remap. A cost threshold keeps small workloads on
+  the serial path, so tiny queries never pay pool startup.
+
+Exactness is unaffected throughout: every path computes the same marginals
+as :func:`repro.core.inference.compute_marginal` on the full network
+(``tests/perf/test_parallel.py`` cross-checks against the serial oracle and
+brute force).
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.inference import (
+    VE_WIDTH_LIMIT,
+    _dpll_marginal,
+    compute_marginal,
+    eliminate,
+    network_factors,
+    reduce_evidence,
+)
+from repro.core.junction import _elimination_cliques, calibrate_clique_tree
+from repro.core.network import EPSILON, AndOrNetwork, ComponentSlice
+from repro.core.treeprop import is_tree_factorable, tree_marginals_array
+from repro.errors import CapacityError
+from repro.perf.cache import SubformulaCache
+
+__all__ = [
+    "ComponentWork",
+    "estimate_component",
+    "group_by_component",
+    "solve_slice",
+    "sliced_marginals",
+    "parallel_marginals",
+    "DEFAULT_MIN_PARALLEL_COST",
+]
+
+#: Estimated total cost (factor-table entries touched) below which
+#: :func:`parallel_marginals` stays serial: pool startup plus pickling costs
+#: on the order of tens of milliseconds, so fanning out cheaper workloads
+#: than this loses wall-clock.
+DEFAULT_MIN_PARALLEL_COST = 250_000
+
+#: Cost charged per factor when a component blows the width budget and will
+#: go to the DPLL engine (whose true cost is structure-, not width-, bound):
+#: the table size of a width-budget clique.
+_WIDE_FACTOR_COST = 2 ** (VE_WIDTH_LIMIT + 2)
+
+
+@dataclass
+class ComponentWork:
+    """One component's share of a marginals request."""
+
+    slice: ComponentSlice
+    #: Requested nodes, in slice-local ids.
+    targets: list[int]
+    #: Estimated solve cost in factor-table entries (scheduling only).
+    cost: float
+    #: Width-probe verdict, forwarded to :func:`solve_slice` so the probe
+    #: runs once per component, not once per grouping *and* once per solve.
+    narrow: bool = True
+
+
+def estimate_component(net: AndOrNetwork, limit: int = VE_WIDTH_LIMIT):
+    """Early-exit width probe: is the network's elimination width ≤ *limit*?
+
+    Runs a min-degree greedy elimination over the ternary-decomposed factor
+    graph, abandoning the pass the moment every remaining variable's degree
+    exceeds *limit* — on wide components this exits within a few
+    eliminations instead of paying the full quadratic pass that dominated
+    the serial per-answer profile. Returns ``(narrow, cost)`` where *cost*
+    estimates the solve in factor-table entries: the sum of elimination
+    clique sizes ``2^(degree+1)`` when narrow, a per-factor DPLL proxy when
+    wide.
+    """
+    factors = network_factors(net)
+    adj: dict[int, set[int]] = {}
+    for f in factors:
+        for v in f.vars:
+            adj.setdefault(v, set()).update(w for w in f.vars if w != v)
+    heap = [(len(nbrs), v) for v, nbrs in adj.items()]
+    heapq.heapify(heap)
+    cost = 0.0
+    while heap:
+        degree, v = heapq.heappop(heap)
+        nbrs = adj.get(v)
+        if nbrs is None:
+            continue  # already eliminated
+        if len(nbrs) != degree:
+            heapq.heappush(heap, (len(nbrs), v))  # stale entry; re-rank
+            continue
+        if degree > limit:
+            # the *minimum* degree exceeds the budget: this greedy order
+            # (our width estimator, as in ``induced_width``) is over budget
+            return False, len(factors) * _WIDE_FACTOR_COST
+        cost += float(2 ** (degree + 1))
+        nbr_list = list(nbrs)
+        for i, a in enumerate(nbr_list):
+            sa = adj[a]
+            for b in nbr_list[i + 1 :]:
+                if b not in sa:
+                    sa.add(b)
+                    adj[b].add(a)
+        for w in nbr_list:
+            wn = adj[w]
+            wn.discard(v)
+            heapq.heappush(heap, (len(wn), w))
+        del adj[v]
+    return True, cost
+
+
+def group_by_component(
+    net: AndOrNetwork, nodes, limit: int = VE_WIDTH_LIMIT
+) -> list[ComponentWork]:
+    """Group requested node ids by connected component, one slice each.
+
+    ε is skipped (its marginal is 1 by definition); every other node lands
+    in exactly one :class:`ComponentWork` with the component extracted once
+    and the node translated to its slice-local id.
+    """
+    components = net.components()
+    by_label: dict[int, list[int]] = {}
+    for v in dict.fromkeys(nodes):
+        if v == EPSILON:
+            continue
+        by_label.setdefault(components.of(v), []).append(v)
+    works: list[ComponentWork] = []
+    for targets in by_label.values():
+        part = net.extract_component(targets[0])
+        narrow, cost = estimate_component(part.network, limit)
+        works.append(
+            ComponentWork(
+                part, [part.to_sub(v) for v in targets], cost, narrow
+            )
+        )
+    return works
+
+
+def solve_slice(
+    subnet: AndOrNetwork,
+    targets,
+    engine: str = "auto",
+    dpll_max_calls: int = 5_000_000,
+    cache: SubformulaCache | None = None,
+    narrow: bool | None = None,
+) -> dict[int, float]:
+    """Marginals of *targets* (slice-local ids) within one component.
+
+    *engine* mirrors :func:`repro.core.inference.compute_marginal`:
+    ``"auto"`` picks batched tree propagation for tree-factorable
+    components, variable elimination when the width probe stays within
+    :data:`~repro.core.inference.VE_WIDTH_LIMIT` (one shared clique-tree
+    calibration when the component carries several targets, a single
+    evidence-reduced elimination when it carries one), and the cache-backed
+    DPLL beyond (falling back to variable elimination if DNF compilation
+    blows up); ``"ve"`` forces the elimination paths, ``"dpll"`` the DPLL
+    path. *narrow* optionally forwards an already-computed
+    :func:`estimate_component` verdict so the probe is not repeated.
+    """
+    if engine not in ("auto", "ve", "dpll"):
+        raise ValueError(f"unknown inference engine {engine!r}")
+    targets = [t for t in targets]
+    if engine == "auto" and is_tree_factorable(subnet):
+        arr = tree_marginals_array(subnet, check=False)
+        return {t: float(arr[t]) for t in targets}
+    if engine != "dpll":
+        if narrow is None:
+            narrow, _ = estimate_component(subnet)
+        if engine == "ve" or narrow:
+            factors = network_factors(subnet)
+            real = [t for t in targets if t != EPSILON]
+            if len(real) == 1:
+                # the common sliced shape — one answer per component: a
+                # single evidence-reduced elimination beats calibrating a
+                # whole clique tree (two full message passes) for one read
+                reduced = [reduce_evidence(f, {real[0]: 1}) for f in factors]
+                out = {t: 1.0 for t in targets}
+                out[real[0]] = float(eliminate(reduced).table)
+                return out
+            tree = calibrate_clique_tree(factors, _elimination_cliques(factors))
+            return {t: 1.0 if t == EPSILON else tree.marginal(t) for t in targets}
+    out: dict[int, float] = {}
+    for t in targets:
+        if t == EPSILON:
+            out[t] = 1.0
+            continue
+        try:
+            out[t] = _dpll_marginal(subnet, t, dpll_max_calls, cache)
+        except CapacityError:
+            # DNF blow-up: retry with plain variable elimination, exactly
+            # the serial path's fallback.
+            out[t] = compute_marginal(subnet, t, "ve", dpll_max_calls)
+    return out
+
+
+def _merge_back(
+    out: dict[int, float], work: ComponentWork, solved: dict[int, float]
+) -> None:
+    for sub, prob in solved.items():
+        out[work.slice.to_orig(sub)] = prob
+
+
+def sliced_marginals(
+    net: AndOrNetwork,
+    nodes,
+    engine: str = "auto",
+    dpll_max_calls: int = 5_000_000,
+    cache: SubformulaCache | None = None,
+) -> dict[int, float]:
+    """Marginals of *nodes*, solving each connected component exactly once.
+
+    The serial half of the parallel layer (and the fallback
+    :func:`parallel_marginals` takes for small workloads): same grouping and
+    per-component engines, no process pool. A fresh subformula cache is
+    created when the caller does not supply one, so the per-component DPLL
+    solves still share work within the call.
+    """
+    out = {EPSILON: 1.0}
+    if cache is None:
+        cache = SubformulaCache()
+    for work in group_by_component(net, nodes):
+        solved = solve_slice(
+            work.slice.network,
+            work.targets,
+            engine,
+            dpll_max_calls,
+            cache,
+            narrow=work.narrow,
+        )
+        _merge_back(out, work, solved)
+    return out
+
+
+def _chunk_by_cost(
+    works: list[ComponentWork], chunks: int
+) -> list[list[int]]:
+    """LPT bin packing: indices of *works* split into ≤ *chunks* bins."""
+    bins: list[tuple[float, list[int]]] = [(0.0, []) for _ in range(chunks)]
+    heap = [(0.0, i) for i in range(chunks)]
+    heapq.heapify(heap)
+    order = sorted(
+        range(len(works)), key=lambda i: works[i].cost, reverse=True
+    )
+    for i in order:
+        load, b = heapq.heappop(heap)
+        bins[b][1].append(i)
+        heapq.heappush(heap, (load + works[i].cost, b))
+    return [members for _, members in bins if members]
+
+
+def _solve_chunk(payload):
+    """Worker entry point: solve a list of (subnet, targets) tasks.
+
+    Returns the per-task marginal dicts plus the worker's subformula-cache
+    entries, which the caller merges back (canonical keys are
+    rename-invariant, so they stay valid across the component id-remaps and
+    across workers).
+    """
+    tasks, engine, dpll_max_calls = payload
+    cache = SubformulaCache()
+    solved = [
+        solve_slice(subnet, targets, engine, dpll_max_calls, cache, narrow)
+        for subnet, targets, narrow in tasks
+    ]
+    return solved, cache.entries()
+
+
+def parallel_marginals(
+    net: AndOrNetwork,
+    nodes,
+    *,
+    workers: int | None = None,
+    engine: str = "auto",
+    dpll_max_calls: int = 5_000_000,
+    cache: SubformulaCache | None = None,
+    min_parallel_cost: float = DEFAULT_MIN_PARALLEL_COST,
+    chunks_per_worker: int = 4,
+) -> dict[int, float]:
+    """Marginals of *nodes* with component-parallel process fan-out.
+
+    With ``workers`` unset (or < 2), or when the components' total estimated
+    cost stays under *min_parallel_cost*, or when there is only one
+    component, this is exactly :func:`sliced_marginals` — small workloads
+    never pay pool startup. Otherwise the component slices are packed into
+    ``workers * chunks_per_worker`` cost-balanced chunks and solved by a
+    ``ProcessPoolExecutor``; worker cache entries are merged back into
+    *cache* afterwards, so later queries sharing the caller's cache still
+    benefit from the fan-out's work.
+
+    Worker failures propagate: an
+    :class:`~repro.errors.InferenceError` raised in a worker (e.g. the DPLL
+    call budget) re-raises in the caller, matching the serial path.
+    """
+    if engine not in ("auto", "ve", "dpll"):
+        raise ValueError(f"unknown inference engine {engine!r}")
+    works = group_by_component(net, nodes)
+    total_cost = sum(w.cost for w in works)
+    if (
+        workers is None
+        or workers < 2
+        or len(works) < 2
+        or total_cost < min_parallel_cost
+    ):
+        out = {EPSILON: 1.0}
+        if cache is None:
+            cache = SubformulaCache()
+        for work in works:
+            solved = solve_slice(
+                work.slice.network,
+                work.targets,
+                engine,
+                dpll_max_calls,
+                cache,
+                narrow=work.narrow,
+            )
+            _merge_back(out, work, solved)
+        return out
+    chunks = _chunk_by_cost(works, workers * chunks_per_worker)
+    out = {EPSILON: 1.0}
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            (
+                members,
+                pool.submit(
+                    _solve_chunk,
+                    (
+                        [
+                            (
+                                works[i].slice.network,
+                                works[i].targets,
+                                works[i].narrow,
+                            )
+                            for i in members
+                        ],
+                        engine,
+                        dpll_max_calls,
+                    ),
+                ),
+            )
+            for members in chunks
+        ]
+        for members, future in futures:
+            solved_list, entries = future.result()
+            for i, solved in zip(members, solved_list):
+                _merge_back(out, works[i], solved)
+            if cache is not None:
+                cache.merge(entries)
+    return out

@@ -1,0 +1,68 @@
+"""Smoke test for the parallel-inference benchmark runner (tiny instances)."""
+
+import json
+
+import pytest
+
+from repro.bench.parallel import main, run_benchmark
+
+
+def test_run_benchmark_payload_shape():
+    payload = run_benchmark(
+        sizes=(20, 40), n=4, queries=("P1",), seed=3, workers=(1, 2)
+    )
+    assert payload["benchmark"] == "parallel"
+    assert payload["workload"]["sizes"] == [20, 40]
+    assert payload["workload"]["workers"] == [1, 2]
+    assert payload["environment"]["cpu_count"] >= 1
+    assert len(payload["scaling"]) == 2
+    for point in payload["scaling"]:
+        assert point["serial_seconds"] > 0
+        assert point["sliced_seconds"] > 0
+        q = point["queries"]["P1"]
+        assert q["answers"] > 0
+        assert q["components"] > 0
+        assert q["sliced_max_abs_diff"] <= 1e-12
+        for w in ("1", "2"):
+            p = q["parallel"][w]
+            assert p["seconds"] > 0
+            assert p["max_abs_diff"] <= 1e-12
+        for w in (1, 2):
+            assert point[f"parallel_w{w}_seconds"] > 0
+    acceptance = payload["acceptance"]
+    assert acceptance["answers_agree_within_tolerance"] is True
+    assert acceptance["max_abs_diff"] <= 1e-12
+    assert acceptance["largest_instance_sliced_speedup"] > 0
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_parallel.json"
+    # tiny instances measure correctness plumbing, not throughput, so both
+    # speedup floors are relaxed; the committed BENCH_parallel.json uses the
+    # real 1.0x sliced floor at full scale.
+    code = main([
+        "--out", str(out), "--sizes", "20", "40", "--n", "4",
+        "--queries", "P1", "--workers", "1", "2",
+        "--min-sliced-speedup", "0.001",
+        "--min-parallel-speedup", "0", "--parallel-workers", "2",
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert {"benchmark", "workload", "environment", "scaling",
+            "acceptance"} <= set(payload)
+    acceptance = payload["acceptance"]
+    assert acceptance["sliced_at_least_min"] is True
+    assert acceptance["parallel_at_least_min"] is True
+    assert acceptance["parallel_scaling_enforced"] is False
+    assert "disabled" in acceptance["parallel_skipped_reason"]
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_main_rejects_bad_arguments(capsys):
+    with pytest.raises(SystemExit):
+        main(["--sizes", "0"])
+    with pytest.raises(SystemExit):
+        main(["--workers", "0"])
+    with pytest.raises(SystemExit):
+        main(["--workers", "1", "2", "--parallel-workers", "4"])
+    capsys.readouterr()

@@ -121,11 +121,25 @@ class TestValueInterner:
         # A later scalar lookup agrees with the vectorized encoding.
         assert interner.code_of(2) == encoded[2]
 
-    def test_string_column_falls_back_to_loop(self):
+    def test_string_fast_path_roundtrips(self):
+        # Strings vectorize like numbers (np.unique over a fixed-width
+        # array); code values follow sorted-unique order, but same value ->
+        # same code and decoding restores the column.
         interner = ValueInterner()
-        encoded = interner.encode_column(["b", "a", "b"])
-        assert encoded.tolist() == [0, 1, 0]
-        assert interner.decode_column(encoded) == ["b", "a", "b"]
+        values = ["b", "a", "b", "c", "a"]
+        encoded = interner.encode_column(values)
+        assert interner.decode_column(encoded) == values
+        assert encoded[0] == encoded[2]
+        assert encoded[1] == encoded[4]
+        assert len(set(encoded.tolist())) == 3
+        assert interner.code_of("c") == encoded[3]
+
+    def test_string_fast_path_interoperates_with_scalar_intern(self):
+        interner = ValueInterner()
+        interner.intern("m")
+        encoded = interner.encode_column(["m", "n", "m"])
+        assert encoded[0] == interner.code_of("m") == 0
+        assert interner.decode_column(encoded) == ["m", "n", "m"]
 
     def test_mixed_types_are_not_coerced(self):
         # np.asarray would coerce [1, "1"] to strings, silently merging
@@ -366,6 +380,89 @@ class TestColumnarOperators:
         )
         with pytest.raises(SchemaError):
             pl_join_raw(a, c, ["A"])
+
+
+# ----------------------------------------------------------- compiled predicates
+class TestComparison:
+    OPS_ON_B = {
+        "==": lambda b: b == 10,
+        "!=": lambda b: b != 10,
+        "<": lambda b: b < 20,
+        "<=": lambda b: b <= 20,
+        ">": lambda b: b > 10,
+        ">=": lambda b: b >= 20,
+    }
+
+    @pytest.mark.parametrize("op", sorted(OPS_ON_B))
+    def test_all_ops_match_row_engine(self, op):
+        row_rel, col_rel = make_pair(ROWS)
+        value = 10 if op in ("==", "!=", ">") else 20
+        cmp = columnar.Comparison("B", op, value)
+        got = select_where(col_rel, cmp)
+        want = select_where(row_rel, cmp)
+        assert_same_relation(want, got)
+        ref = self.OPS_ON_B[op]
+        assert [r for r, _, _ in got.items()] == [
+            r for r, _, _ in ROWS if ref(r[1])
+        ]
+
+    def test_unseen_constant_equal_is_empty(self):
+        row_rel, col_rel = make_pair(ROWS)
+        cmp = columnar.Comparison("A", "==", 777)
+        assert len(select_where(col_rel, cmp)) == 0
+        assert len(select_where(row_rel, cmp)) == 0
+
+    def test_unseen_constant_not_equal_keeps_all(self):
+        row_rel, col_rel = make_pair(ROWS)
+        cmp = columnar.Comparison("A", "!=", 777)
+        assert_same_relation(
+            select_where(row_rel, cmp), select_where(col_rel, cmp)
+        )
+        assert len(select_where(col_rel, cmp)) == len(ROWS)
+
+    def test_conjunction_of_comparisons(self):
+        row_rel, col_rel = make_pair(ROWS)
+        preds = [
+            columnar.Comparison("A", "==", 2),
+            columnar.Comparison("B", "<", 30),
+        ]
+        got = select_where(col_rel, preds)
+        assert_same_relation(select_where(row_rel, preds), got)
+        assert [r for r, _, _ in got.items()] == [(2, 10)]
+
+    def test_string_ordering(self):
+        rows = [
+            (("ant", "x"), EPSILON, 0.5),
+            (("bee", "y"), EPSILON, 0.25),
+            (("cat", "z"), EPSILON, 0.75),
+        ]
+        row_rel, col_rel = make_pair(rows)
+        cmp = columnar.Comparison("A", "<=", "bee")
+        got = select_where(col_rel, cmp)
+        assert_same_relation(select_where(row_rel, cmp), got)
+        assert [r for r, _, _ in got.items()] == [("ant", "x"), ("bee", "y")]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(SchemaError):
+            columnar.Comparison("A", "~", 1)
+
+    def test_unknown_attribute_rejected(self):
+        _, col_rel = make_pair(ROWS)
+        with pytest.raises(SchemaError):
+            select_where(col_rel, columnar.Comparison("Z", "==", 1))
+
+    def test_matches_row_at_a_time(self):
+        cmp = columnar.Comparison("A", ">=", 3)
+        index_of = {"A": 0}.__getitem__
+        assert cmp.matches((3, "x"), index_of)
+        assert not cmp.matches((2, "x"), index_of)
+
+    def test_mixed_list_falls_back_to_callable_error(self):
+        # a list mixing Comparison with a plain callable is not a compiled
+        # conjunction; it must be rejected rather than half-compiled
+        _, col_rel = make_pair(ROWS)
+        with pytest.raises(TypeError):
+            select_where(col_rel, [columnar.Comparison("A", "==", 1), len])
 
 
 # ----------------------------------------------------------------- round-trip

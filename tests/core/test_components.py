@@ -1,0 +1,134 @@
+"""Tests for connected-component decomposition of And-Or networks."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.inference import compute_marginal
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.db import ProbabilisticDatabase
+from repro.query.parser import parse_query
+
+from tests.core.test_inference import random_network
+
+
+def two_component_network():
+    net = AndOrNetwork()
+    a, b = net.add_leaf(0.3), net.add_leaf(0.6)
+    g = net.add_gate(NodeKind.OR, [(a, 1.0), (b, 0.5)])
+    c = net.add_leaf(0.9)
+    h = net.add_gate(NodeKind.AND, [(c, 1.0), (EPSILON, 0.7)])
+    return net, (a, b, g), (c, h)
+
+
+class TestComponents:
+    def test_epsilon_has_no_component(self):
+        net, _, _ = two_component_network()
+        assert net.components().of(EPSILON) == -1
+
+    def test_two_components_first_occurrence_labels(self):
+        net, first, second = two_component_network()
+        components = net.components()
+        assert components.count == 2
+        assert {components.of(v) for v in first} == {0}
+        assert {components.of(v) for v in second} == {1}
+
+    def test_epsilon_edges_do_not_merge_components(self):
+        # ε feeds both gates; a probability-1 constant correlates nothing,
+        # so the two gates must stay in separate components.
+        net = AndOrNetwork()
+        x, y = net.add_leaf(0.5), net.add_leaf(0.5)
+        g = net.add_gate(NodeKind.OR, [(x, 1.0), (EPSILON, 0.5)])
+        h = net.add_gate(NodeKind.OR, [(y, 1.0), (EPSILON, 0.5)])
+        components = net.components()
+        assert components.of(g) != components.of(h)
+
+    def test_members_and_sizes(self):
+        net, first, second = two_component_network()
+        components = net.components()
+        assert set(components.members(0).tolist()) == set(first)
+        assert set(components.members(1).tolist()) == set(second)
+        assert sorted(components.sizes().tolist()) == [2, 3]
+
+    def test_cache_invalidated_by_growth(self):
+        net, first, _ = two_component_network()
+        before = net.components()
+        x = net.add_leaf(0.5)
+        net.add_gate(NodeKind.AND, [(x, 1.0), (first[0], 1.0)])
+        after = net.components()
+        assert len(after.labels) == len(net)
+        # new leaf and gate both joined component 0 through first[0]
+        assert after.count == 2
+        assert after.of(x) == after.of(first[0])
+        assert len(before.labels) < len(after.labels)
+
+    def test_all_singleton_components(self):
+        net = AndOrNetwork()
+        leaves = [net.add_leaf(0.1 * (i + 1)) for i in range(5)]
+        components = net.components()
+        assert components.count == 5
+        assert len({components.of(v) for v in leaves}) == 5
+
+
+class TestExtractComponent:
+    def test_epsilon_rejected(self):
+        net, _, _ = two_component_network()
+        with pytest.raises(ValueError):
+            net.extract_component(EPSILON)
+
+    def test_roundtrip_id_mapping(self):
+        net, first, _ = two_component_network()
+        part = net.extract_component(first[0])
+        assert len(part) == 1 + len(first)  # ε plus the component
+        for v in first:
+            assert part.to_orig(part.to_sub(v)) == v
+        with pytest.raises(KeyError):
+            part.to_sub(net.components().members(1)[0])
+
+    def test_marginals_preserved_random(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            net = random_network(rng, rng.randint(2, 6), rng.randint(1, 6))
+            for v in list(net.nodes()):
+                if v == EPSILON:
+                    continue
+                part = net.extract_component(v)
+                sub = part.to_sub(v)
+                assert compute_marginal(part.network, sub) == pytest.approx(
+                    compute_marginal(net, v), abs=1e-12
+                )
+
+    def test_subnetwork_is_picklable(self):
+        net, first, _ = two_component_network()
+        part = net.extract_component(first[2])
+        clone = pickle.loads(pickle.dumps(part.network))
+        assert len(clone) == len(part.network)
+        v = part.to_sub(first[2])
+        assert compute_marginal(clone, v) == pytest.approx(
+            compute_marginal(net, first[2]), abs=1e-15
+        )
+
+    def test_query_network_one_component_per_answer(self):
+        db = ProbabilisticDatabase()
+        rng = random.Random(1)
+        # per-answer disjoint joins: answer x touches only S(x), so no two
+        # answers share a base tuple and their lineages must not connect
+        db.add_relation(
+            "R", ("A", "B"),
+            {(i, i): rng.uniform(0.2, 0.9) for i in range(4)}
+            | {(i, i + 10): rng.uniform(0.2, 0.9) for i in range(4)},
+        )
+        db.add_relation(
+            "S", ("B",),
+            {(j,): rng.uniform(0.2, 0.9) for j in range(4)}
+            | {(j + 10,): rng.uniform(0.2, 0.9) for j in range(4)},
+        )
+        query = parse_query("q(x) :- R(x,y), S(y)")
+        result = PartialLineageEvaluator(db).evaluate_query(query)
+        nodes = {l for _, l, _ in result.relation.items()} - {EPSILON}
+        components = result.network.components()
+        labels = {components.of(v) for v in nodes}
+        # distinct answers never share a component on this product instance
+        assert len(labels) == len(nodes)

@@ -88,3 +88,82 @@ def test_sec54_networks_are_tree_factorable():
     out = tree_marginals(result.network)
     ((_, l, p),) = list(result.relation.items())
     assert p * out[l] == pytest.approx(result.boolean_probability())
+
+
+# ------------------------------------------------------------- batched kernel
+def scalar_reference(net: AndOrNetwork) -> dict[int, float]:
+    """The pre-batching recurrence: one Python pass, one gate at a time."""
+    out: dict[int, float] = {}
+    for v in net.nodes():
+        if net.kind(v) is NodeKind.LEAF:
+            out[v] = net.leaf_probability(v)
+            continue
+        if net.kind(v) is NodeKind.AND:
+            prob = 1.0
+            for w, q in net.parents(v):
+                prob *= q * out[w]
+        else:
+            prob = 1.0
+            for w, q in net.parents(v):
+                prob *= 1.0 - q * out[w]
+            prob = 1.0 - prob
+        out[v] = prob
+    return out
+
+
+def random_forest_network(rng: random.Random, leaves: int) -> AndOrNetwork:
+    net = AndOrNetwork()
+    available = [net.add_leaf(rng.uniform(0.05, 0.95)) for _ in range(leaves)]
+    while len(available) > 1 and rng.random() < 0.9:
+        k = rng.randint(1, min(3, len(available)))
+        parents = [available.pop() for _ in range(k)]
+        kind = rng.choice([NodeKind.AND, NodeKind.OR])
+        available.append(net.add_gate(
+            kind,
+            [(w, rng.choice([1.0, rng.uniform(0.2, 0.9)])) for w in parents],
+        ))
+    return net
+
+
+def test_batched_kernel_matches_scalar_reference():
+    from repro.core.treeprop import tree_marginals_array
+
+    rng = random.Random(11)
+    for _ in range(60):
+        net = random_forest_network(rng, rng.randint(1, 9))
+        arr = tree_marginals_array(net)
+        ref = scalar_reference(net)
+        for v, expected in ref.items():
+            assert arr[v] == pytest.approx(expected, abs=1e-14), v
+
+
+def test_batched_kernel_deep_chain():
+    from repro.core.treeprop import tree_marginals_array
+
+    net = AndOrNetwork()
+    node = net.add_leaf(0.9)
+    for i in range(200):
+        kind = NodeKind.AND if i % 2 else NodeKind.OR
+        node = net.add_gate(kind, [(node, 0.99)])
+    arr = tree_marginals_array(net)
+    ref = scalar_reference(net)
+    assert arr[node] == pytest.approx(ref[node], abs=1e-14)
+
+
+def test_batched_kernel_leaf_only_network():
+    from repro.core.treeprop import tree_marginals_array
+
+    net = AndOrNetwork()
+    a = net.add_leaf(0.25)
+    arr = tree_marginals_array(net)
+    assert arr[EPSILON] == 1.0
+    assert arr[a] == pytest.approx(0.25)
+
+
+def test_dict_view_delegates_to_kernel():
+    from repro.core.treeprop import tree_marginals, tree_marginals_array
+
+    rng = random.Random(4)
+    net = random_forest_network(rng, 6)
+    arr = tree_marginals_array(net)
+    assert tree_marginals(net) == {v: arr[v] for v in net.nodes()}
