@@ -56,6 +56,14 @@ from repro.lineage.events import (
     ucq_probability,
 )
 from repro.mc import mc_answer_probabilities, mc_query_probability
+from repro.obs import (
+    ExplainReport,
+    MetricsRegistry,
+    Tracer,
+    build_explain_report,
+    span,
+    traced,
+)
 from repro.bid import BIDDatabase, BIDRelation, bid_query_probability
 from repro.core.safety import PlanSafetyReport, analyze_plan, join_is_data_safe
 from repro.db import (
@@ -197,6 +205,13 @@ __all__ = [
     "conditional_probability",
     "mc_query_probability",
     "mc_answer_probabilities",
+    # observability
+    "Tracer",
+    "span",
+    "traced",
+    "MetricsRegistry",
+    "ExplainReport",
+    "build_explain_report",
     # errors
     "ReproError",
     "SchemaError",

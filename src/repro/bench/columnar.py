@@ -34,14 +34,16 @@ Run ``PYTHONPATH=src python -m repro.bench.columnar --help`` (or
 from __future__ import annotations
 
 import argparse
-import platform
 import sys
 import time
 
-import numpy as np
-
-from repro.bench.reporting import write_json_report
+from repro.bench.reporting import (
+    acceptance_exit_code,
+    bench_environment,
+    write_bench_report,
+)
 from repro.core.executor import PartialLineageEvaluator
+from repro.obs.metrics import MetricsRegistry
 from repro.workload.generator import WorkloadParams, generate_database
 from repro.workload.queries import TABLE1_QUERIES
 
@@ -182,10 +184,7 @@ def run_benchmark(
             "sizes": sorted(sizes),
             "queries": list(queries),
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "environment": bench_environment(),
         "scaling": scaling,
         "acceptance": acceptance,
     }
@@ -227,7 +226,15 @@ def main(argv: list[str] | None = None) -> int:
     payload["acceptance"]["speedup_at_least_min"] = (
         payload["acceptance"]["largest_instance_speedup"] >= args.min_speedup
     )
-    path = write_json_report(args.out, payload)
+    registry = MetricsRegistry()
+    for point in payload["scaling"]:
+        registry.observe("columnar.eval_speedup", point["eval_speedup"])
+        registry.observe("columnar.tuples", point["tuples"])
+    registry.gauge(
+        "columnar.largest_eval_speedup",
+        payload["acceptance"]["largest_instance_speedup"],
+    )
+    path = write_bench_report(args.out, payload, registry)
     for point in payload["scaling"]:
         print(f"m={point['m']:>6} ({point['tuples']} tuples): "
               f"rows {point['rows_eval_seconds']:.3f}s, "
@@ -235,8 +242,7 @@ def main(argv: list[str] | None = None) -> int:
               f"-> {point['eval_speedup']:.1f}x")
     print(f"acceptance:           {payload['acceptance']}")
     print(f"wrote {path}")
-    checks = [v for v in payload["acceptance"].values() if isinstance(v, bool)]
-    return 0 if all(checks) else 1
+    return acceptance_exit_code(payload["acceptance"])
 
 
 if __name__ == "__main__":

@@ -20,17 +20,19 @@ as an artifact, so the numbers form a trajectory across PRs.
 from __future__ import annotations
 
 import argparse
-import platform
 import random
 import sys
 import time
 
-import numpy as np
-
 from repro.bench.harness import run_full_lineage, run_partial_lineage
-from repro.bench.reporting import write_json_report
+from repro.bench.reporting import (
+    acceptance_exit_code,
+    bench_environment,
+    write_bench_report,
+)
 from repro.lineage.dnf import answer_lineages
 from repro.lineage.exact import dnf_probability
+from repro.obs.metrics import MetricsRegistry
 from repro.lineage.sampling import karp_luby, naive_monte_carlo
 from repro.mc.engine import mc_query_probability
 from repro.perf.cache import SubformulaCache
@@ -203,10 +205,7 @@ def run_benchmark(
             "mc_query": mc_query,
             "cache_queries": list(cache_queries),
         },
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "environment": bench_environment(),
         "sampling": sampling,
         "dpll_cache": cache_section,
         "acceptance": acceptance,
@@ -243,7 +242,11 @@ def main(argv: list[str] | None = None) -> int:
         samples=args.samples, n=args.n, m=args.m, seed=args.seed,
         mc_query=args.query,
     )
-    path = write_json_report(args.out, payload)
+    registry = MetricsRegistry()
+    for name, section in payload["sampling"].items():
+        registry.absorb(f"sampling.{name}", section)
+    registry.absorb("dpll_cache", payload["dpll_cache"]["totals"])
+    path = write_bench_report(args.out, payload, registry)
     kl = payload["sampling"]["karp_luby"]
     mcq = payload["sampling"]["mc_query_probability"]
     totals = payload["dpll_cache"]["totals"]
@@ -256,8 +259,7 @@ def main(argv: list[str] | None = None) -> int:
           f"{totals['misses']} misses (hit rate {totals['hit_rate']:.2%})")
     print(f"acceptance:           {payload['acceptance']}")
     print(f"wrote {path}")
-    checks = [v for v in payload["acceptance"].values() if isinstance(v, bool)]
-    return 0 if all(checks) else 1
+    return acceptance_exit_code(payload["acceptance"])
 
 
 if __name__ == "__main__":

@@ -5,13 +5,23 @@ the figure plots (method × parameter → seconds), as aligned text tables that
 land in ``bench_output.txt``. Machine-readable trajectories (per-method work
 counters: samples/sec, cache hit-rates, speedups) are written as JSON via
 :func:`write_json_report` so successive PRs can be compared mechanically.
+
+The three suite runners share their report plumbing here instead of each
+carrying its own copy: :func:`bench_environment` is the one environment
+stamp (Python/NumPy versions, CPU count, git SHA), :func:`write_bench_report`
+folds it plus an optional :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot into every ``BENCH_*.json``, and :func:`acceptance_exit_code` turns
+an acceptance dict into the process exit code.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
-from typing import Sequence
+import platform
+import subprocess
+from typing import Iterable, Sequence
 
 
 def format_table(
@@ -120,6 +130,98 @@ def write_json_report(path: str | pathlib.Path, payload: dict) -> pathlib.Path:
     path = pathlib.Path(path)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def git_sha() -> str | None:
+    """HEAD commit of the repository containing this package, or ``None``.
+
+    Benchmarks embed it so a ``BENCH_*.json`` trajectory point can always be
+    traced back to the code that produced it. Outside a git checkout (or
+    without a ``git`` binary) the stamp is simply absent.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def bench_environment() -> dict:
+    """The environment stamp every benchmark payload carries.
+
+    Examples
+    --------
+    >>> env = bench_environment()
+    >>> sorted(k for k in env if k != "git_sha")
+    ['cpu_count', 'numpy', 'python']
+    """
+    import numpy as np
+
+    env = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    sha = git_sha()
+    if sha is not None:
+        env["git_sha"] = sha
+    return env
+
+
+def write_bench_report(
+    path: str | pathlib.Path, payload: dict, registry=None
+) -> pathlib.Path:
+    """Stamp and write one benchmark payload.
+
+    Fills ``payload["environment"]`` with :func:`bench_environment` (keys the
+    runner already set win) and, when a
+    :class:`~repro.obs.metrics.MetricsRegistry` is passed, embeds its
+    snapshot as ``payload["metrics"]``; then writes via
+    :func:`write_json_report`.
+    """
+    payload = dict(payload)
+    environment = dict(payload.get("environment") or {})
+    for key, value in bench_environment().items():
+        environment.setdefault(key, value)
+    payload["environment"] = environment
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    return write_json_report(path, payload)
+
+
+def acceptance_exit_code(
+    acceptance: dict, ignore: Iterable[str] = ()
+) -> int:
+    """Exit code from an acceptance dict: 0 iff every boolean check passed.
+
+    Non-boolean entries (tolerances, measured values) are descriptors, not
+    checks; *ignore* names boolean entries that are descriptors too (e.g.
+    the parallel suite's ``parallel_scaling_enforced``).
+
+    Examples
+    --------
+    >>> acceptance_exit_code({"ok": True, "tolerance": 1e-12})
+    0
+    >>> acceptance_exit_code({"ok": False, "tolerance": 1e-12})
+    1
+    >>> acceptance_exit_code({"ok": True, "enforced": False},
+    ...                      ignore=("enforced",))
+    0
+    """
+    ignored = set(ignore)
+    checks = [
+        value
+        for key, value in acceptance.items()
+        if isinstance(value, bool) and key not in ignored
+    ]
+    return 0 if all(checks) else 1
 
 
 def _fmt(value: object) -> str:

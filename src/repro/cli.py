@@ -1,10 +1,17 @@
 """Command-line interface.
 
-Four subcommands, mirroring how the paper's system is exercised:
+Five subcommands, mirroring how the paper's system is exercised:
 
 ``repro query``
     Evaluate a conjunctive query over a CSV-backed probabilistic database
     and print per-answer probabilities plus the data-safety report.
+``repro explain``
+    Evaluate one query and print the full :class:`repro.obs.ExplainReport`:
+    offending tuples per relation, the component histogram of the And-Or
+    network, the inference engine chosen per component with estimated vs
+    actual cost, and subformula-cache hit rates. ``--workload`` explains a
+    Table 1 query on a generated Section 6.1 instance instead of a CSV
+    database; ``--json`` writes the machine-readable report.
 ``repro workload``
     Generate a Section 6.1 benchmark instance and run a Table 1 query with
     the competing methods, printing the comparison row. ``--seed`` feeds
@@ -25,7 +32,9 @@ Four subcommands, mirroring how the paper's system is exercised:
 ``query`` and ``workload`` accept ``--engine {columnar,rows}`` to pick the
 operator backend of the partial-lineage evaluator (columnar by default),
 and ``--workers`` to fan final inference out over a process pool
-(in-process by default).
+(in-process by default). ``query``, ``workload``, and ``explain`` all take
+``--trace PATH`` (write a Chrome trace-event JSON of the run, workers
+included) and ``--profile`` (print the span tree with wall/CPU times).
 
 Database directory format: one ``<Relation>.csv`` per relation, first line a
 header of attribute names, a trailing ``p`` column with the tuple
@@ -37,6 +46,7 @@ Run ``python -m repro.cli --help`` for details.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
@@ -46,7 +56,7 @@ from repro.bench.harness import (
     run_partial_lineage_sqlite,
     run_sampling,
 )
-from repro.bench.reporting import format_table
+from repro.bench.reporting import format_table, write_json_report
 from repro.core.executor import PartialLineageEvaluator
 from repro.core.explain import explain
 from repro.core.optimizer import choose_join_order
@@ -54,10 +64,31 @@ from repro.core.plan import left_deep_plan
 from repro.errors import ReproError, UnsafePlanError
 from repro.io import load_database, save_database
 from repro.extensional import safe_plan
+from repro.obs import Tracer, format_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.query.hierarchy import is_hierarchical, is_strictly_hierarchical
 from repro.query.parser import parse_query
 from repro.workload.generator import WorkloadParams, generate_database
 from repro.workload.queries import TABLE1_QUERIES, benchmark_query
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace):
+    """Activate a tracer while the command works when ``--trace``/``--profile``
+    ask for one; export the span forest afterwards."""
+    trace_path = getattr(args, "trace", None)
+    profile = getattr(args, "profile", False)
+    if not trace_path and not profile:
+        yield
+        return
+    with Tracer() as tracer:
+        yield
+    if profile:
+        print()
+        print(format_trace(tracer.roots))
+    if trace_path:
+        path = write_chrome_trace(trace_path, tracer.roots)
+        print(f"wrote Chrome trace to {path} ({tracer.total_spans()} spans)")
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -76,17 +107,65 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.explain:
         print(explain(left_deep_plan(query, order), db))
         print()
-    start = time.perf_counter()
-    result = evaluator.evaluate_query(query, order)
-    answers = result.answer_probabilities()
-    elapsed = time.perf_counter() - start
-    rows = [(", ".join(map(str, row)) or "()", round(p, args.digits))
-            for row, p in sorted(answers.items())]
-    print(format_table(("answer", "probability"), rows, title=str(query)))
-    print(f"\n{len(answers)} answers in {elapsed:.3f}s; "
-          f"{result.offending_count} offending tuples; "
-          f"network of {len(result.network)} nodes; "
-          f"{'data safe (fully extensional)' if result.is_data_safe else 'mixed evaluation'}")
+    with _observed(args):
+        start = time.perf_counter()
+        result = evaluator.evaluate_query(query, order)
+        answers = result.answer_probabilities()
+        elapsed = time.perf_counter() - start
+        rows = [(", ".join(map(str, row)) or "()", round(p, args.digits))
+                for row, p in sorted(answers.items())]
+        print(format_table(("answer", "probability"), rows, title=str(query)))
+        print(f"\n{len(answers)} answers in {elapsed:.3f}s; "
+              f"{result.offending_count} offending tuples; "
+              f"network of {len(result.network)} nodes; "
+              f"{'data safe (fully extensional)' if result.is_data_safe else 'mixed evaluation'}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import build_explain_report
+
+    if args.workload:
+        if args.query not in TABLE1_QUERIES:
+            print(f"error: --workload expects a Table 1 query name, one of "
+                  f"{', '.join(sorted(TABLE1_QUERIES))}", file=sys.stderr)
+            return 2
+        bench = benchmark_query(args.query)
+        params = WorkloadParams(
+            N=args.n, m=args.m, fanout=args.fanout,
+            r_f=args.rf, r_d=args.rd, seed=args.seed,
+        )
+        db = generate_database(params)
+        query = bench.query
+        order = (
+            args.join_order.split(",")
+            if args.join_order
+            else list(bench.join_order)
+        )
+        print(f"generated {db.total_tuples()} tuples "
+              f"(N={args.n}, m={args.m}, r_f={args.rf}, r_d={args.rd})")
+    else:
+        if not args.database:
+            print("error: explain needs either --database DIR or --workload",
+                  file=sys.stderr)
+            return 2
+        db = load_database(args.database)
+        query = parse_query(args.query)
+        order = args.join_order.split(",") if args.join_order else None
+    registry = MetricsRegistry()
+    with _observed(args):
+        report, _ = build_explain_report(
+            db,
+            query,
+            join_order=order,
+            engine=args.engine,
+            workers=args.workers,
+            registry=registry,
+        )
+        print(report.format())
+    if args.json:
+        path = write_json_report(args.json, report.as_dict())
+        print(f"wrote {path}")
     return 0
 
 
@@ -139,23 +218,24 @@ def cmd_workload(args: argparse.Namespace) -> int:
                 method=args.mc_method,
             )
         )
-    rows = []
-    for method in methods:
-        outcome = method(db, bench)
-        rows.append(
-            (
-                outcome.method,
-                "dnf" if outcome.timed_out else f"{outcome.seconds:.4f}",
-                outcome.offending or "-",
-                len(outcome.answers),
-                f"{outcome.samples_per_sec:.0f}" if outcome.samples_per_sec else "-",
+    with _observed(args):
+        rows = []
+        for method in methods:
+            outcome = method(db, bench)
+            rows.append(
+                (
+                    outcome.method,
+                    "dnf" if outcome.timed_out else f"{outcome.seconds:.4f}",
+                    outcome.offending or "-",
+                    len(outcome.answers),
+                    f"{outcome.samples_per_sec:.0f}" if outcome.samples_per_sec else "-",
+                )
             )
-        )
-    print(format_table(
-        ("method", "seconds", "#offending", "#answers", "samples/s"),
-        rows,
-        title=f"query {args.query}: {bench.text}",
-    ))
+        print(format_table(
+            ("method", "seconds", "#offending", "#answers", "samples/s"),
+            rows,
+            title=f"query {args.query}: {bench.text}",
+        ))
     return 0
 
 
@@ -199,6 +279,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return mc_dpll.main(argv)
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace-event JSON of the run "
+                             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the span tree with wall/CPU times after "
+                             "the run")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,7 +310,40 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--workers", type=int, default=None,
                    help="process-pool size for component-parallel final "
                         "inference (default: in-process)")
+    _add_observability_flags(q)
     q.set_defaults(func=cmd_query)
+
+    e = sub.add_parser(
+        "explain",
+        help="full evaluation report for one query: offending tuples, "
+             "network components, per-component engine choices, cache "
+             "hit rates",
+    )
+    e.add_argument("query",
+                   help="datalog-style query text (with --database), or a "
+                        "Table 1 query name (with --workload)")
+    e.add_argument("--database", metavar="DIR",
+                   help="directory of <Relation>.csv files")
+    e.add_argument("--workload", action="store_true",
+                   help="treat QUERY as a Table 1 name and explain it on a "
+                        "generated Section 6.1 instance")
+    e.add_argument("--n", type=int, default=2, help="[workload] N")
+    e.add_argument("--m", type=int, default=50, help="[workload] m")
+    e.add_argument("--fanout", type=int, default=3)
+    e.add_argument("--rf", type=float, default=0.1)
+    e.add_argument("--rd", type=float, default=1.0)
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--join-order", help="comma-separated relation names")
+    e.add_argument("--engine", default="columnar",
+                   choices=("columnar", "rows"),
+                   help="operator backend for the pL evaluator")
+    e.add_argument("--workers", type=int, default=None,
+                   help="recorded pool size (the report itself solves "
+                        "in-process to measure per-slice timings)")
+    e.add_argument("--json", metavar="PATH",
+                   help="also write the report as JSON")
+    _add_observability_flags(e)
+    e.set_defaults(func=cmd_explain)
 
     a = sub.add_parser("analyze", help="static safety analysis of a query")
     a.add_argument("query")
@@ -251,6 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--workers", type=int, default=None,
                    help="process-pool size for component-parallel final "
                         "inference (default: in-process)")
+    _add_observability_flags(w)
     w.set_defaults(func=cmd_workload)
 
     b = sub.add_parser(

@@ -40,6 +40,7 @@ from repro.core.plrelation import PLRelation
 from repro.db.relation import ProbabilisticRelation
 from repro.db.schema import Row
 from repro.errors import CapacityError, SchemaError
+from repro.obs.trace import span as _span
 
 __all__ = [
     "ValueInterner",
@@ -253,10 +254,11 @@ class ColumnarPLRelation:
 
     def to_rows(self) -> PLRelation:
         """Convert to a row-engine :class:`PLRelation` (same network)."""
-        out = PLRelation(self.attributes, self.network, name=self.name)
-        for row, l, p in self.items():
-            out.add(row, l, p)
-        return out
+        with _span("to_rows", tuples=len(self)):
+            out = PLRelation(self.attributes, self.network, name=self.name)
+            for row, l, p in self.items():
+                out.add(row, l, p)
+            return out
 
     def _take(
         self, indices: np.ndarray, name: str, positions: Sequence[int] | None = None
@@ -316,6 +318,11 @@ def encode_base(
     codes = np.empty((n, k), dtype=np.int64)
     if not n:
         return codes, np.empty(0, dtype=np.float64)
+    with _span("encode_base", relation=relation.name, tuples=n):
+        return _encode_base(relation, interner, codes, n, k)
+
+
+def _encode_base(relation, interner, codes, n, k):
     rows = relation.rows()
     probs = np.fromiter(
         (p for _, p in relation.items()), dtype=np.float64, count=n

@@ -35,6 +35,7 @@ from repro.core.network import EPSILON, AndOrNetwork
 from repro.core.operators import pl_join, project, select_eq
 from repro.core.plan import Join, Plan, Project, Scan, Select, left_deep_plan, plan_schema
 from repro.core.plrelation import PLRelation
+from repro.obs.trace import span as _span
 from repro.db.database import ProbabilisticDatabase
 from repro.db.schema import Row
 from repro.errors import PlanError
@@ -53,6 +54,16 @@ class OperatorStat:
     conditioned: int = 0
     #: Wall-clock spent in this operator alone (children excluded).
     seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, the shape a
+        :class:`~repro.obs.metrics.MetricsRegistry` absorbs."""
+        return {
+            "operator": self.operator,
+            "output_size": self.output_size,
+            "conditioned": self.conditioned,
+            "seconds": self.seconds,
+        }
 
 
 @dataclass(frozen=True)
@@ -133,28 +144,38 @@ class EvaluationResult:
         rows = list(self.relation.items())
         nodes = [l for _, l, _ in rows]
         marginals: dict[int, float]
-        if engine == "tree" or (
-            engine == "auto" and is_tree_factorable(self.network)
-        ):
-            marginals = tree_marginals(self.network, check=engine == "tree")
-        elif engine == "junction":
-            marginals = all_marginals(self.network, nodes)
-        elif engine == "serial":
-            marginals = {EPSILON: 1.0}
-            for l in nodes:
-                if l not in marginals:
-                    marginals[l] = compute_marginal(
-                        self.network, l, "auto", dpll_max_calls, cache
-                    )
-        else:
-            marginals = parallel_marginals(
-                self.network,
-                nodes,
-                workers=workers if workers is not None else self.workers,
-                engine=engine,
-                dpll_max_calls=dpll_max_calls,
-                cache=cache,
-            )
+        with _span(
+            "answer_probabilities", engine=engine, nodes=len(self.network)
+        ) as sp:
+            if engine == "tree" or (
+                engine == "auto" and is_tree_factorable(self.network)
+            ):
+                sp.annotate(path="tree")
+                marginals = tree_marginals(
+                    self.network, check=engine == "tree"
+                )
+            elif engine == "junction":
+                sp.annotate(path="junction")
+                marginals = all_marginals(self.network, nodes)
+            elif engine == "serial":
+                sp.annotate(path="serial")
+                marginals = {EPSILON: 1.0}
+                for l in nodes:
+                    if l not in marginals:
+                        marginals[l] = compute_marginal(
+                            self.network, l, "auto", dpll_max_calls, cache
+                        )
+            else:
+                sp.annotate(path="sliced")
+                marginals = parallel_marginals(
+                    self.network,
+                    nodes,
+                    workers=workers if workers is not None else self.workers,
+                    engine=engine,
+                    dpll_max_calls=dpll_max_calls,
+                    cache=cache,
+                )
+            sp.add("answers", len(rows))
         return {row: p * marginals[l] for row, l, p in rows}
 
     def approximate_answer_probabilities(
@@ -291,45 +312,55 @@ class PartialLineageEvaluator:
     ) -> PLRelation:
         # The operators dispatch on the relation type, so the recursion is
         # engine-agnostic; only the scan differs. Each operator's own wall
-        # time (children excluded) lands in its OperatorStat.
+        # time (children excluded) lands in its OperatorStat, and — when a
+        # tracer is active — in a per-operator span.
         if isinstance(plan, Scan):
-            start = time.perf_counter()
-            rel = (
-                self._scan_columnar(plan, network)
-                if self.engine == "columnar"
-                else self._scan(plan, network)
-            )
-            seconds = time.perf_counter() - start
+            with _span("scan", op=str(plan), engine=self.engine) as sp:
+                start = time.perf_counter()
+                rel = (
+                    self._scan_columnar(plan, network)
+                    if self.engine == "columnar"
+                    else self._scan(plan, network)
+                )
+                seconds = time.perf_counter() - start
+                sp.add("output_size", len(rel))
         elif isinstance(plan, Select):
             child = self._eval(plan.child, network, stats, provenance)
-            start = time.perf_counter()
-            rel = select_eq(child, dict(plan.conditions))
-            seconds = time.perf_counter() - start
+            with _span("select", op=str(plan), engine=self.engine) as sp:
+                start = time.perf_counter()
+                rel = select_eq(child, dict(plan.conditions))
+                seconds = time.perf_counter() - start
+                sp.add("output_size", len(rel))
         elif isinstance(plan, Project):
             child = self._eval(plan.child, network, stats, provenance)
-            start = time.perf_counter()
-            rel = project(child, plan.attributes)
-            seconds = time.perf_counter() - start
+            with _span("project", op=str(plan), engine=self.engine) as sp:
+                start = time.perf_counter()
+                rel = project(child, plan.attributes)
+                seconds = time.perf_counter() - start
+                sp.add("output_size", len(rel))
         elif isinstance(plan, Join):
             left = self._eval(plan.left, network, stats, provenance)
             right = self._eval(plan.right, network, stats, provenance)
-            start = time.perf_counter()
-            rel, conditioned = pl_join(
-                left,
-                right,
-                plan.on,
-                recorder=lambda node, source, row: provenance.append(
-                    OffendingTuple(source, row, node)
-                ),
-            )
-            stats.append(
-                OperatorStat(
-                    str(plan),
-                    output_size=len(rel),
-                    conditioned=conditioned,
-                    seconds=time.perf_counter() - start,
+            with _span("join", op=str(plan), engine=self.engine) as sp:
+                start = time.perf_counter()
+                rel, conditioned = pl_join(
+                    left,
+                    right,
+                    plan.on,
+                    recorder=lambda node, source, row: provenance.append(
+                        OffendingTuple(source, row, node)
+                    ),
                 )
-            )
+                sp.add("output_size", len(rel))
+                sp.add("conditioned", conditioned)
+                stats.append(
+                    OperatorStat(
+                        str(plan),
+                        output_size=len(rel),
+                        conditioned=conditioned,
+                        seconds=time.perf_counter() - start,
+                    )
+                )
             return rel
         else:
             raise PlanError(f"unknown plan node {plan!r}")

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.network import EPSILON, AndOrNetwork, NodeKind
 from repro.errors import CapacityError, InferenceError
+from repro.obs.trace import span as _span
 
 #: Hard cap on intermediate factor arity: 2**22 floats ≈ 32 MB.
 MAX_FACTOR_VARS = 22
@@ -310,20 +311,28 @@ def compute_marginal(
     """
     if node == EPSILON:
         return 1.0
-    if engine == "dpll":
-        return _dpll_marginal(net, node, dpll_max_calls, cache)
-    if engine not in ("auto", "ve"):
-        raise ValueError(f"unknown inference engine {engine!r}")
-    relevant = net.ancestors([node])
-    relevant.add(EPSILON)
-    factors = network_factors(net, relevant)
-    if engine == "auto" and induced_width(factors, keep={node}) > VE_WIDTH_LIMIT:
-        try:
+    with _span("compute_marginal", engine=engine) as sp:
+        if engine == "dpll":
+            sp.annotate(path="dpll")
             return _dpll_marginal(net, node, dpll_max_calls, cache)
-        except CapacityError:
-            pass  # DNF blow-up: retry below with variable elimination
-    reduced = [reduce_evidence(f, {node: 1}) for f in factors]
-    return float(eliminate(reduced).table)
+        if engine not in ("auto", "ve"):
+            raise ValueError(f"unknown inference engine {engine!r}")
+        relevant = net.ancestors([node])
+        relevant.add(EPSILON)
+        factors = network_factors(net, relevant)
+        if (
+            engine == "auto"
+            and induced_width(factors, keep={node}) > VE_WIDTH_LIMIT
+        ):
+            try:
+                sp.annotate(path="dpll")
+                return _dpll_marginal(net, node, dpll_max_calls, cache)
+            except CapacityError:
+                pass  # DNF blow-up: retry below with variable elimination
+        sp.annotate(path="ve")
+        sp.add("factors", len(factors))
+        reduced = [reduce_evidence(f, {node: 1}) for f in factors]
+        return float(eliminate(reduced).table)
 
 
 def compute_marginals(

@@ -36,6 +36,7 @@ from repro.core.inference import (
 )
 from repro.core.network import EPSILON, AndOrNetwork
 from repro.errors import InferenceError
+from repro.obs.trace import span as _span
 
 
 @dataclass
@@ -198,60 +199,64 @@ def calibrate_clique_tree(
     if elimination is None:
         elimination = _elimination_cliques(factors)
     cliques, parents, assignment = elimination
-    potentials: list[Factor] = []
-    for i, clique in enumerate(cliques):
-        f = _unit_factor(clique)
-        for idx in assignment[i]:
-            f = multiply(f, factors[idx])
-        potentials.append(f)
+    with _span("calibrate_clique_tree") as sp:
+        sp.add("factors", len(factors))
+        sp.add("cliques", len(cliques))
+        potentials: list[Factor] = []
+        for i, clique in enumerate(cliques):
+            f = _unit_factor(clique)
+            for idx in assignment[i]:
+                f = multiply(f, factors[idx])
+            potentials.append(f)
 
-    children: list[list[int]] = [[] for _ in cliques]
-    roots: list[int] = []
-    for i, parent in enumerate(parents):
-        if parent < 0:
-            roots.append(i)
-        else:
-            children[parent].append(i)
+        children: list[list[int]] = [[] for _ in cliques]
+        roots: list[int] = []
+        for i, parent in enumerate(parents):
+            if parent < 0:
+                roots.append(i)
+            else:
+                children[parent].append(i)
 
-    # upward pass (children before parents: cliques are already in
-    # elimination order, and parents always come later)
-    upward: list[Factor | None] = [None] * len(cliques)
-    for i, clique in enumerate(cliques):
-        f = potentials[i]
-        for child in children[i]:
-            f = multiply(f, upward[child])
-        message = f
-        if parents[i] >= 0:
-            separator = set(clique) & set(cliques[parents[i]])
-            for v in clique:
-                if v not in separator:
-                    message = sum_out(message, v)
-        upward[i] = message
-
-    # downward pass: parents carry higher indices than their children (a
-    # clique's parent is eliminated later), so descending order visits every
-    # parent before its children and downward[child] is ready in time
-    beliefs: list[Factor | None] = [None] * len(cliques)
-    downward: list[Factor | None] = [None] * len(cliques)
-    for i in range(len(cliques) - 1, -1, -1):
-        f = potentials[i]
-        for child in children[i]:
-            f = multiply(f, upward[child])
-        if parents[i] >= 0:
-            f = multiply(f, downward[i])
-        beliefs[i] = f
-        for child in children[i]:
-            g = potentials[i]
-            for other in children[i]:
-                if other != child:
-                    g = multiply(g, upward[other])
+        # upward pass (children before parents: cliques are already in
+        # elimination order, and parents always come later)
+        upward: list[Factor | None] = [None] * len(cliques)
+        for i, clique in enumerate(cliques):
+            f = potentials[i]
+            for child in children[i]:
+                f = multiply(f, upward[child])
+            message = f
             if parents[i] >= 0:
-                g = multiply(g, downward[i])
-            separator = set(cliques[i]) & set(cliques[child])
-            for v in cliques[i]:
-                if v not in separator:
-                    g = sum_out(g, v)
-            downward[child] = g
+                separator = set(clique) & set(cliques[parents[i]])
+                for v in clique:
+                    if v not in separator:
+                        message = sum_out(message, v)
+            upward[i] = message
+
+        # downward pass: parents carry higher indices than their children (a
+        # clique's parent is eliminated later), so descending order visits
+        # every parent before its children and downward[child] is ready in
+        # time
+        beliefs: list[Factor | None] = [None] * len(cliques)
+        downward: list[Factor | None] = [None] * len(cliques)
+        for i in range(len(cliques) - 1, -1, -1):
+            f = potentials[i]
+            for child in children[i]:
+                f = multiply(f, upward[child])
+            if parents[i] >= 0:
+                f = multiply(f, downward[i])
+            beliefs[i] = f
+            for child in children[i]:
+                g = potentials[i]
+                for other in children[i]:
+                    if other != child:
+                        g = multiply(g, upward[other])
+                if parents[i] >= 0:
+                    g = multiply(g, downward[i])
+                separator = set(cliques[i]) & set(cliques[child])
+                for v in cliques[i]:
+                    if v not in separator:
+                        g = sum_out(g, v)
+                downward[child] = g
 
     return CliqueTree(cliques=cliques, parents=parents, beliefs=list(beliefs))
 
@@ -274,11 +279,13 @@ def all_marginals(
             out[EPSILON] = 1.0
             continue
         by_component.setdefault(components.of(v), []).append(v)
-    for grouped in by_component.values():
-        # barren-node pruning: only the targets' ancestors matter
-        relevant = net.ancestors(grouped)
-        relevant.add(EPSILON)
-        tree = build_clique_tree(net, relevant)
-        for v in grouped:
-            out[v] = tree.marginal(v)
+    with _span("all_marginals", targets=len(targets)) as sp:
+        sp.add("components", len(by_component))
+        for grouped in by_component.values():
+            # barren-node pruning: only the targets' ancestors matter
+            relevant = net.ancestors(grouped)
+            relevant.add(EPSILON)
+            tree = build_clique_tree(net, relevant)
+            for v in grouped:
+                out[v] = tree.marginal(v)
     return out

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.network import EPSILON, AndOrNetwork, NodeKind
 from repro.errors import InferenceError
+from repro.obs.trace import span as _span
 
 
 def is_tree_factorable(net: AndOrNetwork) -> bool:
@@ -97,6 +98,11 @@ def tree_marginals_array(net: AndOrNetwork, check: bool = True) -> np.ndarray:
         raise InferenceError(
             "network is not tree-factorable; use compute_marginal instead"
         )
+    with _span("tree_marginals_array", nodes=len(net)):
+        return _tree_marginals_array(net)
+
+
+def _tree_marginals_array(net: AndOrNetwork) -> np.ndarray:
     n = len(net)
     out = np.zeros(n, dtype=np.float64)
     gates: list[int] = []

@@ -29,6 +29,7 @@ from typing import Mapping
 
 from repro.errors import InferenceError
 from repro.lineage.dnf import DNF, EventVar, EventVarInterner
+from repro.obs.trace import span as _span
 from repro.perf.cache import SubformulaCache, canonical_key
 
 #: Clauses over integer variable ids (internal representation).
@@ -45,6 +46,27 @@ class DPLLStats:
     shannon_branches: int = 0
     component_splits: int = 0
     memo_hits: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Alias of :attr:`memo_hits`.
+
+        :class:`~repro.perf.cache.CacheStats` calls the same quantity
+        ``hits``; the alias lets callers read either accounting object
+        uniformly (the historic ``stats.hits`` vs ``stats.memo_hits``
+        split).
+        """
+        return self.memo_hits
+
+    def as_dict(self) -> dict:
+        """Plain-dict view, the shape a
+        :class:`~repro.obs.metrics.MetricsRegistry` absorbs."""
+        return {
+            "calls": self.calls,
+            "shannon_branches": self.shannon_branches,
+            "component_splits": self.component_splits,
+            "memo_hits": self.memo_hits,
+        }
 
 
 class _Solver:
@@ -205,7 +227,10 @@ def dnf_probability(
     >>> round(dnf_probability(f, {x: 0.5, y: 0.5}), 6)
     0.75
 
-    A shared cache turns the second, isomorphic solve into a lookup:
+    A shared cache turns the second, isomorphic solve into a lookup. The
+    cache's :class:`~repro.perf.cache.CacheStats` counts it as ``hits``;
+    the solver's :class:`DPLLStats` as ``memo_hits`` — :attr:`DPLLStats
+    .hits` aliases the latter so both read the same way:
 
     >>> from repro.perf import SubformulaCache
     >>> shared = SubformulaCache()
@@ -213,8 +238,9 @@ def dnf_probability(
     >>> _ = dnf_probability(f2, {x: 0.3, y: 0.4}, cache=shared)
     >>> z, w = EventVar("S", (1,)), EventVar("S", (2,))
     >>> f3 = DNF([frozenset([z, w])])
-    >>> _ = dnf_probability(f3, {z: 0.3, w: 0.4}, cache=shared)
-    >>> shared.stats.hits >= 1
+    >>> st = DPLLStats()
+    >>> _ = dnf_probability(f3, {z: 0.3, w: 0.4}, stats=st, cache=shared)
+    >>> shared.stats.hits >= 1 and st.hits == st.memo_hits
     True
     """
     if dnf.is_true:
@@ -240,10 +266,15 @@ def dnf_probability(
     solver = _Solver(p, max_calls, cache)
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 10_000 + 6 * len(interner)))
-    try:
-        result = solver.probability(frozenset(clauses))
-    finally:
-        sys.setrecursionlimit(old_limit)
+    with _span(
+        "dnf_probability", variables=len(interner), clauses=len(clauses)
+    ) as sp:
+        try:
+            result = solver.probability(frozenset(clauses))
+        finally:
+            sys.setrecursionlimit(old_limit)
+        for name, value in solver.stats.as_dict().items():
+            sp.add(name, value)
     if stats is not None:
         stats.calls = solver.stats.calls
         stats.shannon_branches = solver.stats.shannon_branches

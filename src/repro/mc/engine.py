@@ -18,6 +18,7 @@ The estimators come in two interchangeable implementations behind a
 from __future__ import annotations
 
 import random
+import time
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.lineage.sampling import (
     naive_monte_carlo,
     numpy_generator,
 )
+from repro.obs.trace import span as _span
 from repro.query.grounding import answers_in_world, world_satisfies
 from repro.query.syntax import ConjunctiveQuery
 
@@ -156,21 +158,32 @@ def mc_query_probability(
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
-    if _wants_vectorized(db, method):
-        dnf, probs = lineage_of_query(query.boolean_view(), db)
-        return naive_monte_carlo(
-            dnf, probs, samples, rng,
-            method="vectorized", batch_size=batch_size,
-        )
-    if isinstance(rng, np.random.Generator):
-        raise TypeError("the scalar path needs a random.Random generator")
-    rng = rng or random.Random()
-    q = query.boolean_view()
-    hits = 0
-    for _ in range(samples):
-        if world_satisfies(q, sample_world(db, rng)):
-            hits += 1
-    return hits / samples
+    with _span("mc_query_probability", samples=samples) as sp:
+        t0 = time.perf_counter()
+        if _wants_vectorized(db, method):
+            sp.annotate(path="vectorized")
+            dnf, probs = lineage_of_query(query.boolean_view(), db)
+            est = naive_monte_carlo(
+                dnf, probs, samples, rng,
+                method="vectorized", batch_size=batch_size,
+            )
+        else:
+            if isinstance(rng, np.random.Generator):
+                raise TypeError(
+                    "the scalar path needs a random.Random generator"
+                )
+            sp.annotate(path="scalar")
+            rng = rng or random.Random()
+            q = query.boolean_view()
+            hits = 0
+            for _ in range(samples):
+                if world_satisfies(q, sample_world(db, rng)):
+                    hits += 1
+            est = hits / samples
+        elapsed = time.perf_counter() - t0
+        if elapsed > 0:
+            sp.add("samples_per_sec", round(samples / elapsed))
+    return est
 
 
 def mc_answer_probabilities(
@@ -191,18 +204,30 @@ def mc_answer_probabilities(
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
-    if _wants_vectorized(db, method):
-        return _vectorized_answer_probabilities(
-            query, db, samples, rng, batch_size
-        )
-    if isinstance(rng, np.random.Generator):
-        raise TypeError("the scalar path needs a random.Random generator")
-    rng = rng or random.Random()
-    counts: dict[Row, int] = {}
-    for _ in range(samples):
-        for answer in answers_in_world(query, sample_world(db, rng)):
-            counts[answer] = counts.get(answer, 0) + 1
-    return {answer: n / samples for answer, n in counts.items()}
+    with _span("mc_answer_probabilities", samples=samples) as sp:
+        t0 = time.perf_counter()
+        if _wants_vectorized(db, method):
+            sp.annotate(path="vectorized")
+            out = _vectorized_answer_probabilities(
+                query, db, samples, rng, batch_size
+            )
+        else:
+            if isinstance(rng, np.random.Generator):
+                raise TypeError(
+                    "the scalar path needs a random.Random generator"
+                )
+            sp.annotate(path="scalar")
+            rng = rng or random.Random()
+            counts: dict[Row, int] = {}
+            for _ in range(samples):
+                for answer in answers_in_world(query, sample_world(db, rng)):
+                    counts[answer] = counts.get(answer, 0) + 1
+            out = {answer: n / samples for answer, n in counts.items()}
+        elapsed = time.perf_counter() - t0
+        sp.add("answers", len(out))
+        if elapsed > 0:
+            sp.add("samples_per_sec", round(samples / elapsed))
+    return out
 
 
 def _vectorized_answer_probabilities(

@@ -1,0 +1,63 @@
+"""repro.obs — unified tracing, metrics, and query-explain subsystem.
+
+One instrumentation substrate for the whole pipeline:
+
+* :mod:`repro.obs.trace` — a zero-dependency span tracer (nested spans with
+  attrs, wall/CPU time, counters; thread-local stacks; picklable span trees
+  that cross the :mod:`repro.perf.parallel` process boundary; a no-op fast
+  path cheap enough to leave the instrumentation on permanently);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters, gauges,
+  and histograms that absorbs the per-layer stats objects
+  (``OperatorStat``, ``CacheStats``, ``DPLLStats``) through their common
+  ``as_dict()``;
+* :mod:`repro.obs.export` — the ``--profile`` text tree, Chrome
+  trace-event JSON, and the validator CI runs over ``trace.json``;
+* :mod:`repro.obs.report` — the per-query :class:`ExplainReport` behind
+  ``repro explain``.
+"""
+
+from repro.obs.export import (
+    chrome_events,
+    format_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    add,
+    annotate,
+    current_tracer,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "add",
+    "annotate",
+    "traced",
+    "Histogram",
+    "MetricsRegistry",
+    "format_trace",
+    "chrome_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "ExplainReport",
+    "build_explain_report",
+]
+
+
+def __getattr__(name: str):
+    # Loaded lazily: repro.obs.report imports the evaluator stack, which is
+    # itself instrumented with repro.obs.trace — an eager import here would
+    # close that cycle during ``import repro.core.executor``.
+    if name in ("ExplainReport", "build_explain_report"):
+        from repro.obs import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

@@ -1,0 +1,219 @@
+"""Trace exporters: profile text, Chrome trace-event JSON, and a validator.
+
+Three consumers of one span forest:
+
+* :func:`format_trace` — the ``--profile`` view: an indented tree with
+  wall/CPU times, counters, and attributes, widest subtrees first-come;
+* :func:`chrome_events` / :func:`write_chrome_trace` — the
+  ``chrome://tracing`` / Perfetto event-list format (``B``/``E`` duration
+  pairs, microsecond timestamps, one lane per ``(pid, tid)``), so a traced
+  ``workers=2`` run renders as one cross-process timeline;
+* :func:`validate_chrome_trace` — the schema check CI runs on
+  ``trace.json``: timestamps sorted, every ``B`` matched by an ``E`` of the
+  same name in stack order, no orphan events.
+
+Child intervals are clamped into their parent's window at export time:
+wall-clock starts are sampled per span, so float jitter could otherwise
+push a child's end a microsecond past its parent's — which the B/E stack
+discipline would reject.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Sequence
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "format_trace",
+    "chrome_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_trace(
+    spans: Sequence[Span], *, min_wall: float = 0.0, max_depth: int | None = None
+) -> str:
+    """Indented tree rendering of a span forest (the ``--profile`` view).
+
+    Spans faster than *min_wall* seconds are folded into a ``… (+n)``
+    summary line per parent, so wide fan-outs stay readable.
+    """
+    lines: list[str] = []
+
+    def walk(s: Span, depth: int) -> None:
+        indent = "  " * depth
+        parts = [f"{indent}{s.name}", f"{_fmt_seconds(s.wall)} wall"]
+        if s.cpu > 0:
+            parts.append(f"{_fmt_seconds(s.cpu)} cpu")
+        detail = ", ".join(
+            f"{k}={_fmt_value(v)}"
+            for k, v in list(s.attrs.items()) + list(s.counters.items())
+        )
+        line = "  ".join(parts)
+        if detail:
+            line += f"  [{detail}]"
+        lines.append(line)
+        if max_depth is not None and depth + 1 > max_depth:
+            return
+        hidden = 0
+        for child in s.children:
+            if child.wall < min_wall:
+                hidden += 1
+            else:
+                walk(child, depth + 1)
+        if hidden:
+            lines.append(f"{'  ' * (depth + 1)}… (+{hidden} spans "
+                         f"under {_fmt_seconds(min_wall)})")
+
+    for root in spans:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def chrome_events(spans: Iterable[Span]) -> list[dict]:
+    """Flatten a span forest into Chrome trace ``B``/``E`` event pairs.
+
+    Thread ids are compacted to small integers per process; timestamps are
+    integer microseconds on the shared wall-clock axis, children clamped
+    into their parents. The result is sorted by timestamp (stable, so the
+    per-lane stack discipline of the DFS emission survives ties).
+    """
+    events: list[dict] = []
+    tid_map: dict[tuple[int, int], int] = {}
+
+    def lane(s: Span) -> int:
+        key = (s.pid, s.tid)
+        if key not in tid_map:
+            tid_map[key] = len([k for k in tid_map if k[0] == s.pid])
+        return tid_map[key]
+
+    def emit(s: Span, lo: int | None, hi: int | None) -> None:
+        begin = int(round(s.t0 * 1e6))
+        end = int(round((s.t0 + s.wall) * 1e6))
+        if lo is not None:
+            begin = max(begin, lo)
+        if hi is not None:
+            end = min(end, hi)
+        end = max(end, begin)
+        args = {**s.attrs, **s.counters}
+        if s.cpu:
+            args["cpu_ms"] = round(s.cpu * 1e3, 3)
+        tid = lane(s)
+        events.append({
+            "name": s.name, "cat": "repro", "ph": "B",
+            "ts": begin, "pid": s.pid, "tid": tid, "args": args,
+        })
+        for child in s.children:
+            emit(child, begin, end)
+        events.append({
+            "name": s.name, "cat": "repro", "ph": "E",
+            "ts": end, "pid": s.pid, "tid": tid,
+        })
+
+    for root in spans:
+        emit(root, None, None)
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path, spans: Iterable[Span]
+) -> pathlib.Path:
+    """Write ``{"traceEvents": [...]}`` JSON loadable by ``chrome://tracing``
+    (or https://ui.perfetto.dev)."""
+    path = pathlib.Path(path)
+    payload = {"traceEvents": chrome_events(spans), "displayTimeUnit": "ms"}
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def validate_chrome_trace(source) -> list[str]:
+    """Validate Chrome trace-event JSON; returns a list of problems.
+
+    *source* is a path, a parsed payload dict, or an event list. Checks the
+    shape CI relies on: every event carries ``name``/``ph``/``ts``/``pid``/
+    ``tid``, timestamps are non-decreasing integers, and per ``(pid, tid)``
+    lane the ``B``/``E`` events obey stack discipline with matching names —
+    no orphans left open, no stray ``E``.
+
+    Examples
+    --------
+    >>> validate_chrome_trace({"traceEvents": [
+    ...     {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+    ...     {"name": "a", "ph": "E", "ts": 5, "pid": 1, "tid": 0},
+    ... ]})
+    []
+    >>> validate_chrome_trace({"traceEvents": [
+    ...     {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+    ... ]})
+    ["lane (1, 0): 1 unmatched B event(s), innermost 'a'"]
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        data = json.loads(pathlib.Path(source).read_text())
+    else:
+        data = source
+    events = data["traceEvents"] if isinstance(data, dict) else data
+    errors: list[str] = []
+    if not isinstance(events, list) or not events:
+        return ["traceEvents must be a non-empty list"]
+    last_ts = None
+    stacks: dict[tuple, list[str]] = {}
+    for i, event in enumerate(events):
+        missing = [k for k in ("name", "ph", "ts", "pid", "tid")
+                   if k not in event]
+        if missing:
+            errors.append(f"event {i} missing keys {missing}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, int):
+            errors.append(f"event {i} ts {ts!r} is not an integer")
+        if last_ts is not None and ts < last_ts:
+            errors.append(
+                f"event {i} ts {ts} precedes previous ts {last_ts}"
+            )
+        last_ts = ts
+        lane = (event["pid"], event["tid"])
+        stack = stacks.setdefault(lane, [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        elif event["ph"] == "E":
+            if not stack:
+                errors.append(
+                    f"event {i}: E {event['name']!r} with no open B in "
+                    f"lane {lane}"
+                )
+            elif stack[-1] != event["name"]:
+                errors.append(
+                    f"event {i}: E {event['name']!r} does not match open "
+                    f"B {stack[-1]!r} in lane {lane}"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+        else:
+            errors.append(f"event {i}: unsupported phase {event['ph']!r}")
+    for lane, stack in stacks.items():
+        if stack:
+            errors.append(
+                f"lane {lane}: {len(stack)} unmatched B event(s), "
+                f"innermost {stack[-1]!r}"
+            )
+    return errors

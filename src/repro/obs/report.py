@@ -1,0 +1,283 @@
+"""Per-query ExplainReport: the paper's hardness diagnostics in one object.
+
+The quantities the paper uses to explain why a query was cheap or
+expensive — offending-tuple counts (Sec. 3), the size and shape of the
+partial lineage (Sec. 4.2), the component structure of the And-Or network —
+are computed anyway during evaluation. :func:`build_explain_report` runs a
+query once and assembles them, per relation and per component, together
+with per-operator timings, the per-slice engine choices with estimated vs
+actual cost, and the subformula-cache hit-rates of the final inference.
+
+``repro explain`` is the CLI surface; :meth:`ExplainReport.as_dict` the
+JSON one; the :class:`~repro.obs.metrics.MetricsRegistry` snapshot inside
+the report is the unified-metric view of the same run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.explain import explain as explain_plan
+from repro.core.plan import left_deep_plan
+from repro.core.treeprop import is_tree_factorable
+from repro.db.database import ProbabilisticDatabase
+from repro.db.schema import Row
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import add, annotate, span
+from repro.perf.cache import SubformulaCache
+from repro.perf.parallel import group_by_component, solve_slice
+from repro.query.syntax import ConjunctiveQuery
+
+__all__ = ["ExplainReport", "build_explain_report"]
+
+
+@dataclass
+class ExplainReport:
+    """Everything an operator needs to understand one query's evaluation.
+
+    Field → paper section: ``offending_by_source`` are the conditioned
+    tuples of Definition 3.1 (zero everywhere ⇔ the plan was data safe and
+    evaluation purely extensional, Sec. 4); ``component_sizes`` is the
+    partial-lineage decomposition of Sec. 4.2 (many small components ⇔
+    near-extensional, one giant component ⇔ intensional-hard);
+    ``slices`` records, per component, the inference engine chosen and the
+    scheduling cost estimate of :func:`repro.perf.parallel
+    .estimate_component` against the measured solve time.
+    """
+
+    query: str
+    plan: str
+    join_order: list[str] | None
+    engine: str
+    workers: int | None
+    answers: int
+    network_nodes: int
+    offending_total: int
+    data_safe: bool
+    eval_seconds: float
+    inference_seconds: float
+    #: Conditioned-tuple count per source (base relation or join output).
+    offending_by_source: dict[str, int] = field(default_factory=dict)
+    component_count: int = 0
+    #: ``{component size -> number of components}`` histogram.
+    component_sizes: dict[int, int] = field(default_factory=dict)
+    #: Per-operator accounting (``OperatorStat.as_dict()`` rows).
+    operators: list[dict] = field(default_factory=list)
+    #: Per-component solve records: size, targets, engine, estimated cost,
+    #: measured seconds.
+    slices: list[dict] = field(default_factory=list)
+    #: Subformula-cache counters of the final inference (hit rates).
+    cache: dict = field(default_factory=dict)
+    #: Unified metrics snapshot of the run.
+    metrics: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable view (the ``repro explain --json`` payload)."""
+        return {
+            "query": self.query,
+            "plan": self.plan,
+            "join_order": self.join_order,
+            "engine": self.engine,
+            "workers": self.workers,
+            "answers": self.answers,
+            "network_nodes": self.network_nodes,
+            "offending_total": self.offending_total,
+            "data_safe": self.data_safe,
+            "eval_seconds": self.eval_seconds,
+            "inference_seconds": self.inference_seconds,
+            "offending_by_source": dict(self.offending_by_source),
+            "component_count": self.component_count,
+            "component_sizes": {
+                str(k): v for k, v in sorted(self.component_sizes.items())
+            },
+            "operators": list(self.operators),
+            "slices": list(self.slices),
+            "cache": dict(self.cache),
+            "metrics": self.metrics,
+        }
+
+    def format(self) -> str:
+        """Human-readable report (the default ``repro explain`` output)."""
+        from repro.bench.reporting import format_table
+
+        lines = [f"query: {self.query}"]
+        lines.append(self.plan)
+        lines.append("")
+        mode = (
+            "data safe — purely extensional evaluation"
+            if self.data_safe
+            else "mixed evaluation (partial lineage)"
+        )
+        lines.append(
+            f"engine={self.engine}"
+            + (f" workers={self.workers}" if self.workers else "")
+            + f"; {mode}"
+        )
+        lines.append(
+            f"{self.answers} answers; network of {self.network_nodes} nodes; "
+            f"{self.offending_total} offending tuples; "
+            f"eval {self.eval_seconds:.4f}s + "
+            f"inference {self.inference_seconds:.4f}s"
+        )
+        if self.offending_by_source:
+            lines.append("")
+            lines.append(format_table(
+                ("source", "offending"),
+                sorted(self.offending_by_source.items()),
+                title="offending tuples per relation",
+            ))
+        lines.append("")
+        lines.append(format_table(
+            ("operator", "out", "conditioned", "seconds"),
+            [(o["operator"], o["output_size"], o["conditioned"],
+              f"{o['seconds']:.5f}") for o in self.operators],
+            title="per-operator timings",
+        ))
+        lines.append("")
+        lines.append(format_table(
+            ("component size", "count"),
+            sorted(self.component_sizes.items()),
+            title=f"network components ({self.component_count} total)",
+        ))
+        if self.slices:
+            lines.append("")
+            lines.append(format_table(
+                ("component", "size", "targets", "engine", "est. cost",
+                 "seconds"),
+                [(i, s["size"], s["targets"], s["engine"],
+                  f"{s['estimated_cost']:.0f}", f"{s['seconds']:.5f}")
+                 for i, s in enumerate(self.slices)],
+                title="per-component inference (estimated vs actual cost)",
+            ))
+        if self.cache:
+            lines.append("")
+            lines.append(
+                f"subformula cache: {self.cache.get('hits', 0)} hits / "
+                f"{self.cache.get('misses', 0)} misses "
+                f"(hit rate {self.cache.get('hit_rate', 0.0):.2%})"
+            )
+        return "\n".join(lines)
+
+
+def build_explain_report(
+    db: ProbabilisticDatabase,
+    query: ConjunctiveQuery,
+    *,
+    join_order: list[str] | None = None,
+    engine: str = "columnar",
+    workers: int | None = None,
+    dpll_max_calls: int = 5_000_000,
+    registry: MetricsRegistry | None = None,
+) -> tuple[ExplainReport, dict[Row, float]]:
+    """Evaluate *query* and assemble its :class:`ExplainReport`.
+
+    Returns ``(report, answers)``. Inference runs component-sliced and
+    in-process regardless of *workers* — per-slice wall-clocks are the
+    point of the report, and a process pool would hide them; *workers* is
+    recorded so the report reflects the configuration it explains.
+
+    Examples
+    --------
+    >>> from repro.db import ProbabilisticDatabase
+    >>> from repro.query import parse_query
+    >>> db = ProbabilisticDatabase()
+    >>> _ = db.add_relation("R", ("A",), {(1,): 0.5})
+    >>> _ = db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (1, 2): 0.5})
+    >>> report, answers = build_explain_report(
+    ...     db, parse_query("q(x) :- R(x), S(x,y)"))
+    >>> report.answers, report.offending_total
+    (1, 1)
+    >>> round(answers[(1,)], 6)
+    0.375
+    """
+    if registry is None:
+        registry = MetricsRegistry()
+    evaluator = PartialLineageEvaluator(db, engine=engine, workers=workers)
+    plan = left_deep_plan(query, join_order)
+    with span("explain", query=str(query), engine=engine):
+        start = time.perf_counter()
+        result = evaluator.evaluate(plan)
+        eval_seconds = time.perf_counter() - start
+
+        rows = list(result.relation.items())
+        nodes = [l for _, l, _ in rows]
+        cache = SubformulaCache()
+        start = time.perf_counter()
+        works = group_by_component(result.network, nodes)
+        marginals = {0: 1.0}  # EPSILON
+        slices: list[dict] = []
+        for work in works:
+            tree = is_tree_factorable(work.slice.network)
+            slice_engine = "tree" if tree else ("ve" if work.narrow else "dpll")
+            t0 = time.perf_counter()
+            with span("explain_slice", engine=slice_engine) as s:
+                solved = solve_slice(
+                    work.slice.network,
+                    work.targets,
+                    "auto",
+                    dpll_max_calls,
+                    cache,
+                    narrow=work.narrow,
+                )
+                s.add("targets", len(work.targets))
+            seconds = time.perf_counter() - t0
+            for sub, prob in solved.items():
+                marginals[work.slice.to_orig(sub)] = prob
+            slices.append({
+                "size": len(work.slice.network) - 1,  # slice minus ε
+                "targets": len(work.targets),
+                "engine": slice_engine,
+                "estimated_cost": work.cost,
+                "seconds": seconds,
+            })
+            registry.observe("slice.estimated_cost", work.cost)
+            registry.observe("slice.seconds", seconds)
+        inference_seconds = time.perf_counter() - start
+        answers = {row: p * marginals[l] for row, l, p in rows}
+        annotate(answers=len(answers))
+        add("offending", result.offending_count)
+
+    offending_by_source: dict[str, int] = {}
+    for off in result.conditioned_tuples:
+        offending_by_source[off.source] = (
+            offending_by_source.get(off.source, 0) + 1
+        )
+
+    components = result.network.components()
+    component_sizes: dict[int, int] = {}
+    for size in components.sizes().tolist():
+        component_sizes[size] = component_sizes.get(size, 0) + 1
+        registry.observe("component.size", size)
+
+    for stat in result.stats:
+        registry.absorb(f"operator.{stat.operator}", stat)
+    registry.absorb("cache", cache.stats)
+    registry.gauge("network.nodes", len(result.network))
+    registry.gauge("engine", engine)
+    registry.inc("offending", result.offending_count)
+    registry.gauge("eval.seconds", eval_seconds)
+    registry.gauge("inference.seconds", inference_seconds)
+
+    report = ExplainReport(
+        query=str(query),
+        plan=explain_plan(plan, db),
+        join_order=join_order,
+        engine=engine,
+        workers=workers,
+        answers=len(answers),
+        network_nodes=len(result.network),
+        offending_total=result.offending_count,
+        data_safe=result.is_data_safe,
+        eval_seconds=eval_seconds,
+        inference_seconds=inference_seconds,
+        offending_by_source=offending_by_source,
+        component_count=components.count,
+        component_sizes=component_sizes,
+        operators=[stat.as_dict() for stat in result.stats],
+        slices=slices,
+        cache=cache.stats.as_dict(),
+        metrics=registry.snapshot(),
+    )
+    return report, answers

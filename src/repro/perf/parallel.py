@@ -50,6 +50,8 @@ from repro.core.junction import _elimination_cliques, calibrate_clique_tree
 from repro.core.network import EPSILON, AndOrNetwork, ComponentSlice
 from repro.core.treeprop import is_tree_factorable, tree_marginals_array
 from repro.errors import CapacityError
+from repro.obs.trace import Tracer, current_tracer
+from repro.obs.trace import span as _span
 from repro.perf.cache import SubformulaCache
 
 __all__ = [
@@ -187,37 +189,52 @@ def solve_slice(
     if engine not in ("auto", "ve", "dpll"):
         raise ValueError(f"unknown inference engine {engine!r}")
     targets = [t for t in targets]
-    if engine == "auto" and is_tree_factorable(subnet):
-        arr = tree_marginals_array(subnet, check=False)
-        return {t: float(arr[t]) for t in targets}
-    if engine != "dpll":
-        if narrow is None:
-            narrow, _ = estimate_component(subnet)
-        if engine == "ve" or narrow:
-            factors = network_factors(subnet)
-            real = [t for t in targets if t != EPSILON]
-            if len(real) == 1:
-                # the common sliced shape — one answer per component: a
-                # single evidence-reduced elimination beats calibrating a
-                # whole clique tree (two full message passes) for one read
-                reduced = [reduce_evidence(f, {real[0]: 1}) for f in factors]
-                out = {t: 1.0 for t in targets}
-                out[real[0]] = float(eliminate(reduced).table)
-                return out
-            tree = calibrate_clique_tree(factors, _elimination_cliques(factors))
-            return {t: 1.0 if t == EPSILON else tree.marginal(t) for t in targets}
-    out: dict[int, float] = {}
-    for t in targets:
-        if t == EPSILON:
-            out[t] = 1.0
-            continue
-        try:
-            out[t] = _dpll_marginal(subnet, t, dpll_max_calls, cache)
-        except CapacityError:
-            # DNF blow-up: retry with plain variable elimination, exactly
-            # the serial path's fallback.
-            out[t] = compute_marginal(subnet, t, "ve", dpll_max_calls)
-    return out
+    with _span(
+        "solve_slice", nodes=len(subnet), targets=len(targets)
+    ) as sp:
+        if engine == "auto" and is_tree_factorable(subnet):
+            sp.annotate(path="tree")
+            arr = tree_marginals_array(subnet, check=False)
+            return {t: float(arr[t]) for t in targets}
+        if engine != "dpll":
+            if narrow is None:
+                narrow, _ = estimate_component(subnet)
+            if engine == "ve" or narrow:
+                factors = network_factors(subnet)
+                real = [t for t in targets if t != EPSILON]
+                if len(real) == 1:
+                    # the common sliced shape — one answer per component: a
+                    # single evidence-reduced elimination beats calibrating a
+                    # whole clique tree (two full message passes) for one read
+                    sp.annotate(path="ve")
+                    reduced = [
+                        reduce_evidence(f, {real[0]: 1}) for f in factors
+                    ]
+                    out = {t: 1.0 for t in targets}
+                    out[real[0]] = float(eliminate(reduced).table)
+                    return out
+                sp.annotate(path="junction")
+                tree = calibrate_clique_tree(
+                    factors, _elimination_cliques(factors)
+                )
+                return {
+                    t: 1.0 if t == EPSILON else tree.marginal(t)
+                    for t in targets
+                }
+        sp.annotate(path="dpll")
+        out: dict[int, float] = {}
+        for t in targets:
+            if t == EPSILON:
+                out[t] = 1.0
+                continue
+            try:
+                out[t] = _dpll_marginal(subnet, t, dpll_max_calls, cache)
+            except CapacityError:
+                # DNF blow-up: retry with plain variable elimination, exactly
+                # the serial path's fallback.
+                sp.add("ve_fallbacks")
+                out[t] = compute_marginal(subnet, t, "ve", dpll_max_calls)
+        return out
 
 
 def _merge_back(
@@ -245,16 +262,19 @@ def sliced_marginals(
     out = {EPSILON: 1.0}
     if cache is None:
         cache = SubformulaCache()
-    for work in group_by_component(net, nodes):
-        solved = solve_slice(
-            work.slice.network,
-            work.targets,
-            engine,
-            dpll_max_calls,
-            cache,
-            narrow=work.narrow,
-        )
-        _merge_back(out, work, solved)
+    with _span("sliced_marginals", engine=engine) as sp:
+        works = group_by_component(net, nodes)
+        sp.add("components", len(works))
+        for work in works:
+            solved = solve_slice(
+                work.slice.network,
+                work.targets,
+                engine,
+                dpll_max_calls,
+                cache,
+                narrow=work.narrow,
+            )
+            _merge_back(out, work, solved)
     return out
 
 
@@ -278,18 +298,30 @@ def _chunk_by_cost(
 def _solve_chunk(payload):
     """Worker entry point: solve a list of (subnet, targets) tasks.
 
-    Returns the per-task marginal dicts plus the worker's subformula-cache
-    entries, which the caller merges back (canonical keys are
-    rename-invariant, so they stay valid across the component id-remaps and
-    across workers).
+    Returns the per-task marginal dicts, the worker's subformula-cache
+    entries (canonical keys are rename-invariant, so the caller's merge-back
+    stays valid across the component id-remaps and across workers), and —
+    when the dispatching process had a tracer active — the worker's span
+    forest, which the caller grafts under its dispatch span so a
+    ``workers=2`` run still renders as one timeline.
     """
-    tasks, engine, dpll_max_calls = payload
+    tasks, engine, dpll_max_calls, traced = payload
     cache = SubformulaCache()
-    solved = [
-        solve_slice(subnet, targets, engine, dpll_max_calls, cache, narrow)
-        for subnet, targets, narrow in tasks
-    ]
-    return solved, cache.entries()
+    if not traced:
+        solved = [
+            solve_slice(subnet, targets, engine, dpll_max_calls, cache, narrow)
+            for subnet, targets, narrow in tasks
+        ]
+        return solved, cache.entries(), []
+    with Tracer() as tracer:
+        with tracer.span("worker_chunk", tasks=len(tasks)):
+            solved = [
+                solve_slice(
+                    subnet, targets, engine, dpll_max_calls, cache, narrow
+                )
+                for subnet, targets, narrow in tasks
+            ]
+    return solved, cache.entries(), tracer.roots
 
 
 def parallel_marginals(
@@ -302,6 +334,7 @@ def parallel_marginals(
     cache: SubformulaCache | None = None,
     min_parallel_cost: float = DEFAULT_MIN_PARALLEL_COST,
     chunks_per_worker: int = 4,
+    registry=None,
 ) -> dict[int, float]:
     """Marginals of *nodes* with component-parallel process fan-out.
 
@@ -314,6 +347,15 @@ def parallel_marginals(
     *cache* afterwards, so later queries sharing the caller's cache still
     benefit from the fan-out's work.
 
+    *registry* is an optional :class:`~repro.obs.metrics.MetricsRegistry`
+    recording the pool's scheduling decisions: worker and chunk counts,
+    chunk-size/cost histograms (``pool.chunk_tasks``, ``pool.chunk_cost``),
+    and one ``pool.serial_fallback.<reason>`` counter per serial fallback
+    (``no_workers``, ``single_component``, ``below_cost_threshold``). A
+    tracer active on the calling thread (:class:`~repro.obs.trace.Tracer`)
+    additionally makes the workers trace their solves and ship the span
+    forests back, merged under this call's dispatch span.
+
     Worker failures propagate: an
     :class:`~repro.errors.InferenceError` raised in a worker (e.g. the DPLL
     call budget) re-raises in the caller, matching the serial path.
@@ -322,54 +364,83 @@ def parallel_marginals(
         raise ValueError(f"unknown inference engine {engine!r}")
     works = group_by_component(net, nodes)
     total_cost = sum(w.cost for w in works)
-    if (
-        workers is None
-        or workers < 2
-        or len(works) < 2
-        or total_cost < min_parallel_cost
-    ):
+    if workers is None or workers < 2:
+        fallback_reason = "no_workers"
+    elif len(works) < 2:
+        fallback_reason = "single_component"
+    elif total_cost < min_parallel_cost:
+        fallback_reason = "below_cost_threshold"
+    else:
+        fallback_reason = None
+    with _span(
+        "parallel_marginals",
+        engine=engine,
+        components=len(works),
+        total_cost=total_cost,
+    ) as sp:
+        if registry is not None:
+            registry.gauge("pool.components", len(works))
+            registry.gauge("pool.total_cost", total_cost)
+        if fallback_reason is not None:
+            sp.annotate(mode="serial", fallback_reason=fallback_reason)
+            if registry is not None:
+                registry.inc(f"pool.serial_fallback.{fallback_reason}")
+            out = {EPSILON: 1.0}
+            if cache is None:
+                cache = SubformulaCache()
+            for work in works:
+                solved = solve_slice(
+                    work.slice.network,
+                    work.targets,
+                    engine,
+                    dpll_max_calls,
+                    cache,
+                    narrow=work.narrow,
+                )
+                _merge_back(out, work, solved)
+            return out
+        chunks = _chunk_by_cost(works, workers * chunks_per_worker)
+        sp.annotate(mode="parallel", workers=workers, chunks=len(chunks))
+        if registry is not None:
+            registry.gauge("pool.workers", workers)
+            registry.inc("pool.dispatches")
+            registry.inc("pool.chunks", len(chunks))
+            for members in chunks:
+                registry.observe("pool.chunk_tasks", len(members))
+                registry.observe(
+                    "pool.chunk_cost", sum(works[i].cost for i in members)
+                )
+        tracer = current_tracer()
         out = {EPSILON: 1.0}
-        if cache is None:
-            cache = SubformulaCache()
-        for work in works:
-            solved = solve_slice(
-                work.slice.network,
-                work.targets,
-                engine,
-                dpll_max_calls,
-                cache,
-                narrow=work.narrow,
-            )
-            _merge_back(out, work, solved)
-        return out
-    chunks = _chunk_by_cost(works, workers * chunks_per_worker)
-    out = {EPSILON: 1.0}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            (
-                members,
-                pool.submit(
-                    _solve_chunk,
-                    (
-                        [
-                            (
-                                works[i].slice.network,
-                                works[i].targets,
-                                works[i].narrow,
-                            )
-                            for i in members
-                        ],
-                        engine,
-                        dpll_max_calls,
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (
+                    members,
+                    pool.submit(
+                        _solve_chunk,
+                        (
+                            [
+                                (
+                                    works[i].slice.network,
+                                    works[i].targets,
+                                    works[i].narrow,
+                                )
+                                for i in members
+                            ],
+                            engine,
+                            dpll_max_calls,
+                            tracer is not None,
+                        ),
                     ),
-                ),
-            )
-            for members in chunks
-        ]
-        for members, future in futures:
-            solved_list, entries = future.result()
-            for i, solved in zip(members, solved_list):
-                _merge_back(out, works[i], solved)
-            if cache is not None:
-                cache.merge(entries)
-    return out
+                )
+                for members in chunks
+            ]
+            for members, future in futures:
+                solved_list, entries, worker_spans = future.result()
+                for i, solved in zip(members, solved_list):
+                    _merge_back(out, works[i], solved)
+                if cache is not None:
+                    cache.merge(entries)
+                if worker_spans and tracer is not None:
+                    tracer.attach(worker_spans, under=sp.span)
+        return out

@@ -1,0 +1,40 @@
+"""The CI overhead guard itself: bound computation and exit codes."""
+
+import pytest
+
+from repro.obs.check import main, measure_workload, noop_span_cost
+from repro.obs.trace import Tracer
+
+
+def test_noop_span_cost_is_small():
+    cost = noop_span_cost(20_000)
+    assert 0 < cost < 1e-4  # well under 100µs/call even on slow CI
+
+
+def test_noop_span_cost_refuses_active_tracer():
+    with Tracer():
+        with pytest.raises(RuntimeError, match="tracer off"):
+            noop_span_cost(10)
+
+
+def test_measure_workload_counts_spans():
+    spans, wall = measure_workload(m=40)
+    assert spans >= 5  # answer_probabilities + operators at minimum
+    assert wall > 0
+
+
+def test_main_passes_at_default_threshold(capsys):
+    assert main(["--iterations", "20000", "--m", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "overhead bound" in out
+
+
+def test_main_fails_at_impossible_threshold(capsys):
+    assert main(["--iterations", "20000", "--m", "40",
+                 "--threshold", "1e-12"]) == 1
+    assert "FAIL" in capsys.readouterr().err
+
+
+def test_main_rejects_nonpositive_threshold():
+    with pytest.raises(SystemExit):
+        main(["--threshold", "0"])

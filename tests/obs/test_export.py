@@ -1,0 +1,132 @@
+"""Exporters: profile tree, Chrome trace events, and the schema validator."""
+
+import json
+
+from repro.obs.export import (
+    chrome_events,
+    format_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import Span
+
+
+def tree(**overrides):
+    """A two-level span tree with known timings."""
+    child = Span("child", t0=10.1, wall=0.2, pid=1, tid=7)
+    root = Span("root", attrs={"engine": "columnar"}, t0=10.0, wall=0.5,
+                cpu=0.4, counters={"tuples": 12}, children=[child],
+                pid=1, tid=7)
+    for k, v in overrides.items():
+        setattr(root, k, v)
+    return root
+
+
+class TestFormatTrace:
+    def test_tree_rendering_with_attrs_and_counters(self):
+        out = format_trace([tree()])
+        lines = out.splitlines()
+        assert lines[0].startswith("root")
+        assert "500.0ms wall" in lines[0] and "400.0ms cpu" in lines[0]
+        assert "engine=columnar" in lines[0] and "tuples=12" in lines[0]
+        assert lines[1].startswith("  child")
+
+    def test_min_wall_folds_fast_children(self):
+        root = tree()
+        root.children = [Span(f"c{i}", wall=1e-6) for i in range(5)]
+        root.children.append(Span("slow", wall=0.3))
+        out = format_trace([root], min_wall=1e-3)
+        assert "slow" in out
+        assert "c0" not in out
+        assert "… (+5 spans" in out
+
+    def test_max_depth_truncates(self):
+        out = format_trace([tree()], max_depth=0)
+        assert "child" not in out
+
+
+class TestChromeEvents:
+    def test_b_e_pairs_with_microsecond_timestamps(self):
+        events = chrome_events([tree()])
+        assert [(e["name"], e["ph"]) for e in events] == [
+            ("root", "B"), ("child", "B"), ("child", "E"), ("root", "E"),
+        ]
+        root_b, child_b, child_e, root_e = events
+        assert root_b["ts"] == 10_000_000 and root_e["ts"] == 10_500_000
+        assert child_b["ts"] == 10_100_000 and child_e["ts"] == 10_300_000
+        assert all(isinstance(e["ts"], int) for e in events)
+        assert root_b["args"] == {"engine": "columnar", "tuples": 12,
+                                  "cpu_ms": 400.0}
+
+    def test_child_clamped_into_parent_window(self):
+        root = tree()
+        # float jitter scenario: child "ends" after its parent
+        root.children = [Span("late", t0=10.4, wall=0.3, pid=1, tid=7)]
+        events = chrome_events([root])
+        assert validate_chrome_trace(events) == []
+        late_e = [e for e in events if e["name"] == "late" and e["ph"] == "E"]
+        assert late_e[0]["ts"] == 10_500_000  # parent's end, not 10_700_000
+
+    def test_tids_compacted_per_process(self):
+        roots = [
+            Span("a", t0=1.0, wall=0.1, pid=1, tid=140_000_001),
+            Span("b", t0=1.0, wall=0.1, pid=1, tid=140_000_002),
+            Span("c", t0=1.0, wall=0.1, pid=2, tid=140_000_003),
+        ]
+        events = chrome_events(roots)
+        lanes = {(e["pid"], e["tid"]) for e in events}
+        assert lanes == {(1, 0), (1, 1), (2, 0)}
+
+    def test_events_sorted_by_timestamp(self):
+        roots = [tree(), Span("earlier", t0=5.0, wall=0.1, pid=1, tid=7)]
+        ts = [e["ts"] for e in chrome_events(roots)]
+        assert ts == sorted(ts)
+
+
+class TestWriteAndValidate:
+    def test_round_trip_through_file(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", [tree()])
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert validate_chrome_trace(path) == []
+
+    def test_validator_catches_unmatched_b(self):
+        errors = validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+        ])
+        assert errors == ["lane (1, 0): 1 unmatched B event(s), "
+                          "innermost 'a'"]
+
+    def test_validator_catches_stray_and_mismatched_e(self):
+        stray = validate_chrome_trace([
+            {"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 0},
+        ])
+        assert "no open B" in stray[0]
+        mismatch = validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "E", "ts": 1, "pid": 1, "tid": 0},
+        ])
+        assert "does not match" in mismatch[0]
+
+    def test_validator_catches_shape_problems(self):
+        assert validate_chrome_trace([]) == [
+            "traceEvents must be a non-empty list"
+        ]
+        missing = validate_chrome_trace([{"ph": "B", "ts": 0}])
+        assert "missing keys" in missing[0]
+        unsorted = validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 5, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "B", "ts": 1, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "E", "ts": 6, "pid": 1, "tid": 0},
+            {"name": "a", "ph": "E", "ts": 7, "pid": 1, "tid": 0},
+        ])
+        assert any("precedes" in e for e in unsorted)
+        float_ts = validate_chrome_trace([
+            {"name": "a", "ph": "B", "ts": 0.5, "pid": 1, "tid": 0},
+            {"name": "a", "ph": "E", "ts": 1, "pid": 1, "tid": 0},
+        ])
+        assert any("not an integer" in e for e in float_ts)
+        phase = validate_chrome_trace([
+            {"name": "a", "ph": "X", "ts": 0, "pid": 1, "tid": 0},
+        ])
+        assert any("unsupported phase" in e for e in phase)

@@ -1,0 +1,89 @@
+"""MetricsRegistry: recording, absorb convention, merge, histogram buckets."""
+
+import json
+
+import pytest
+
+from repro.lineage.exact import DPLLStats
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.perf.cache import CacheStats
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        for v in (0.5, 1.0, 2.0, 3.0, 4.0, 100.0):
+            h.observe(v)
+        # <=1 -> k=0, 2 -> k=1, (2,4] -> k=2, 100 -> k=7
+        assert h.buckets == {0: 2, 1: 1, 2: 2, 7: 1}
+        assert h.count == 6
+        assert h.min == 0.5 and h.max == 100.0
+        assert h.mean == pytest.approx(110.5 / 6)
+
+    def test_as_dict_shapes(self):
+        assert Histogram().as_dict() == {"count": 0}
+        h = Histogram()
+        h.observe(3)
+        d = h.as_dict()
+        assert d["buckets"] == {"<=2^2": 1}
+        json.dumps(d)  # JSON-serialisable
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        reg = MetricsRegistry()
+        reg.inc("a.hits")
+        reg.inc("a.hits", 4)
+        reg.gauge("a.rate", 0.5)
+        reg.gauge("a.rate", 0.75)  # last write wins
+        reg.observe("a.size", 8)
+        assert reg.counter("a.hits") == 5
+        assert reg.counter("never") == 0
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a.hits": 5}
+        assert snap["gauges"] == {"a.rate": 0.75}
+        assert snap["histograms"]["a.size"]["count"] == 1
+        json.dumps(snap)
+
+    def test_absorb_cache_and_dpll_stats(self):
+        reg = MetricsRegistry()
+        reg.absorb("cache", CacheStats(hits=3, misses=1))
+        st = DPLLStats()
+        st.calls = 10
+        st.memo_hits = 2
+        reg.absorb("dpll", st)
+        snap = reg.snapshot()
+        # ints -> counters; the derived float rate -> gauge
+        assert snap["counters"]["cache.hits"] == 3
+        assert snap["counters"]["dpll.calls"] == 10
+        assert snap["counters"]["dpll.memo_hits"] == 2
+        assert snap["gauges"]["cache.hit_rate"] == 0.75
+
+    def test_absorb_mapping_routes_bools_and_strings_to_gauges(self):
+        reg = MetricsRegistry()
+        reg.absorb("x", {"n": 2, "ok": True, "mode": "serial", "f": 1.5})
+        snap = reg.snapshot()
+        assert snap["counters"] == {"x.n": 2}
+        assert snap["gauges"] == {"x.ok": True, "x.mode": "serial", "x.f": 1.5}
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, sizes in ((a, (1, 4)), (b, (4, 32))):
+            reg.inc("hits", 2)
+            for s in sizes:
+                reg.observe("size", s)
+        b.gauge("workers", 2)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["hits"] == 4
+        assert snap["gauges"]["workers"] == 2
+        h = snap["histograms"]["size"]
+        assert h["count"] == 4
+        assert h["min"] == 1 and h["max"] == 32
+        assert h["buckets"] == {"<=2^0": 1, "<=2^2": 2, "<=2^5": 1}
+
+    def test_merge_skips_empty_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("empty")  # created but never observed
+        a.merge(b.snapshot())
+        assert a.snapshot()["histograms"]["empty"] == {"count": 0}

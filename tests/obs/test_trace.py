@@ -1,0 +1,178 @@
+"""Tracer core: nesting, no-op path, thread-locality, pickling, decorator."""
+
+import pickle
+import threading
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    add,
+    annotate,
+    current_tracer,
+    span,
+    traced,
+)
+
+
+class TestNoopPath:
+    def test_span_without_tracer_is_shared_noop(self):
+        assert current_tracer() is None
+        handle = span("anything", engine="columnar")
+        assert handle is span("other")  # one shared singleton
+        with handle as h:
+            h.add("tuples", 3)
+            h.annotate(path="tree")
+        # module-level helpers are equally inert
+        add("tuples", 5)
+        annotate(path="ve")
+
+    def test_traced_function_runs_directly_without_tracer(self):
+        @traced("work")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+
+
+class TestRecording:
+    def test_nesting_attrs_counters_and_timing(self):
+        with Tracer() as t:
+            with span("outer", engine="columnar") as outer:
+                with span("inner") as inner:
+                    inner.add("tuples", 2)
+                    inner.add("tuples", 3)
+                outer.annotate(path="tree")
+        assert len(t.roots) == 1
+        root = t.roots[0]
+        assert root.name == "outer"
+        assert root.attrs == {"engine": "columnar", "path": "tree"}
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.children[0].counters == {"tuples": 5}
+        assert root.wall >= root.children[0].wall >= 0.0
+        assert root.pid != 0 and root.tid != 0
+        assert t.total_spans() == 2
+
+    def test_module_helpers_hit_current_span(self):
+        with Tracer() as t:
+            with span("s"):
+                add("n")
+                add("n", 2.0)
+                annotate(k="v")
+        assert t.roots[0].counters == {"n": 3.0}
+        assert t.roots[0].attrs == {"k": "v"}
+
+    def test_sequential_roots_form_a_forest(self):
+        with Tracer() as t:
+            with span("a"):
+                pass
+            with span("b"):
+                pass
+        assert [r.name for r in t.roots] == ["a", "b"]
+        assert t.current() is None
+
+    def test_span_survives_exception(self):
+        with Tracer() as t:
+            try:
+                with span("boom"):
+                    raise ValueError("x")
+            except ValueError:
+                pass
+            with span("after"):
+                pass
+        # the stack unwound: "after" is a root, not a child of "boom"
+        assert [r.name for r in t.roots] == ["boom", "after"]
+
+    def test_activation_nests_and_restores(self):
+        with Tracer() as outer:
+            with Tracer() as inner:
+                with span("x"):
+                    pass
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer() is None
+        assert not outer.roots and len(inner.roots) == 1
+
+    def test_traced_decorator_records(self):
+        @traced(engine="ve")
+        def solve(x):
+            return x * 2
+
+        with Tracer() as t:
+            assert solve(21) == 42
+        assert len(t.roots) == 1
+        assert t.roots[0].name.endswith("solve")
+        assert t.roots[0].attrs == {"engine": "ve"}
+
+
+class TestThreads:
+    def test_threads_record_independent_roots(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(3)
+
+        def work(label):
+            with tracer:
+                with tracer.span(label):
+                    barrier.wait()  # all three spans open concurrently
+                    with tracer.span(f"{label}.child"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(3)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert sorted(r.name for r in tracer.roots) == ["t0", "t1", "t2"]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [f"{root.name}.child"]
+        assert len({r.tid for r in tracer.roots}) == 3
+
+    def test_activation_is_thread_local(self):
+        seen = {}
+
+        def probe():
+            seen["tracer"] = current_tracer()
+
+        with Tracer():
+            th = threading.Thread(target=probe)
+            th.start()
+            th.join()
+        assert seen["tracer"] is None
+
+
+class TestPickleAndAttach:
+    def test_span_tree_round_trips_through_pickle(self):
+        with Tracer() as t:
+            with span("root", engine="columnar") as s:
+                s.add("tuples", 7)
+                with span("child"):
+                    pass
+        clone = pickle.loads(pickle.dumps(t.roots))
+        assert clone == t.roots  # dataclass equality, field for field
+
+    def test_attach_under_explicit_span(self):
+        foreign = [Span("worker_chunk", pid=999, tid=1)]
+        with Tracer() as t:
+            with span("dispatch") as s:
+                t.attach(foreign, under=s.span)
+        assert t.roots[0].children == foreign
+
+    def test_attach_defaults_to_current_then_roots(self):
+        t = Tracer()
+        with t:
+            with span("open"):
+                t.attach([Span("a")])
+        t.attach([Span("b")])
+        assert [c.name for c in t.roots[0].children] == ["a"]
+        assert [r.name for r in t.roots] == ["open", "b"]
+
+
+class TestSpanQueries:
+    def test_walk_find_total(self):
+        root = Span("r", children=[
+            Span("x"), Span("y", children=[Span("x")]),
+        ])
+        assert [s.name for s in root.walk()] == ["r", "x", "y", "x"]
+        assert len(root.find("x")) == 2
+        assert root.total_spans() == 4

@@ -102,3 +102,68 @@ def test_query_command_explain(csv_db, capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "⋈" in out and "scan" in out
+
+
+def test_explain_command(csv_db, capsys):
+    code = main(["explain", "q(x) :- R(x), S(x,y)", "--database", str(csv_db)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "per-operator timings" in out
+    assert "network components" in out
+    assert "offending" in out
+
+
+def test_explain_command_workload_with_json(tmp_path, capsys):
+    out_json = tmp_path / "explain.json"
+    code = main([
+        "explain", "P1", "--workload", "--m", "20",
+        "--json", str(out_json),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "generated" in out and "per-component inference" in out
+    import json
+
+    payload = json.loads(out_json.read_text())
+    assert payload["query"]
+    assert payload["metrics"]["counters"]
+    assert payload["component_count"] == sum(
+        payload["component_sizes"].values()
+    )
+
+
+def test_explain_command_requires_database_or_workload(capsys):
+    assert main(["explain", "q(x) :- R(x)"]) == 2
+    assert "--database" in capsys.readouterr().err
+
+
+def test_explain_command_rejects_unknown_workload_query(capsys):
+    assert main(["explain", "q(x) :- R(x)", "--workload"]) == 2
+    assert "Table 1" in capsys.readouterr().err
+
+
+def test_explain_command_trace_and_profile(csv_db, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "explain", "q(x) :- R(x), S(x,y)", "--database", str(csv_db),
+        "--trace", str(trace_path), "--profile",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "explain" in out  # the profile tree includes the root span
+    from repro.obs import validate_chrome_trace
+
+    assert trace_path.exists()
+    assert validate_chrome_trace(trace_path) == []
+
+
+def test_query_command_with_trace(csv_db, tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    code = main([
+        "query", str(csv_db), "q(x) :- R(x), S(x,y), T(y)",
+        "--trace", str(trace_path),
+    ])
+    assert code == 0
+    from repro.obs import validate_chrome_trace
+
+    assert validate_chrome_trace(trace_path) == []
