@@ -77,7 +77,9 @@ from repro.db import (
     relation_statistics,
 )
 from repro.errors import (
+    BudgetExceededError,
     CapacityError,
+    DeadlineExceededError,
     InferenceError,
     PlanError,
     ProbabilityError,
@@ -86,6 +88,13 @@ from repro.errors import (
     ReproError,
     SchemaError,
     UnsafePlanError,
+)
+from repro.resilience import (
+    AnswerResult,
+    FaultPlan,
+    FaultSpec,
+    QueryBudget,
+    resilient_marginals,
 )
 from repro.extensional import lifted_answer_probabilities, lifted_probability, safe_plan
 from repro.lineage import (
@@ -212,6 +221,12 @@ __all__ = [
     "MetricsRegistry",
     "ExplainReport",
     "build_explain_report",
+    # resilience: budgets, degradation ladder, fault-tolerant pool
+    "QueryBudget",
+    "AnswerResult",
+    "resilient_marginals",
+    "FaultSpec",
+    "FaultPlan",
     # errors
     "ReproError",
     "SchemaError",
@@ -222,4 +237,6 @@ __all__ = [
     "UnsafePlanError",
     "InferenceError",
     "CapacityError",
+    "BudgetExceededError",
+    "DeadlineExceededError",
 ]

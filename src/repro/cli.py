@@ -32,8 +32,13 @@ Five subcommands, mirroring how the paper's system is exercised:
 ``query`` and ``workload`` accept ``--engine {columnar,rows}`` to pick the
 operator backend of the partial-lineage evaluator (columnar by default),
 and ``--workers`` to fan final inference out over a process pool
-(in-process by default). ``query``, ``workload``, and ``explain`` all take
-``--trace PATH`` (write a Chrome trace-event JSON of the run, workers
+(in-process by default). ``query`` additionally takes ``--deadline`` /
+``--max-network-nodes`` (a strict :class:`repro.resilience.QueryBudget`:
+blowing it is an error) and ``--degrade`` (resilient mode: hard answers
+degrade through the :mod:`repro.resilience` ladder to sound
+``[lower, upper]`` bounds instead of failing, with ``--chunk-timeout``
+bounding each pool dispatch). ``query``, ``workload``, and ``explain`` all
+take ``--trace PATH`` (write a Chrome trace-event JSON of the run, workers
 included) and ``--profile`` (print the span tree with wall/CPU times).
 
 Database directory format: one ``<Relation>.csv`` per relation, first line a
@@ -91,11 +96,34 @@ def _observed(args: argparse.Namespace):
         print(f"wrote Chrome trace to {path} ({tracer.total_spans()} spans)")
 
 
+def _query_budget(args: argparse.Namespace):
+    """A :class:`~repro.resilience.QueryBudget` from the CLI flags, or
+    ``None`` when no budget/degradation flag was given."""
+    if (
+        args.deadline is None
+        and args.max_network_nodes is None
+        and not args.degrade
+    ):
+        return None
+    from repro.resilience import QueryBudget
+
+    return QueryBudget(
+        deadline_seconds=args.deadline,
+        max_network_nodes=args.max_network_nodes,
+        max_samples=args.max_samples,
+    )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     db = load_database(args.database)
     query = parse_query(args.query)
+    budget = _query_budget(args)
+    # In --degrade mode the budget applies to final inference only, where
+    # the ladder turns a blown deadline into sound bounds; attaching it to
+    # the operator pipeline too would make the whole query fail instead.
     evaluator = PartialLineageEvaluator(
-        db, engine=args.engine, workers=args.workers
+        db, engine=args.engine, workers=args.workers,
+        budget=None if args.degrade else budget,
     )
     if args.optimize:
         choice = choose_join_order(query, db, engine=args.engine)
@@ -110,6 +138,30 @@ def cmd_query(args: argparse.Namespace) -> int:
     with _observed(args):
         start = time.perf_counter()
         result = evaluator.evaluate_query(query, order)
+        if args.degrade:
+            answers = result.resilient_answer_probabilities(
+                budget, timeout=args.chunk_timeout
+            )
+            elapsed = time.perf_counter() - start
+            rows = [
+                (
+                    ", ".join(map(str, row)) or "()",
+                    round(a.probability, args.digits),
+                    f"[{a.lower:.{args.digits}f}, {a.upper:.{args.digits}f}]",
+                    a.method,
+                )
+                for row, a in sorted(answers.items())
+            ]
+            print(format_table(
+                ("answer", "probability", "bounds", "method"),
+                rows, title=str(query),
+            ))
+            degraded = sum(1 for a in answers.values() if a.degraded)
+            print(f"\n{len(answers)} answers in {elapsed:.3f}s; "
+                  f"{degraded} degraded to bounds; "
+                  f"{result.offending_count} offending tuples; "
+                  f"network of {len(result.network)} nodes")
+            return 0
         answers = result.answer_probabilities()
         elapsed = time.perf_counter() - start
         rows = [(", ".join(map(str, row)) or "()", round(p, args.digits))
@@ -152,6 +204,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
         db = load_database(args.database)
         query = parse_query(args.query)
         order = args.join_order.split(",") if args.join_order else None
+    budget = None
+    if args.deadline is not None:
+        from repro.resilience import QueryBudget
+
+        budget = QueryBudget(deadline_seconds=args.deadline)
     registry = MetricsRegistry()
     with _observed(args):
         report, _ = build_explain_report(
@@ -161,6 +218,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
             engine=args.engine,
             workers=args.workers,
             registry=registry,
+            budget=budget,
         )
         print(report.format())
     if args.json:
@@ -310,6 +368,22 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--workers", type=int, default=None,
                    help="process-pool size for component-parallel final "
                         "inference (default: in-process)")
+    q.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget for the whole query; without "
+                        "--degrade a blown deadline is an error")
+    q.add_argument("--degrade", action="store_true",
+                   help="never fail on hard instances: answers that blow "
+                        "the budget degrade to sound [lower, upper] bounds "
+                        "(OBDD -> interval bounds -> sampling)")
+    q.add_argument("--max-network-nodes", type=int, default=None,
+                   help="cap on And-Or network growth during evaluation")
+    q.add_argument("--max-samples", type=int, default=20_000,
+                   help="Monte-Carlo samples for the degradation ladder's "
+                        "sampling rung (default 20000)")
+    q.add_argument("--chunk-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-dispatch timeout for the fault-tolerant pool "
+                        "(with --degrade and --workers)")
     _add_observability_flags(q)
     q.set_defaults(func=cmd_query)
 
@@ -340,6 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
     e.add_argument("--workers", type=int, default=None,
                    help="recorded pool size (the report itself solves "
                         "in-process to measure per-slice timings)")
+    e.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="solve every slice through the degradation ladder "
+                        "under this wall-clock budget; the report then "
+                        "records ladder rungs and degraded-answer counts")
     e.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON")
     _add_observability_flags(e)

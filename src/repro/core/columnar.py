@@ -570,7 +570,9 @@ def independent_project(
     with np.errstate(divide="ignore"):
         logs = np.log1p(-rel.probs)
     sums = np.bincount(gid, weights=logs, minlength=groups)
-    probs = -np.expm1(sums)
+    # Clamp the fold into [0, 1]: expm1 rounding on many near-1 inputs can
+    # overshoot by an ulp, and an out-of-range probability poisons inference.
+    probs = np.clip(-np.expm1(sums), 0.0, 1.0)
     # Singleton groups pass their probability through bit-exactly.
     single = counts == 1
     probs[single] = rel.probs[first[single]]

@@ -40,6 +40,7 @@ from repro.db.database import ProbabilisticDatabase
 from repro.db.schema import Row
 from repro.errors import PlanError
 from repro.query.syntax import ConjunctiveQuery, Constant, Variable
+from repro.resilience.budget import QueryBudget
 
 #: Engines the evaluator can run the operator pipeline with.
 ENGINES = ("columnar", "rows")
@@ -89,6 +90,9 @@ class EvaluationResult:
     #: default process-pool size for :meth:`answer_probabilities`
     #: (``None`` = solve in-process), inherited from the evaluator
     workers: int | None = None
+    #: default :class:`~repro.resilience.QueryBudget` for final inference
+    #: (``None`` = unlimited), inherited from the evaluator
+    budget: QueryBudget | None = None
 
     @property
     def offending_count(self) -> int:
@@ -110,6 +114,7 @@ class EvaluationResult:
         dpll_max_calls: int = 5_000_000,
         cache=None,
         workers: int | None = None,
+        budget=None,
     ) -> dict[Row, float]:
         """Exact probability of each output tuple.
 
@@ -136,11 +141,21 @@ class EvaluationResult:
         *workers* (default: the evaluator's ``workers`` knob) turns on
         process-parallel solving of independent network components for the
         sliced engines; ``None`` or ``1`` stays in-process.
+
+        *budget* (default: the evaluator's ``budget`` knob) is an optional
+        :class:`~repro.resilience.QueryBudget` whose deadline the inference
+        backends checkpoint cooperatively; a blown budget raises
+        :class:`~repro.errors.BudgetExceededError`. For graceful
+        degradation to sound bounds instead, use
+        :meth:`resilient_answer_probabilities`.
         """
         from repro.core.junction import all_marginals
         from repro.core.treeprop import is_tree_factorable, tree_marginals
         from repro.perf.parallel import parallel_marginals
 
+        budget = budget if budget is not None else self.budget
+        if budget is not None:
+            budget.start().checkpoint("answer_probabilities")
         rows = list(self.relation.items())
         nodes = [l for _, l, _ in rows]
         marginals: dict[int, float]
@@ -163,7 +178,8 @@ class EvaluationResult:
                 for l in nodes:
                     if l not in marginals:
                         marginals[l] = compute_marginal(
-                            self.network, l, "auto", dpll_max_calls, cache
+                            self.network, l, "auto", dpll_max_calls, cache,
+                            budget,
                         )
             else:
                 sp.annotate(path="sliced")
@@ -174,9 +190,67 @@ class EvaluationResult:
                     engine=engine,
                     dpll_max_calls=dpll_max_calls,
                     cache=cache,
+                    budget=budget,
                 )
             sp.add("answers", len(rows))
         return {row: p * marginals[l] for row, l, p in rows}
+
+    def resilient_answer_probabilities(
+        self,
+        budget=None,
+        *,
+        workers: int | None = None,
+        cache=None,
+        timeout: float | None = None,
+        max_retries: int = 2,
+        chunks_per_worker: int = 4,
+        fault_plan=None,
+        registry=None,
+        seed: int = 0,
+    ) -> dict:
+        """Per-answer probability *enclosures* that never fail on hardness.
+
+        The resilient counterpart of :meth:`answer_probabilities`: every
+        answer's lineage solves through the degradation ladder of
+        :mod:`repro.resilience` — exact inference under (a fraction of) the
+        *budget*'s deadline, then OBDD compilation, then sound
+        Olteanu-Huang-Koch interval bounds, then Monte-Carlo with a
+        Hoeffding interval — and comes back as a
+        :class:`~repro.resilience.AnswerResult` carrying ``(lower, upper)``
+        bounds, the winning ladder rung, and the full degradation
+        provenance. Exactly solved answers have ``exact=True`` and a
+        zero-width enclosure; a hard component degrades only its own
+        answers.
+
+        With ``workers >= 2`` the components fan out over the
+        fault-tolerant pool (per-dispatch *timeout*, *max_retries* retry
+        rounds, serial requeue — see
+        :func:`repro.resilience.execute.resilient_marginals`); *fault_plan*
+        injects deterministic failures for chaos tests, and *seed* fixes
+        the sampling rung's randomness so parallel, serial, and retried
+        runs agree bit-for-bit.
+        """
+        from repro.resilience.execute import resilient_marginals
+        from repro.resilience.ladder import AnswerResult
+
+        rows = list(self.relation.items())
+        outcomes = resilient_marginals(
+            self.network,
+            [l for _, l, _ in rows],
+            budget=budget if budget is not None else self.budget,
+            workers=workers if workers is not None else self.workers,
+            cache=cache,
+            timeout=timeout,
+            max_retries=max_retries,
+            chunks_per_worker=chunks_per_worker,
+            fault_plan=fault_plan,
+            registry=registry,
+            seed=seed,
+        )
+        return {
+            row: AnswerResult.from_marginal(row, p, outcomes[l])
+            for row, l, p in rows
+        }
 
     def approximate_answer_probabilities(
         self,
@@ -248,6 +322,7 @@ class PartialLineageEvaluator:
         hashing: bool = True,
         engine: str = "columnar",
         workers: int | None = None,
+        budget=None,
     ) -> None:
         self.db = db
         #: Pass-through to :class:`AndOrNetwork`: disable to ablate the
@@ -261,6 +336,10 @@ class PartialLineageEvaluator:
         #: :class:`EvaluationResult` this evaluator produces (``None`` keeps
         #: inference in-process; see :mod:`repro.perf.parallel`).
         self.workers = workers
+        #: Default :class:`~repro.resilience.QueryBudget` for the whole
+        #: execution: checkpointed after every operator (deadline +
+        #: network-size cap) and handed to every result for final inference.
+        self.budget = budget
         #: ``"columnar"`` (vectorized NumPy operator pipeline, the default) or
         #: ``"rows"`` (the row-at-a-time reference implementation). Both grow
         #: identical networks; only throughput differs.
@@ -273,22 +352,33 @@ class PartialLineageEvaluator:
         self._base_cache: dict = {}
 
     # ------------------------------------------------------------ entry points
-    def evaluate(self, plan: Plan) -> EvaluationResult:
+    def evaluate(self, plan: Plan, budget=None) -> EvaluationResult:
         """Evaluate an explicit plan; validates its schema first.
 
         Regardless of engine, the result's ``relation`` is a row-backed
         :class:`PLRelation` (the columnar engine converts its final — small —
         output), so downstream consumers see one representation.
+
+        *budget* (default: the evaluator's ``budget`` knob) is an optional
+        :class:`~repro.resilience.QueryBudget`: the deadline and the
+        network-size cap are checked after every operator, raising
+        :class:`~repro.errors.DeadlineExceededError` /
+        :class:`~repro.errors.BudgetExceededError` respectively, and the
+        budget is handed to the result for final inference.
         """
         plan_schema(plan, self.db)
+        budget = budget if budget is not None else self.budget
+        if budget is not None:
+            budget.start()
         network = AndOrNetwork(hashing=self.hashing)
         stats: list[OperatorStat] = []
         conditioned: list[OffendingTuple] = []
-        rel = self._eval(plan, network, stats, conditioned)
+        rel = self._eval(plan, network, stats, conditioned, budget)
         if isinstance(rel, ColumnarPLRelation):
             rel = rel.to_rows()
         return EvaluationResult(
-            rel, network, stats, conditioned, workers=self.workers
+            rel, network, stats, conditioned,
+            workers=self.workers, budget=budget,
         )
 
     def invalidate_cache(self) -> None:
@@ -297,10 +387,13 @@ class PartialLineageEvaluator:
         self._base_cache.clear()
 
     def evaluate_query(
-        self, query: ConjunctiveQuery, join_order: list[str] | None = None
+        self,
+        query: ConjunctiveQuery,
+        join_order: list[str] | None = None,
+        budget=None,
     ) -> EvaluationResult:
         """Build the left-deep plan for *query* and evaluate it."""
-        return self.evaluate(left_deep_plan(query, join_order))
+        return self.evaluate(left_deep_plan(query, join_order), budget=budget)
 
     # --------------------------------------------------------------- recursion
     def _eval(
@@ -309,11 +402,14 @@ class PartialLineageEvaluator:
         network: AndOrNetwork,
         stats: list[OperatorStat],
         provenance: list[OffendingTuple],
+        budget=None,
     ) -> PLRelation:
         # The operators dispatch on the relation type, so the recursion is
         # engine-agnostic; only the scan differs. Each operator's own wall
         # time (children excluded) lands in its OperatorStat, and — when a
-        # tracer is active — in a per-operator span.
+        # tracer is active — in a per-operator span. A budget, when present,
+        # is checkpointed after every operator: deadline plus network-size
+        # cap, the two resources the operator pipeline itself consumes.
         if isinstance(plan, Scan):
             with _span("scan", op=str(plan), engine=self.engine) as sp:
                 start = time.perf_counter()
@@ -325,22 +421,22 @@ class PartialLineageEvaluator:
                 seconds = time.perf_counter() - start
                 sp.add("output_size", len(rel))
         elif isinstance(plan, Select):
-            child = self._eval(plan.child, network, stats, provenance)
+            child = self._eval(plan.child, network, stats, provenance, budget)
             with _span("select", op=str(plan), engine=self.engine) as sp:
                 start = time.perf_counter()
                 rel = select_eq(child, dict(plan.conditions))
                 seconds = time.perf_counter() - start
                 sp.add("output_size", len(rel))
         elif isinstance(plan, Project):
-            child = self._eval(plan.child, network, stats, provenance)
+            child = self._eval(plan.child, network, stats, provenance, budget)
             with _span("project", op=str(plan), engine=self.engine) as sp:
                 start = time.perf_counter()
                 rel = project(child, plan.attributes)
                 seconds = time.perf_counter() - start
                 sp.add("output_size", len(rel))
         elif isinstance(plan, Join):
-            left = self._eval(plan.left, network, stats, provenance)
-            right = self._eval(plan.right, network, stats, provenance)
+            left = self._eval(plan.left, network, stats, provenance, budget)
+            right = self._eval(plan.right, network, stats, provenance, budget)
             with _span("join", op=str(plan), engine=self.engine) as sp:
                 start = time.perf_counter()
                 rel, conditioned = pl_join(
@@ -361,12 +457,18 @@ class PartialLineageEvaluator:
                         seconds=time.perf_counter() - start,
                     )
                 )
+            if budget is not None:
+                budget.checkpoint(str(plan))
+                budget.check_nodes(len(network), str(plan))
             return rel
         else:
             raise PlanError(f"unknown plan node {plan!r}")
         stats.append(
             OperatorStat(str(plan), output_size=len(rel), seconds=seconds)
         )
+        if budget is not None:
+            budget.checkpoint(str(plan))
+            budget.check_nodes(len(network), str(plan))
         return rel
 
     # ------------------------------------------------------------------ scans

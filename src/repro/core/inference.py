@@ -196,17 +196,23 @@ def eliminate(
     factors: Sequence[Factor],
     keep: Iterable[int] = (),
     order: Sequence[int] | None = None,
+    budget=None,
 ) -> Factor:
     """Variable elimination: sum out everything not in *keep*.
 
     Returns a single factor over (a subset of) *keep*; with an empty *keep*
     the result is a scalar factor holding the requested probability mass.
+    An optional :class:`~repro.resilience.QueryBudget` is checkpointed once
+    per eliminated variable, so a deadline interrupts the pass between
+    factor products rather than after the whole elimination.
     """
     keep_set = set(keep)
     if order is None:
         order = min_fill_order(factors, keep_set)
     buckets: list[Factor] = list(factors)
     for var in order:
+        if budget is not None:
+            budget.checkpoint("eliminate")
         involved = [f for f in buckets if var in f.vars]
         if not involved:
             continue
@@ -272,7 +278,11 @@ def assignment_probability(
 
 
 def _dpll_marginal(
-    net: AndOrNetwork, node: int, max_calls: int = 5_000_000, cache=None
+    net: AndOrNetwork,
+    node: int,
+    max_calls: int = 5_000_000,
+    cache=None,
+    budget=None,
 ) -> float:
     """``Pr(node=1)`` by compiling the partial-lineage DNF and running the
     exact DPLL solver — the structure-exploiting path for high-treewidth
@@ -282,7 +292,9 @@ def _dpll_marginal(
     from repro.lineage.exact import dnf_probability
 
     dnf, probs = partial_lineage_dnf(net, node)
-    return dnf_probability(dnf, probs, max_calls=max_calls, cache=cache)
+    return dnf_probability(
+        dnf, probs, max_calls=max_calls, cache=cache, budget=budget
+    )
 
 
 def compute_marginal(
@@ -291,6 +303,7 @@ def compute_marginal(
     engine: str = "auto",
     dpll_max_calls: int = 5_000_000,
     cache=None,
+    budget=None,
 ) -> float:
     """``Pr(node = 1)`` exactly.
 
@@ -307,32 +320,40 @@ def compute_marginal(
 
     *cache* is an optional shared :class:`~repro.perf.SubformulaCache` for
     the DPLL path, letting repeated marginal computations (e.g. one per
-    answer tuple) reuse subformula probabilities across nodes.
+    answer tuple) reuse subformula probabilities across nodes. *budget* is
+    an optional :class:`~repro.resilience.QueryBudget` checkpointed
+    cooperatively by both paths (its ``max_width`` also overrides
+    :data:`VE_WIDTH_LIMIT` for the auto engine choice).
     """
     if node == EPSILON:
         return 1.0
     with _span("compute_marginal", engine=engine) as sp:
         if engine == "dpll":
             sp.annotate(path="dpll")
-            return _dpll_marginal(net, node, dpll_max_calls, cache)
+            return _dpll_marginal(net, node, dpll_max_calls, cache, budget)
         if engine not in ("auto", "ve"):
             raise ValueError(f"unknown inference engine {engine!r}")
+        if budget is not None:
+            budget.checkpoint("compute_marginal")
         relevant = net.ancestors([node])
         relevant.add(EPSILON)
         factors = network_factors(net, relevant)
+        width_limit = (
+            VE_WIDTH_LIMIT if budget is None else budget.width_limit(VE_WIDTH_LIMIT)
+        )
         if (
             engine == "auto"
-            and induced_width(factors, keep={node}) > VE_WIDTH_LIMIT
+            and induced_width(factors, keep={node}) > width_limit
         ):
             try:
                 sp.annotate(path="dpll")
-                return _dpll_marginal(net, node, dpll_max_calls, cache)
+                return _dpll_marginal(net, node, dpll_max_calls, cache, budget)
             except CapacityError:
                 pass  # DNF blow-up: retry below with variable elimination
         sp.annotate(path="ve")
         sp.add("factors", len(factors))
         reduced = [reduce_evidence(f, {node: 1}) for f in factors]
-        return float(eliminate(reduced).table)
+        return float(eliminate(reduced, budget=budget).table)
 
 
 def compute_marginals(

@@ -188,13 +188,16 @@ def calibrate_clique_tree(
     factors: list[Factor],
     elimination: tuple[list[tuple[int, ...]], list[int], list[list[int]]]
     | None = None,
+    budget=None,
 ) -> CliqueTree:
     """Calibrate a clique tree directly from decomposed factors.
 
     *elimination* optionally supplies a precomputed
     :func:`_elimination_cliques` result so callers that already ran the
     min-fill pass (e.g. the component-sliced driver, which uses the clique
-    sizes as its width estimate) do not pay for it twice.
+    sizes as its width estimate) do not pay for it twice. *budget* is an
+    optional :class:`~repro.resilience.QueryBudget` checkpointed once per
+    clique during each pass.
     """
     if elimination is None:
         elimination = _elimination_cliques(factors)
@@ -204,6 +207,8 @@ def calibrate_clique_tree(
         sp.add("cliques", len(cliques))
         potentials: list[Factor] = []
         for i, clique in enumerate(cliques):
+            if budget is not None:
+                budget.checkpoint("junction")
             f = _unit_factor(clique)
             for idx in assignment[i]:
                 f = multiply(f, factors[idx])

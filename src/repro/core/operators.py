@@ -91,9 +91,11 @@ def independent_project(rel: PLRelation, attributes: Sequence[str]) -> Projected
     """Independent project (Sec 5.3.2): group by projected value *and* lineage.
 
     Rows sharing both the projected value and the lineage node are merged
-    extensionally: ``p' = 1 - Π (1 - p)``. This is exactly the extensional
-    projection of Eq. 3, restricted to same-lineage rows, and it never touches
-    the network.
+    extensionally: ``p' = 1 - Π (1 - p)``, folded pairwise in the
+    cancellation-free form ``g + p - g·p`` (the naive ``1-(1-g)(1-p)``
+    underflows to exactly 0 on subnormal-tiny inputs, which downstream
+    ``(0, 1]`` range checks reject) and clamped to at most 1 so rounding can
+    never hand inference a probability above 1.
     """
     if isinstance(rel, ColumnarPLRelation):
         return _columnar.independent_project(rel, attributes)
@@ -103,7 +105,8 @@ def independent_project(rel: PLRelation, attributes: Sequence[str]) -> Projected
     for row, l, p in rel.items():
         key = (tuple(row[i] for i in positions), l)
         if key in groups:
-            groups[key] = 1.0 - (1.0 - groups[key]) * (1.0 - p)
+            g = groups[key]
+            groups[key] = min(1.0, g + p - g * p)
         else:
             groups[key] = p
             order.append(key)

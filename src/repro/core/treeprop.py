@@ -72,7 +72,9 @@ def is_tree_factorable(net: AndOrNetwork) -> bool:
     return True
 
 
-def tree_marginals_array(net: AndOrNetwork, check: bool = True) -> np.ndarray:
+def tree_marginals_array(
+    net: AndOrNetwork, check: bool = True, budget=None
+) -> np.ndarray:
     """Marginals of every node as a ``float64`` array — the batched kernel.
 
     One cheap Python pass flattens the gates into CSR arrays and assigns each
@@ -88,16 +90,24 @@ def tree_marginals_array(net: AndOrNetwork, check: bool = True) -> np.ndarray:
     proportional to the DAG depth (the plan depth on query networks), not to
     the gate count.
 
+    *budget* is an optional :class:`~repro.resilience.QueryBudget`
+    checkpointed before the factorability check and before the sweep (the
+    sweep itself is a handful of NumPy calls, too coarse to interrupt).
+
     Raises
     ------
     InferenceError
         If *check* is on and the network is not tree-factorable (the
         propagation would silently compute wrong numbers otherwise).
     """
+    if budget is not None:
+        budget.checkpoint("treeprop")
     if check and not is_tree_factorable(net):
         raise InferenceError(
             "network is not tree-factorable; use compute_marginal instead"
         )
+    if budget is not None:
+        budget.checkpoint("treeprop")
     with _span("tree_marginals_array", nodes=len(net)):
         return _tree_marginals_array(net)
 

@@ -2,8 +2,36 @@
 
 Every error raised by the library derives from :class:`ReproError`, so callers
 can catch one type at an API boundary. Subclasses distinguish the layer that
-failed: schema/data problems, query-language problems, planning problems, and
-inference problems.
+failed: schema/data problems, query-language problems, planning problems,
+inference problems, and resource-budget problems. The full tree::
+
+    ReproError
+    ├── SchemaError          — relation/attribute/arity misuse
+    ├── ProbabilityError     — probability outside [0, 1], NaN/Inf, bad dist
+    ├── QuerySyntaxError     — unparseable query text
+    ├── QuerySemanticsError  — parsed query structurally invalid
+    ├── PlanError            — malformed / schema-inconsistent plan
+    │   └── UnsafePlanError  — safe plan requested for a non-hierarchical query
+    ├── InferenceError       — exact or approximate inference failed
+    │   └── DPLLBudgetError  — (also a BudgetExceededError, see below)
+    ├── CapacityError        — instance too large for an exhaustive computation
+    └── BudgetExceededError  — a caller-imposed resource budget ran out
+        ├── DeadlineExceededError — the wall-clock deadline passed
+        └── DPLLBudgetError       — the DPLL call budget ran out
+
+The budget branch separates *policy* failures from *capability* failures:
+:class:`CapacityError` means the computation is infeasible at any budget
+(e.g. a DNF expansion that cannot be materialised), while
+:class:`BudgetExceededError` means the caller's :class:`~repro.resilience
+.QueryBudget` — a deadline, a node cap, a work cap — was the actual trigger
+and a retry with a larger budget could succeed. The graceful-degradation
+ladder of :mod:`repro.resilience` catches both and falls back to sound
+interval bounds instead of failing the query.
+
+:class:`DPLLBudgetError` inherits from both :class:`InferenceError` (its
+historical type, which existing callers catch) and
+:class:`BudgetExceededError` (what it semantically is: the ``max_calls``
+work budget, not a hard capacity, stopped the solve).
 """
 
 from __future__ import annotations
@@ -43,3 +71,26 @@ class InferenceError(ReproError):
 
 class CapacityError(ReproError):
     """An exhaustive computation was attempted on an instance that is too large."""
+
+
+class BudgetExceededError(ReproError):
+    """A caller-imposed resource budget (nodes, width, work) ran out.
+
+    Unlike :class:`CapacityError`, this signals a *policy* limit: the same
+    computation could succeed under a larger :class:`~repro.resilience
+    .QueryBudget`.
+    """
+
+
+class DeadlineExceededError(BudgetExceededError):
+    """The wall-clock deadline of a :class:`~repro.resilience.QueryBudget`
+    passed before the computation finished."""
+
+
+class DPLLBudgetError(BudgetExceededError, InferenceError):
+    """The DPLL solver exceeded its ``max_calls`` work budget.
+
+    Doubly derived so legacy callers catching :class:`InferenceError` keep
+    working while budget-aware callers (the degradation ladder) can treat it
+    as the :class:`BudgetExceededError` it semantically is.
+    """

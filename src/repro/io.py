@@ -13,10 +13,11 @@ sweep can be re-run on the exact same data.
 from __future__ import annotations
 
 import csv
+import math
 import pathlib
 
 from repro.db.database import ProbabilisticDatabase
-from repro.errors import ReproError
+from repro.errors import ProbabilityError, ReproError
 
 
 def _coerce(value: str):
@@ -37,6 +38,10 @@ def load_database(directory: str | pathlib.Path) -> ProbabilisticDatabase:
     ReproError
         If the directory holds no CSV files or a header lacks the trailing
         ``p`` column.
+    ProbabilityError
+        If a ``p`` value is not a finite number — NaN or Inf in the input
+        would otherwise poison every probability computed downstream, far
+        from the offending file.
     """
     db = ProbabilisticDatabase()
     path = pathlib.Path(directory)
@@ -54,11 +59,23 @@ def load_database(directory: str | pathlib.Path) -> ProbabilisticDatabase:
                 )
             attrs = tuple(a.strip() for a in header[:-1])
             rel = db.add_relation(file.stem, attrs)
-            for line in reader:
+            for lineno, line in enumerate(reader, start=2):
                 if not line:
                     continue
                 *values, p = line
-                rel.add(tuple(_coerce(v.strip()) for v in values), float(p))
+                try:
+                    prob = float(p)
+                except ValueError:
+                    raise ProbabilityError(
+                        f"{file.name}:{lineno}: probability {p!r} is not a "
+                        f"number"
+                    ) from None
+                if not math.isfinite(prob):
+                    raise ProbabilityError(
+                        f"{file.name}:{lineno}: probability {p!r} is not "
+                        f"finite; NaN/Inf would poison downstream inference"
+                    )
+                rel.add(tuple(_coerce(v.strip()) for v in values), prob)
     return db
 
 

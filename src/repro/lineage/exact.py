@@ -27,7 +27,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.errors import InferenceError
+from repro.errors import DPLLBudgetError, InferenceError
 from repro.lineage.dnf import DNF, EventVar, EventVarInterner
 from repro.obs.trace import span as _span
 from repro.perf.cache import SubformulaCache, canonical_key
@@ -70,17 +70,23 @@ class DPLLStats:
 
 
 class _Solver:
+    #: Calls between cooperative deadline checks (one ``time.monotonic()``
+    #: per block keeps the hot recursion unburdened).
+    CHECK_EVERY = 256
+
     def __init__(
         self,
         probs: list[float],
         max_calls: int,
         cache: SubformulaCache | None = None,
+        budget=None,
     ) -> None:
         self.probs = probs
         self.memo: dict[_Clauses, float] = {}
         self.stats = DPLLStats()
         self.max_calls = max_calls
         self.cache = cache
+        self.budget = budget
         # Canonical keys are O(|F| log |F|) to build; remember them per
         # identical clause set so repeats within this call pay only a dict
         # lookup before hitting the shared cache.
@@ -89,10 +95,12 @@ class _Solver:
     def probability(self, clauses: _Clauses) -> float:
         self.stats.calls += 1
         if self.stats.calls > self.max_calls:
-            raise InferenceError(
+            raise DPLLBudgetError(
                 f"DPLL exceeded the budget of {self.max_calls} calls; the "
                 f"lineage is intractable for exact intensional evaluation"
             )
+        if self.budget is not None and self.stats.calls % self.CHECK_EVERY == 0:
+            self.budget.checkpoint("dpll")
         if not clauses:
             return 0.0
         if frozenset() in clauses:
@@ -196,6 +204,7 @@ def dnf_probability(
     max_calls: int = 5_000_000,
     stats: DPLLStats | None = None,
     cache: SubformulaCache | None = None,
+    budget=None,
 ) -> float:
     """Exact probability of a positive DNF over independent variables.
 
@@ -208,8 +217,13 @@ def dnf_probability(
         are simplified away before solving; probability-0 variables delete
         their clauses.
     max_calls:
-        Work budget; :class:`~repro.errors.InferenceError` beyond it (the
-        paper's Fig. 6/7 "both systems fail" regime).
+        Work budget; :class:`~repro.errors.DPLLBudgetError` (an
+        :class:`~repro.errors.InferenceError` that is also a
+        :class:`~repro.errors.BudgetExceededError`) beyond it — the
+        paper's Fig. 6/7 "both systems fail" regime.
+    budget:
+        Optional :class:`~repro.resilience.QueryBudget`; its deadline is
+        checked cooperatively every :attr:`_Solver.CHECK_EVERY` calls.
     stats:
         Optional accounting object, filled in place.
     cache:
@@ -263,7 +277,7 @@ def dnf_probability(
         return 1.0
     if not clauses:
         return 0.0
-    solver = _Solver(p, max_calls, cache)
+    solver = _Solver(p, max_calls, cache, budget)
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 10_000 + 6 * len(interner)))
     with _span(

@@ -108,6 +108,7 @@ def build_obdd(
     max_nodes: int = 200_000,
     *,
     cache: SubformulaCache | None = None,
+    budget=None,
 ) -> OBDD:
     """Compile a monotone DNF into a reduced OBDD.
 
@@ -120,6 +121,9 @@ def build_obdd(
         cover every variable of the formula.
     max_nodes:
         Construction budget; :class:`~repro.errors.CapacityError` beyond it.
+    budget:
+        Optional :class:`~repro.resilience.QueryBudget`; the deadline is
+        checked cooperatively every few hundred created nodes.
     cache:
         Optional shared :class:`~repro.perf.SubformulaCache`. The compiled
         node table depends only on the clause structure *over order
@@ -174,6 +178,8 @@ def build_obdd(
                 f"OBDD construction exceeded {max_nodes} nodes; the lineage "
                 f"has no small OBDD under this order (cf. Theorem 4.2)"
             )
+        if budget is not None and len(obdd.nodes) % 256 == 0:
+            budget.checkpoint("obdd")
         obdd.nodes.append(key)
         node_id = len(obdd.nodes) + 1
         unique[key] = node_id

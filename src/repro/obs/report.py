@@ -66,12 +66,17 @@ class ExplainReport:
     #: Per-operator accounting (``OperatorStat.as_dict()`` rows).
     operators: list[dict] = field(default_factory=list)
     #: Per-component solve records: size, targets, engine, estimated cost,
-    #: measured seconds.
+    #: measured seconds (plus, under a budget, the winning ladder rung and
+    #: the degraded-target count).
     slices: list[dict] = field(default_factory=list)
     #: Subformula-cache counters of the final inference (hit rates).
     cache: dict = field(default_factory=dict)
     #: Unified metrics snapshot of the run.
     metrics: dict = field(default_factory=dict)
+    #: Answers that degraded to sound bounds (resilient runs only).
+    degraded_answers: int = 0
+    #: The budget the run executed under (``None`` = unlimited).
+    budget: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-serialisable view (the ``repro explain --json`` payload)."""
@@ -96,6 +101,8 @@ class ExplainReport:
             "slices": list(self.slices),
             "cache": dict(self.cache),
             "metrics": self.metrics,
+            "degraded_answers": self.degraded_answers,
+            "budget": self.budget,
         }
 
     def format(self) -> str:
@@ -151,6 +158,15 @@ class ExplainReport:
                  for i, s in enumerate(self.slices)],
                 title="per-component inference (estimated vs actual cost)",
             ))
+        if self.budget is not None:
+            lines.append("")
+            caps = ", ".join(
+                f"{k}={v}" for k, v in self.budget.items() if v is not None
+            )
+            lines.append(f"budget: {caps or 'unlimited'}")
+            lines.append(
+                f"{self.degraded_answers} answers degraded to sound bounds"
+            )
         if self.cache:
             lines.append("")
             lines.append(
@@ -170,6 +186,7 @@ def build_explain_report(
     workers: int | None = None,
     dpll_max_calls: int = 5_000_000,
     registry: MetricsRegistry | None = None,
+    budget=None,
 ) -> tuple[ExplainReport, dict[Row, float]]:
     """Evaluate *query* and assemble its :class:`ExplainReport`.
 
@@ -177,6 +194,12 @@ def build_explain_report(
     in-process regardless of *workers* — per-slice wall-clocks are the
     point of the report, and a process pool would hide them; *workers* is
     recorded so the report reflects the configuration it explains.
+
+    With a *budget* (a :class:`~repro.resilience.QueryBudget`) every slice
+    solves through the degradation ladder instead: hard components degrade
+    to sound bounds (reported at their interval midpoint in ``answers``),
+    each slice record carries the winning ladder rung and its degraded
+    count, and the report totals ``degraded_answers``.
 
     Examples
     --------
@@ -208,30 +231,58 @@ def build_explain_report(
         works = group_by_component(result.network, nodes)
         marginals = {0: 1.0}  # EPSILON
         slices: list[dict] = []
+        degraded_answers = 0
+        if budget is not None:
+            budget = budget.start()
         for work in works:
             tree = is_tree_factorable(work.slice.network)
             slice_engine = "tree" if tree else ("ve" if work.narrow else "dpll")
             t0 = time.perf_counter()
-            with span("explain_slice", engine=slice_engine) as s:
-                solved = solve_slice(
-                    work.slice.network,
-                    work.targets,
-                    "auto",
-                    dpll_max_calls,
-                    cache,
-                    narrow=work.narrow,
-                )
-                s.add("targets", len(work.targets))
-            seconds = time.perf_counter() - t0
-            for sub, prob in solved.items():
-                marginals[work.slice.to_orig(sub)] = prob
-            slices.append({
+            record = {
                 "size": len(work.slice.network) - 1,  # slice minus ε
                 "targets": len(work.targets),
                 "engine": slice_engine,
                 "estimated_cost": work.cost,
-                "seconds": seconds,
-            })
+            }
+            with span("explain_slice", engine=slice_engine) as s:
+                if budget is not None:
+                    from repro.resilience.ladder import (
+                        resilient_component_marginals,
+                    )
+
+                    outcomes = resilient_component_marginals(
+                        work.slice.network,
+                        work.targets,
+                        budget=budget,
+                        cache=cache,
+                        registry=registry,
+                        narrow=work.narrow,
+                    )
+                    solved = {t: o.midpoint for t, o in outcomes.items()}
+                    degraded = sum(
+                        1 for o in outcomes.values() if o.degraded
+                    )
+                    degraded_answers += degraded
+                    record["degraded"] = degraded
+                    record["rung"] = next(
+                        (o.method for o in outcomes.values() if o.degraded),
+                        "exact",
+                    )
+                else:
+                    solved = solve_slice(
+                        work.slice.network,
+                        work.targets,
+                        "auto",
+                        dpll_max_calls,
+                        cache,
+                        narrow=work.narrow,
+                    )
+                s.add("targets", len(work.targets))
+            seconds = time.perf_counter() - t0
+            for sub, prob in solved.items():
+                marginals[work.slice.to_orig(sub)] = prob
+            record["seconds"] = seconds
+            slices.append(record)
             registry.observe("slice.estimated_cost", work.cost)
             registry.observe("slice.seconds", seconds)
         inference_seconds = time.perf_counter() - start
@@ -279,5 +330,14 @@ def build_explain_report(
         slices=slices,
         cache=cache.stats.as_dict(),
         metrics=registry.snapshot(),
+        degraded_answers=degraded_answers,
+        budget=None if budget is None else {
+            "deadline_seconds": budget.deadline_seconds,
+            "max_network_nodes": budget.max_network_nodes,
+            "max_width": budget.max_width,
+            "dpll_max_calls": budget.dpll_max_calls,
+            "obdd_max_nodes": budget.obdd_max_nodes,
+            "max_samples": budget.max_samples,
+        },
     )
     return report, answers

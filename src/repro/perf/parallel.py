@@ -18,13 +18,17 @@ set aside. This module exploits both facts:
   min-degree pass per component (:func:`estimate_component`), which stops
   the moment the width budget is exceeded.
 * :func:`parallel_marginals` fans the extracted components out over a
-  ``ProcessPoolExecutor``: components are chunked by estimated cost
-  (longest-processing-time-first over the factor-table sizes the
-  elimination pass produced), each worker solves its chunk against a fresh
-  subformula cache, and the workers' cache entries are merged back into the
-  caller's cache — the canonical keys are rename-invariant, so entries
-  survive the component id-remap. A cost threshold keeps small workloads on
-  the serial path, so tiny queries never pay pool startup.
+  process pool driven by the fault-tolerant
+  :func:`repro.resilience.pool.run_chunks` dispatcher: components are
+  chunked by estimated cost (longest-processing-time-first over the
+  factor-table sizes the elimination pass produced), each worker solves its
+  chunk against a fresh subformula cache, and the workers' cache entries
+  are merged back into the caller's cache — the canonical keys are
+  rename-invariant, so entries survive the component id-remap. Worker
+  crashes, stuck workers (per-dispatch *timeout*), and poisoned results
+  retry on a fresh pool and finally requeue to the in-process serial path,
+  so one dead worker never loses its chunk. A cost threshold keeps small
+  workloads on the serial path, so tiny queries never pay pool startup.
 
 Exactness is unaffected throughout: every path computes the same marginals
 as :func:`repro.core.inference.compute_marginal` on the full network
@@ -35,7 +39,7 @@ brute force).
 from __future__ import annotations
 
 import heapq
-from concurrent.futures import ProcessPoolExecutor
+import math
 from dataclasses import dataclass
 
 from repro.core.inference import (
@@ -53,6 +57,8 @@ from repro.errors import CapacityError
 from repro.obs.trace import Tracer, current_tracer
 from repro.obs.trace import span as _span
 from repro.perf.cache import SubformulaCache
+from repro.resilience.faults import apply_fault
+from repro.resilience.pool import run_chunks
 
 __all__ = [
     "ComponentWork",
@@ -172,6 +178,7 @@ def solve_slice(
     dpll_max_calls: int = 5_000_000,
     cache: SubformulaCache | None = None,
     narrow: bool | None = None,
+    budget=None,
 ) -> dict[int, float]:
     """Marginals of *targets* (slice-local ids) within one component.
 
@@ -185,20 +192,30 @@ def solve_slice(
     blows up); ``"ve"`` forces the elimination paths, ``"dpll"`` the DPLL
     path. *narrow* optionally forwards an already-computed
     :func:`estimate_component` verdict so the probe is not repeated.
+    *budget* is an optional :class:`~repro.resilience.QueryBudget` threaded
+    into every backend's cooperative checkpoints (its ``max_width`` also
+    overrides the width-probe limit when the probe runs here).
     """
     if engine not in ("auto", "ve", "dpll"):
         raise ValueError(f"unknown inference engine {engine!r}")
     targets = [t for t in targets]
+    if budget is not None:
+        budget.checkpoint("solve_slice")
     with _span(
         "solve_slice", nodes=len(subnet), targets=len(targets)
     ) as sp:
         if engine == "auto" and is_tree_factorable(subnet):
             sp.annotate(path="tree")
-            arr = tree_marginals_array(subnet, check=False)
+            arr = tree_marginals_array(subnet, check=False, budget=budget)
             return {t: float(arr[t]) for t in targets}
         if engine != "dpll":
             if narrow is None:
-                narrow, _ = estimate_component(subnet)
+                limit = (
+                    VE_WIDTH_LIMIT
+                    if budget is None
+                    else budget.width_limit(VE_WIDTH_LIMIT)
+                )
+                narrow, _ = estimate_component(subnet, limit)
             if engine == "ve" or narrow:
                 factors = network_factors(subnet)
                 real = [t for t in targets if t != EPSILON]
@@ -211,11 +228,13 @@ def solve_slice(
                         reduce_evidence(f, {real[0]: 1}) for f in factors
                     ]
                     out = {t: 1.0 for t in targets}
-                    out[real[0]] = float(eliminate(reduced).table)
+                    out[real[0]] = float(
+                        eliminate(reduced, budget=budget).table
+                    )
                     return out
                 sp.annotate(path="junction")
                 tree = calibrate_clique_tree(
-                    factors, _elimination_cliques(factors)
+                    factors, _elimination_cliques(factors), budget=budget
                 )
                 return {
                     t: 1.0 if t == EPSILON else tree.marginal(t)
@@ -228,12 +247,16 @@ def solve_slice(
                 out[t] = 1.0
                 continue
             try:
-                out[t] = _dpll_marginal(subnet, t, dpll_max_calls, cache)
+                out[t] = _dpll_marginal(
+                    subnet, t, dpll_max_calls, cache, budget
+                )
             except CapacityError:
                 # DNF blow-up: retry with plain variable elimination, exactly
                 # the serial path's fallback.
                 sp.add("ve_fallbacks")
-                out[t] = compute_marginal(subnet, t, "ve", dpll_max_calls)
+                out[t] = compute_marginal(
+                    subnet, t, "ve", dpll_max_calls, budget=budget
+                )
         return out
 
 
@@ -250,6 +273,7 @@ def sliced_marginals(
     engine: str = "auto",
     dpll_max_calls: int = 5_000_000,
     cache: SubformulaCache | None = None,
+    budget=None,
 ) -> dict[int, float]:
     """Marginals of *nodes*, solving each connected component exactly once.
 
@@ -273,6 +297,7 @@ def sliced_marginals(
                 dpll_max_calls,
                 cache,
                 narrow=work.narrow,
+                budget=budget,
             )
             _merge_back(out, work, solved)
     return out
@@ -303,25 +328,47 @@ def _solve_chunk(payload):
     stays valid across the component id-remaps and across workers), and —
     when the dispatching process had a tracer active — the worker's span
     forest, which the caller grafts under its dispatch span so a
-    ``workers=2`` run still renders as one timeline.
+    ``workers=2`` run still renders as one timeline. The chunk's injected
+    fault, if any, fires first (chaos tests only).
     """
-    tasks, engine, dpll_max_calls, traced = payload
+    (tasks, engine, dpll_max_calls, traced,
+     budget, chunk, attempt, fault_plan) = payload
+    fault = None if fault_plan is None else fault_plan.for_chunk(chunk, attempt)
+    poison = apply_fault(fault)
+    if budget is not None:
+        budget = budget.start()
     cache = SubformulaCache()
-    if not traced:
-        solved = [
-            solve_slice(subnet, targets, engine, dpll_max_calls, cache, narrow)
+
+    def solve_all():
+        return [
+            solve_slice(
+                subnet, targets, engine, dpll_max_calls, cache, narrow,
+                budget=budget,
+            )
             for subnet, targets, narrow in tasks
         ]
-        return solved, cache.entries(), []
-    with Tracer() as tracer:
-        with tracer.span("worker_chunk", tasks=len(tasks)):
-            solved = [
-                solve_slice(
-                    subnet, targets, engine, dpll_max_calls, cache, narrow
-                )
-                for subnet, targets, narrow in tasks
-            ]
-    return solved, cache.entries(), tracer.roots
+
+    if traced:
+        with Tracer() as tracer:
+            with tracer.span("worker_chunk", tasks=len(tasks)):
+                solved = solve_all()
+        spans = tracer.roots
+    else:
+        solved = solve_all()
+        spans = []
+    if poison:
+        solved = [{t: math.nan for t in d} for d in solved]
+    return solved, cache.entries(), spans
+
+
+def _validate_marginals(result) -> str | None:
+    """Reject chunk results carrying non-finite marginals (NaN poisoning)."""
+    solved_list, _entries, _spans = result
+    for solved in solved_list:
+        for prob in solved.values():
+            if not math.isfinite(prob):
+                return "poisoned_result"
+    return None
 
 
 def parallel_marginals(
@@ -335,6 +382,10 @@ def parallel_marginals(
     min_parallel_cost: float = DEFAULT_MIN_PARALLEL_COST,
     chunks_per_worker: int = 4,
     registry=None,
+    budget=None,
+    timeout: float | None = None,
+    max_retries: int = 2,
+    fault_plan=None,
 ) -> dict[int, float]:
     """Marginals of *nodes* with component-parallel process fan-out.
 
@@ -342,26 +393,43 @@ def parallel_marginals(
     cost stays under *min_parallel_cost*, or when there is only one
     component, this is exactly :func:`sliced_marginals` — small workloads
     never pay pool startup. Otherwise the component slices are packed into
-    ``workers * chunks_per_worker`` cost-balanced chunks and solved by a
-    ``ProcessPoolExecutor``; worker cache entries are merged back into
-    *cache* afterwards, so later queries sharing the caller's cache still
-    benefit from the fan-out's work.
+    ``workers * chunks_per_worker`` cost-balanced chunks and dispatched
+    through the fault-tolerant :func:`repro.resilience.pool.run_chunks`;
+    worker cache entries are merged back into *cache* afterwards, so later
+    queries sharing the caller's cache still benefit from the fan-out's
+    work.
+
+    Fault tolerance: a worker crash (``BrokenProcessPool``), a chunk
+    exceeding the per-dispatch *timeout*, or a poisoned (non-finite) result
+    retries the chunk on a fresh pool up to *max_retries* rounds, then
+    requeues it to the in-process serial path — so a dead or stuck worker
+    degrades throughput, never correctness. *fault_plan* is a
+    :class:`~repro.resilience.faults.FaultPlan` injecting deterministic
+    failures for the chaos suite. *budget* is an optional
+    :class:`~repro.resilience.QueryBudget` threaded into the workers (as a
+    remaining-deadline copy) and the serial paths.
 
     *registry* is an optional :class:`~repro.obs.metrics.MetricsRegistry`
     recording the pool's scheduling decisions: worker and chunk counts,
     chunk-size/cost histograms (``pool.chunk_tasks``, ``pool.chunk_cost``),
-    and one ``pool.serial_fallback.<reason>`` counter per serial fallback
-    (``no_workers``, ``single_component``, ``below_cost_threshold``). A
-    tracer active on the calling thread (:class:`~repro.obs.trace.Tracer`)
-    additionally makes the workers trace their solves and ship the span
-    forests back, merged under this call's dispatch span.
+    one ``pool.serial_fallback.<reason>`` counter per serial fallback
+    (``no_workers``, ``single_component``, ``below_cost_threshold``), and
+    the dispatcher's retry accounting (``pool.chunk_failure.<reason>``,
+    ``pool.worker_crashes``, ``pool.timeouts``, ``pool.requeued_serial``).
+    A tracer active on the calling thread
+    (:class:`~repro.obs.trace.Tracer`) additionally makes the workers trace
+    their solves and ship the span forests back, merged under this call's
+    dispatch span.
 
-    Worker failures propagate: an
+    Worker failures still propagate: an
     :class:`~repro.errors.InferenceError` raised in a worker (e.g. the DPLL
-    call budget) re-raises in the caller, matching the serial path.
+    call budget) is retried, requeued, and finally re-raised by the serial
+    path — matching the serial oracle exactly.
     """
     if engine not in ("auto", "ve", "dpll"):
         raise ValueError(f"unknown inference engine {engine!r}")
+    if budget is not None:
+        budget = budget.start()
     works = group_by_component(net, nodes)
     total_cost = sum(w.cost for w in works)
     if workers is None or workers < 2:
@@ -396,6 +464,7 @@ def parallel_marginals(
                     dpll_max_calls,
                     cache,
                     narrow=work.narrow,
+                    budget=budget,
                 )
                 _merge_back(out, work, solved)
             return out
@@ -412,35 +481,54 @@ def parallel_marginals(
                 )
         tracer = current_tracer()
         out = {EPSILON: 1.0}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                (
-                    members,
-                    pool.submit(
-                        _solve_chunk,
-                        (
-                            [
-                                (
-                                    works[i].slice.network,
-                                    works[i].targets,
-                                    works[i].narrow,
-                                )
-                                for i in members
-                            ],
-                            engine,
-                            dpll_max_calls,
-                            tracer is not None,
-                        ),
-                    ),
-                )
-                for members in chunks
+        if cache is None:
+            cache = SubformulaCache()
+
+        def chunk_tasks(members):
+            return [
+                (works[i].slice.network, works[i].targets, works[i].narrow)
+                for i in members
             ]
-            for members, future in futures:
-                solved_list, entries, worker_spans = future.result()
-                for i, solved in zip(members, solved_list):
-                    _merge_back(out, works[i], solved)
-                if cache is not None:
-                    cache.merge(entries)
-                if worker_spans and tracer is not None:
-                    tracer.attach(worker_spans, under=sp.span)
+
+        def payload_fn(index, attempt):
+            return (
+                chunk_tasks(chunks[index]),
+                engine,
+                dpll_max_calls,
+                tracer is not None,
+                None if budget is None else budget.for_worker(),
+                index,
+                attempt,
+                fault_plan,
+            )
+
+        def serial_fn(index):
+            solved = [
+                solve_slice(
+                    subnet, targets, engine, dpll_max_calls, cache, narrow,
+                    budget=budget,
+                )
+                for subnet, targets, narrow in chunk_tasks(chunks[index])
+            ]
+            return solved, [], []
+
+        outcomes = run_chunks(
+            _solve_chunk,
+            payload_fn,
+            len(chunks),
+            workers=workers,
+            serial_fn=serial_fn,
+            timeout=timeout,
+            max_retries=max_retries,
+            validate=_validate_marginals,
+            registry=registry,
+        )
+        for index, chunk_outcome in enumerate(outcomes):
+            solved_list, entries, worker_spans = chunk_outcome.result
+            for i, solved in zip(chunks[index], solved_list):
+                _merge_back(out, works[i], solved)
+            if entries:
+                cache.merge(entries)
+            if worker_spans and tracer is not None:
+                tracer.attach(worker_spans, under=sp.span)
         return out

@@ -1,0 +1,358 @@
+"""The graceful-degradation ladder: exact where possible, sound bounds beyond.
+
+Instance hardness varies wildly across the answers of one query (the
+paper's central observation): most components of the And-Or network are
+extensionally cheap, a few offending-tuple-dense ones are #P-hard. Without
+this module, one such component kills the whole query with a
+:class:`~repro.errors.CapacityError` or blows the deadline. With it, every
+answer independently walks a four-rung ladder and *always* comes back with
+a sound enclosure of its probability:
+
+1. **exact** — the normal component solve
+   (:func:`repro.perf.parallel.solve_slice`: tree propagation / variable
+   elimination / junction tree / cached DPLL), under a fraction of the
+   remaining deadline;
+2. **obdd** — compile the partial-lineage DNF into an OBDD
+   (:func:`repro.lineage.obdd.build_obdd`) under the budget's node cap:
+   still exact, and robust on formulas whose DPLL trace thrashes;
+3. **bounds** — Olteanu-Huang-Koch truncated evaluation
+   (:func:`repro.lineage.approx_bounds.approximate_probability`): a sound
+   ``[lower, upper]`` interval whatever the expansion budget;
+4. **sampling** — Karp-Luby on the DNF (or forward sampling on the
+   network when the DNF itself was uncompilable) with a Hoeffding
+   confidence interval.
+
+Each attempt is recorded as a :class:`DegradationStep` (rung, outcome,
+reason, seconds), so a degraded answer carries its full provenance; the
+:class:`MarginalOutcome`/:class:`AnswerResult` objects expose
+``(lower, upper)``, the winning rung, and whether the value is exact.
+Every rung transition emits :mod:`repro.obs` metrics and spans.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.core.network import EPSILON, AndOrNetwork
+from repro.errors import BudgetExceededError, CapacityError, InferenceError
+from repro.lineage.approx_bounds import Interval, approximate_probability
+from repro.obs.trace import span as _span
+from repro.resilience.budget import QueryBudget
+
+__all__ = [
+    "DegradationStep",
+    "MarginalOutcome",
+    "AnswerResult",
+    "resilient_component_marginals",
+    "LADDER_RUNGS",
+    "SAMPLING_DELTA",
+]
+
+#: The rungs, in fallback order.
+LADDER_RUNGS = ("exact", "obdd", "bounds", "karp-luby", "forward")
+
+#: Confidence parameter for the sampling rung's Hoeffding interval: the
+#: interval contains the true probability with probability ``1 - δ``.
+SAMPLING_DELTA = 1e-6
+
+#: Failures a rung may recover from; anything else is a real bug and raises.
+_RECOVERABLE = (BudgetExceededError, CapacityError, InferenceError)
+
+
+@dataclass(frozen=True)
+class DegradationStep:
+    """Provenance of one ladder attempt."""
+
+    rung: str
+    #: ``"ok"`` (this rung produced the result), ``"failed"``, or
+    #: ``"skipped"`` (a prerequisite — e.g. the DNF — was unavailable).
+    outcome: str
+    reason: str
+    seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "rung": self.rung,
+            "outcome": self.outcome,
+            "reason": self.reason,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class MarginalOutcome:
+    """A sound enclosure of one node's marginal, with its provenance."""
+
+    lower: float
+    upper: float
+    #: The ladder rung that produced the enclosure.
+    method: str
+    #: True when ``lower == upper`` came from an exact rung.
+    exact: bool
+    steps: list[DegradationStep] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the first rung (plain exact inference) did not win.
+
+        Note an OBDD fallback is degraded yet still ``exact``: the ladder
+        moved past rung 1, but the value it produced is not approximate.
+        """
+        return self.method != "exact"
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lower + self.upper) / 2.0
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def as_dict(self) -> dict:
+        return {
+            "lower": self.lower,
+            "upper": self.upper,
+            "method": self.method,
+            "exact": self.exact,
+            "degraded": self.degraded,
+            "steps": [s.as_dict() for s in self.steps],
+        }
+
+
+@dataclass
+class AnswerResult:
+    """One answer tuple's probability enclosure (the resilient API's unit).
+
+    ``probability`` is the best point estimate — the exact value when
+    ``exact``, the interval midpoint otherwise; ``(lower, upper)`` always
+    soundly encloses the true answer probability (up to the sampling rung's
+    ``1 - δ`` confidence)."""
+
+    row: tuple
+    lower: float
+    upper: float
+    method: str
+    exact: bool
+    steps: list[DegradationStep] = field(default_factory=list)
+
+    @property
+    def probability(self) -> float:
+        return (self.lower + self.upper) / 2.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when a fallback rung (not plain exact inference) answered."""
+        return self.method != "exact"
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float, tolerance: float = 1e-9) -> bool:
+        """Is *value* inside the enclosure (up to float noise)?"""
+        return self.lower - tolerance <= value <= self.upper + tolerance
+
+    def as_dict(self) -> dict:
+        return {
+            "row": list(self.row),
+            "probability": self.probability,
+            "lower": self.lower,
+            "upper": self.upper,
+            "method": self.method,
+            "exact": self.exact,
+            "degraded": self.degraded,
+            "steps": [s.as_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_marginal(
+        cls, row: tuple, row_probability: float, outcome: MarginalOutcome
+    ) -> "AnswerResult":
+        """Scale a lineage-node enclosure by the row's own probability.
+
+        The anonymous row event is independent of the network, so the
+        answer probability is ``row_probability · Pr(lineage)`` and the
+        enclosure scales linearly.
+        """
+        return cls(
+            row=row,
+            lower=row_probability * outcome.lower,
+            upper=row_probability * outcome.upper,
+            method=outcome.method,
+            exact=outcome.exact,
+            steps=outcome.steps,
+        )
+
+
+def _step(steps, registry, rung, outcome, reason, started) -> None:
+    steps.append(DegradationStep(rung, outcome, reason, perf_counter() - started))
+    if registry is not None:
+        registry.inc(f"resilience.rung.{rung}.{outcome}")
+
+
+def _reason(exc: Exception) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def resilient_component_marginals(
+    subnet: AndOrNetwork,
+    targets,
+    budget: QueryBudget | None = None,
+    cache=None,
+    rng: random.Random | None = None,
+    registry=None,
+    narrow: bool | None = None,
+) -> dict[int, MarginalOutcome]:
+    """Ladder solve of one component slice: never raises on hard instances.
+
+    Tries the exact engines on the whole component first (one solve shared
+    by all its targets, like the non-resilient path); on any recoverable
+    failure — deadline, node/width/call budget, capacity — degrades *per
+    target* through OBDD, interval bounds, and sampling. Only genuine bugs
+    (non-:class:`~repro.errors.ReproError` exceptions) propagate.
+    """
+    from repro.perf.parallel import solve_slice
+
+    budget = (budget or QueryBudget()).start()
+    rng = rng or random.Random(0)
+    out: dict[int, MarginalOutcome] = {}
+    with _span("ladder", nodes=len(subnet), targets=len(targets)) as sp:
+        # Rung 1 — exact, on a fraction of the remaining deadline so a
+        # hopeless component cannot starve its own fallbacks.
+        steps: list[DegradationStep] = []
+        started = perf_counter()
+        try:
+            solved = solve_slice(
+                subnet,
+                list(targets),
+                "auto",
+                budget.dpll_max_calls,
+                cache,
+                narrow=narrow,
+                budget=budget.sub(0.5),
+            )
+        except _RECOVERABLE as exc:
+            _step(steps, registry, "exact", "failed", _reason(exc), started)
+            sp.annotate(exact="failed")
+        else:
+            _step(steps, registry, "exact", "ok", "", started)
+            for t in targets:
+                out[t] = MarginalOutcome(
+                    solved[t], solved[t], "exact", True, steps
+                )
+            return out
+        for t in targets:
+            out[t] = _degrade_target(
+                subnet, t, budget, list(steps), rng, registry
+            )
+        sp.add("degraded", len(targets))
+        if registry is not None:
+            registry.inc("resilience.degraded_targets", len(targets))
+    return out
+
+
+def _degrade_target(
+    subnet, target, budget, steps, rng, registry
+) -> MarginalOutcome:
+    """Rungs 2-4 for one target whose component-exact solve failed."""
+    if target == EPSILON:
+        return MarginalOutcome(1.0, 1.0, "exact", True, steps)
+
+    dnf = probs = None
+    started = perf_counter()
+    try:
+        from repro.core.compile import partial_lineage_dnf
+
+        dnf, probs = partial_lineage_dnf(subnet, target)
+    except _RECOVERABLE as exc:
+        _step(steps, registry, "obdd", "skipped", _reason(exc), started)
+        _step(steps, registry, "bounds", "skipped", "no DNF", started)
+        return _sampling_rung(subnet, target, None, None, budget, steps, rng,
+                              registry)
+
+    # Rung 2 — OBDD: still exact, materialised Shannon expansion.
+    started = perf_counter()
+    try:
+        from repro.lineage.obdd import build_obdd
+
+        obdd = build_obdd(
+            dnf, max_nodes=budget.obdd_max_nodes, budget=budget.sub(0.5)
+        )
+        p = obdd.probability(probs)
+    except _RECOVERABLE as exc:
+        _step(steps, registry, "obdd", "failed", _reason(exc), started)
+    else:
+        _step(steps, registry, "obdd", "ok", "", started)
+        return MarginalOutcome(p, p, "obdd", True, steps)
+
+    # Rung 3 — sound interval bounds by truncated evaluation.
+    started = perf_counter()
+    try:
+        iv = approximate_probability(
+            dnf,
+            probs,
+            epsilon=budget.approx_epsilon,
+            max_calls=budget.approx_max_calls,
+        )
+    except (_RECOVERABLE + (RecursionError,)) as exc:
+        _step(steps, registry, "bounds", "failed", _reason(exc), started)
+    else:
+        _step(steps, registry, "bounds", "ok", "", started)
+        if iv.width <= budget.approx_epsilon:
+            return MarginalOutcome(
+                iv.low, iv.high, "bounds", False, steps
+            )
+        # Interval too loose for the caller's tolerance: let sampling try
+        # to do better, but keep this sound interval to intersect with.
+        return _sampling_rung(
+            subnet, target, dnf, probs, budget, steps, rng, registry,
+            prior=iv,
+        )
+    return _sampling_rung(subnet, target, dnf, probs, budget, steps, rng,
+                          registry)
+
+
+def _sampling_rung(
+    subnet, target, dnf, probs, budget, steps, rng, registry,
+    prior: Interval | None = None,
+) -> MarginalOutcome:
+    """Rung 4 — Monte-Carlo with a Hoeffding confidence interval.
+
+    Karp-Luby on the DNF when it compiled (relative-error behaviour,
+    better for small probabilities — the estimator is ``S · mean`` of a
+    Bernoulli, so Hoeffding scales by the union weight ``S``); forward
+    sampling on the sub-network otherwise. Never fails: the floor is a
+    small sample count even with the deadline already blown, and the
+    result is intersected with any sound *prior* interval from rung 3.
+    """
+    samples = max(64, budget.max_samples)
+    half_log = math.log(2.0 / SAMPLING_DELTA) / 2.0
+    started = perf_counter()
+    if dnf is not None:
+        from repro.lineage.sampling import karp_luby
+
+        scale = min(
+            float(len(dnf)),
+            sum(math.prod(probs[v] for v in c) for c in dnf.clauses),
+        )
+        est = karp_luby(dnf, probs, samples, rng)
+        eps = scale * math.sqrt(half_log / samples)
+        method = "karp-luby"
+    else:
+        from repro.core.approximate import forward_sample_marginal
+
+        est = forward_sample_marginal(subnet, target, samples, rng)
+        eps = math.sqrt(half_log / samples)
+        method = "forward"
+    low, high = max(0.0, est - eps), min(1.0, est + eps)
+    if prior is not None:
+        # Both enclosures hold (the prior surely, ours with 1-δ), so their
+        # intersection does too; guard against an empty float intersection.
+        low, high = max(low, prior.low), min(high, prior.high)
+        if low > high:
+            low, high = prior.low, prior.high
+    _step(steps, registry, method, "ok", f"{samples} samples", started)
+    return MarginalOutcome(low, high, method, False, steps)

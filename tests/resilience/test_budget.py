@@ -1,0 +1,143 @@
+"""QueryBudget lifecycle, checkpoints, and budget-aware strict execution."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.inference import VE_WIDTH_LIMIT
+from repro.db import ProbabilisticDatabase
+from repro.errors import (
+    BudgetExceededError,
+    DeadlineExceededError,
+    DPLLBudgetError,
+    InferenceError,
+    ReproError,
+)
+from repro.query.parser import parse_query
+from repro.resilience.budget import UNLIMITED, QueryBudget
+
+
+@pytest.fixture
+def db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.5})
+    db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (1, 2): 0.5, (2, 1): 0.5})
+    db.add_relation("T", ("B",), {(1,): 0.9, (2,): 0.9})
+    return db
+
+
+class TestLifecycle:
+    def test_unlimited_is_a_noop(self):
+        b = QueryBudget()
+        assert b.remaining() is None
+        assert not b.expired
+        b.checkpoint("anything")
+        b.check_nodes(10**9)
+        assert b.start() is b
+        assert UNLIMITED.remaining() is None
+
+    def test_start_is_idempotent(self):
+        b = QueryBudget(deadline_seconds=60.0).start()
+        anchor = b.started_at
+        time.sleep(0.01)
+        assert b.start().started_at == anchor
+
+    def test_remaining_counts_down(self):
+        b = QueryBudget(deadline_seconds=60.0)
+        assert b.remaining() == 60.0  # un-started: full deadline
+        b.start()
+        time.sleep(0.01)
+        assert b.remaining() < 60.0
+        assert not b.expired
+
+    def test_expired_deadline_raises_at_checkpoint(self):
+        b = QueryBudget(deadline_seconds=0.0).start()
+        assert b.expired
+        with pytest.raises(DeadlineExceededError, match="during dpll"):
+            b.checkpoint("dpll")
+
+    def test_node_cap(self):
+        b = QueryBudget(max_network_nodes=100)
+        b.check_nodes(100)
+        with pytest.raises(BudgetExceededError, match="101 nodes"):
+            b.check_nodes(101, "Join")
+
+    def test_width_limit_override(self):
+        assert QueryBudget().width_limit(VE_WIDTH_LIMIT) == VE_WIDTH_LIMIT
+        assert QueryBudget(max_width=3).width_limit(VE_WIDTH_LIMIT) == 3
+
+
+class TestCrossProcess:
+    def test_for_worker_carries_remaining_and_pickles(self):
+        b = QueryBudget(deadline_seconds=60.0, max_network_nodes=5).start()
+        w = b.for_worker()
+        assert w.started_at is None  # re-anchored by the worker's start()
+        assert w.deadline_seconds is not None and w.deadline_seconds <= 60.0
+        assert w.max_network_nodes == 5  # caps are inherited
+        clone = pickle.loads(pickle.dumps(w))
+        assert clone.deadline_seconds == w.deadline_seconds
+
+    def test_for_worker_of_unlimited_is_unlimited(self):
+        assert QueryBudget().for_worker().deadline_seconds is None
+
+    def test_sub_carves_a_fraction(self):
+        b = QueryBudget(deadline_seconds=60.0).start()
+        child = b.sub(0.5)
+        assert child.deadline_seconds <= 30.0
+        assert child.started_at is not None  # already anchored
+        assert QueryBudget().sub(0.5).deadline_seconds is None
+
+    def test_sub_of_expired_budget_is_expired(self):
+        b = QueryBudget(deadline_seconds=0.0).start()
+        assert b.sub(0.5).expired
+
+
+class TestErrorHierarchy:
+    def test_budget_errors_are_repro_errors(self):
+        assert issubclass(BudgetExceededError, ReproError)
+        assert issubclass(DeadlineExceededError, BudgetExceededError)
+
+    def test_dpll_budget_error_is_both(self):
+        # backward compatibility: existing callers catch InferenceError
+        assert issubclass(DPLLBudgetError, BudgetExceededError)
+        assert issubclass(DPLLBudgetError, InferenceError)
+
+
+class TestStrictExecution:
+    """Without --degrade, a budget makes the evaluator fail fast."""
+
+    def test_zero_deadline_fails_evaluation(self, db):
+        evaluator = PartialLineageEvaluator(db)
+        plan = parse_query("q(x) :- R(x), S(x,y), T(y)")
+        with pytest.raises(DeadlineExceededError):
+            evaluator.evaluate_query(
+                plan, budget=QueryBudget(deadline_seconds=0.0)
+            )
+
+    def test_node_cap_fails_evaluation(self, db):
+        evaluator = PartialLineageEvaluator(db)
+        with pytest.raises(BudgetExceededError, match="nodes"):
+            evaluator.evaluate_query(
+                parse_query("q(x) :- R(x), S(x,y), T(y)"),
+                budget=QueryBudget(max_network_nodes=1),
+            )
+
+    def test_generous_budget_changes_nothing(self, db):
+        q = parse_query("q(x) :- R(x), S(x,y), T(y)")
+        baseline = PartialLineageEvaluator(db).evaluate_query(q)
+        budgeted = PartialLineageEvaluator(db).evaluate_query(
+            q, budget=QueryBudget(deadline_seconds=300.0)
+        )
+        assert budgeted.answer_probabilities() == pytest.approx(
+            baseline.answer_probabilities()
+        )
+
+    def test_zero_deadline_fails_inference(self, db):
+        q = parse_query("q(x) :- R(x), S(x,y), T(y)")
+        result = PartialLineageEvaluator(db).evaluate_query(q)
+        with pytest.raises(DeadlineExceededError):
+            result.answer_probabilities(
+                budget=QueryBudget(deadline_seconds=0.0)
+            )

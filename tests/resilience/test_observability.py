@@ -1,0 +1,151 @@
+"""Degradation surfaces: ExplainReport fields, rung metrics, CLI flags."""
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.db import ProbabilisticDatabase
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import build_explain_report
+from repro.obs.trace import Tracer
+from repro.query.parser import parse_query
+from repro.resilience.budget import QueryBudget
+from repro.resilience.execute import resilient_marginals
+from repro.resilience.ladder import resilient_component_marginals
+
+from tests.perf.test_parallel import multi_component_network
+
+
+@pytest.fixture
+def db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.5})
+    db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (1, 2): 0.5, (2, 1): 0.5})
+    db.add_relation("T", ("B",), {(1,): 0.9, (2,): 0.9})
+    return db
+
+
+@pytest.fixture
+def csv_db(tmp_path):
+    (tmp_path / "R.csv").write_text("A,p\n1,0.5\n2,1.0\n")
+    (tmp_path / "S.csv").write_text("A,B,p\n1,x,0.5\n1,y,0.5\n2,x,0.9\n")
+    (tmp_path / "T.csv").write_text("B,p\nx,1.0\ny,0.8\n")
+    return tmp_path
+
+
+class TestExplainReport:
+    def test_generous_budget_reports_no_degradation(self, db):
+        report, answers = build_explain_report(
+            db, parse_query("q(x) :- R(x), S(x,y), T(y)"),
+            budget=QueryBudget(deadline_seconds=300.0),
+        )
+        assert report.degraded_answers == 0
+        assert report.budget is not None
+        assert report.budget["deadline_seconds"] == 300.0
+        assert all(s["degraded"] == 0 for s in report.slices)
+        assert all(s["rung"] == "exact" for s in report.slices)
+        baseline, _ = build_explain_report(
+            db, parse_query("q(x) :- R(x), S(x,y), T(y)")
+        )[0], None
+        assert baseline.budget is None  # no budget -> no budget section
+
+    def test_blown_deadline_reports_rungs_and_counts(self, db):
+        report, answers = build_explain_report(
+            db, parse_query("q(x) :- R(x), S(x,y), T(y)"),
+            budget=QueryBudget(deadline_seconds=0.0),
+        )
+        degraded = [s for s in report.slices if s["degraded"]]
+        assert degraded, "a zero deadline must degrade some slice"
+        assert report.degraded_answers == sum(s["degraded"] for s in degraded)
+        assert all(s["rung"] != "exact" for s in degraded)
+        text = report.format()
+        assert "degraded to sound bounds" in text
+        assert "budget:" in text
+        payload = report.as_dict()
+        assert payload["degraded_answers"] == report.degraded_answers
+        assert payload["budget"]["deadline_seconds"] == 0.0
+
+    def test_degraded_midpoints_are_finite_probabilities(self, db):
+        _, answers = build_explain_report(
+            db, parse_query("q(x) :- R(x), S(x,y), T(y)"),
+            budget=QueryBudget(deadline_seconds=0.0),
+        )
+        assert answers
+        for p in answers.values():
+            assert 0.0 <= p <= 1.0
+
+
+class TestMetricsAndSpans:
+    def test_rung_transitions_emit_metrics(self):
+        net, roots = multi_component_network(random.Random(61), 3)
+        registry = MetricsRegistry()
+        resilient_component_marginals(
+            net, roots, budget=QueryBudget(deadline_seconds=0.0),
+            registry=registry,
+        )
+        assert registry.counter("resilience.rung.exact.failed") >= 1
+        assert registry.counter("resilience.degraded_targets") >= len(roots)
+        ok_rungs = [
+            name for name in registry.snapshot()["counters"]
+            if name.startswith("resilience.rung.") and name.endswith(".ok")
+        ]
+        assert ok_rungs, "the winning rung must be counted"
+
+    def test_ladder_spans_appear_in_traces(self):
+        net, roots = multi_component_network(random.Random(62), 2)
+        with Tracer() as tracer:
+            resilient_marginals(net, roots)
+        names = set()
+
+        def walk(spans):
+            for s in spans:
+                names.add(s.name)
+                walk(s.children)
+
+        walk(tracer.roots)
+        assert "resilient_marginals" in names
+        assert "ladder" in names
+
+
+class TestCLI:
+    def test_degrade_flag_prints_bounds_columns(self, csv_db, capsys):
+        code = main([
+            "query", str(csv_db), "q(x) :- R(x), S(x,y), T(y)",
+            "--degrade", "--deadline", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bounds" in out and "method" in out
+        assert "degraded to bounds" in out
+
+    def test_degrade_without_pressure_stays_exact(self, csv_db, capsys):
+        code = main([
+            "query", str(csv_db), "q(x) :- R(x), S(x,y), T(y)",
+            "--degrade", "--max-samples", "256",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 degraded to bounds" in out
+
+    def test_strict_deadline_is_an_error(self, csv_db, capsys):
+        code = main([
+            "query", str(csv_db), "q(x) :- R(x), S(x,y), T(y)",
+            "--deadline", "0",
+        ])
+        assert code != 0
+        assert "deadline" in capsys.readouterr().err.lower()
+
+    def test_explain_deadline_reports_degradation(self, csv_db, capsys,
+                                                  tmp_path):
+        out_json = tmp_path / "report.json"
+        code = main([
+            "explain", "q(x) :- R(x), S(x,y), T(y)",
+            "--database", str(csv_db),
+            "--deadline", "0", "--json", str(out_json),
+        ])
+        assert code == 0
+        assert "degraded to sound bounds" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["budget"]["deadline_seconds"] == 0.0

@@ -1,0 +1,125 @@
+"""Unit tests of the fault-tolerant chunk dispatcher (run_chunks)."""
+
+import time
+
+import pytest
+
+from repro.errors import CapacityError, ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience.pool import ChunkOutcome, run_chunks
+
+
+# Worker entry points must be importable from the spawned processes.
+def _worker(payload):
+    index, attempt, mode = payload
+    if mode == "fail_first" and attempt == 0:
+        raise CapacityError("transient")
+    if mode == "fail_always":
+        raise CapacityError("persistent")
+    if mode == "sleep":
+        time.sleep(5.0)
+    if mode == "corrupt":
+        return "CORRUPT"
+    return index * 10
+
+
+def _payload(mode):
+    return lambda index, attempt: (index, attempt, mode)
+
+
+def _serial(index):
+    return index * 10
+
+
+def _validate(result):
+    return "poisoned_result" if result == "CORRUPT" else None
+
+
+class TestHappyPath:
+    def test_all_chunks_solve_in_one_round(self):
+        outcomes = run_chunks(
+            _worker, _payload("ok"), 3, workers=2, serial_fn=_serial
+        )
+        assert [o.result for o in outcomes] == [0, 10, 20]
+        assert all(o.attempts == 1 for o in outcomes)
+        assert not any(o.requeued_serial for o in outcomes)
+        assert all(o.events == [] for o in outcomes)
+
+    def test_zero_workers_goes_straight_to_serial(self):
+        outcomes = run_chunks(
+            _worker, _payload("ok"), 2, workers=0, serial_fn=_serial
+        )
+        assert [o.result for o in outcomes] == [0, 10]
+        assert all(o.attempts == 0 for o in outcomes)
+        assert all(o.requeued_serial for o in outcomes)
+
+
+class TestRetries:
+    def test_transient_error_heals_on_retry(self):
+        registry = MetricsRegistry()
+        outcomes = run_chunks(
+            _worker, _payload("fail_first"), 2,
+            workers=2, serial_fn=_serial, registry=registry,
+        )
+        assert [o.result for o in outcomes] == [0, 10]
+        assert all(o.attempts == 2 for o in outcomes)
+        assert not any(o.requeued_serial for o in outcomes)
+        assert all(o.events == ["attempt0:CapacityError"] for o in outcomes)
+        assert registry.counter("pool.chunk_failure.CapacityError") == 2
+
+    def test_persistent_error_requeues_to_serial(self):
+        registry = MetricsRegistry()
+        outcomes = run_chunks(
+            _worker, _payload("fail_always"), 1,
+            workers=2, serial_fn=_serial, max_retries=2, registry=registry,
+        )
+        assert outcomes[0].result == 0
+        assert outcomes[0].attempts == 2  # both pool rounds consumed
+        assert outcomes[0].requeued_serial
+        assert registry.counter("pool.requeued_serial") == 1
+
+    def test_serial_fallback_errors_propagate(self):
+        def bad_serial(index):
+            raise ReproError("genuine failure")
+
+        with pytest.raises(ReproError, match="genuine"):
+            run_chunks(
+                _worker, _payload("fail_always"), 1,
+                workers=2, serial_fn=bad_serial, max_retries=1,
+            )
+
+
+class TestValidation:
+    def test_corrupt_results_are_rejected_and_requeued(self):
+        registry = MetricsRegistry()
+        outcomes = run_chunks(
+            _worker, _payload("corrupt"), 1,
+            workers=2, serial_fn=_serial, validate=_validate,
+            max_retries=1, registry=registry,
+        )
+        assert outcomes[0].result == 0  # the serial path is clean
+        assert outcomes[0].requeued_serial
+        assert outcomes[0].events == ["attempt0:poisoned_result"]
+        assert registry.counter("pool.chunk_failure.poisoned_result") == 1
+
+
+class TestTimeouts:
+    def test_stuck_worker_times_out_and_requeues(self):
+        registry = MetricsRegistry()
+        start = time.monotonic()
+        outcomes = run_chunks(
+            _worker, _payload("sleep"), 1,
+            workers=1, serial_fn=_serial, timeout=0.5,
+            max_retries=1, registry=registry,
+        )
+        assert time.monotonic() - start < 5.0  # did not wait out the sleep
+        assert outcomes[0].result == 0
+        assert outcomes[0].requeued_serial
+        assert outcomes[0].events == ["attempt0:timeout"]
+        assert registry.counter("pool.timeouts") == 1
+
+
+def test_chunk_outcome_defaults():
+    o = ChunkOutcome()
+    assert o.result is None and o.attempts == 0
+    assert not o.requeued_serial and o.events == []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.db import ProbabilisticDatabase
-from repro.errors import ReproError
+from repro.errors import ProbabilityError, ReproError
 from repro.io import load_database, save_database
 
 
@@ -68,3 +68,27 @@ def test_loaded_database_evaluates(db, tmp_path):
     a = PartialLineageEvaluator(db).evaluate_query(q).boolean_probability()
     b = PartialLineageEvaluator(loaded).evaluate_query(q).boolean_probability()
     assert a == pytest.approx(b)
+
+
+class TestLeafProbabilityValidation:
+    """NaN/Inf/garbage in the p column must fail at load, with location."""
+
+    def test_nan_probability_rejected(self, tmp_path):
+        (tmp_path / "R.csv").write_text("A,p\n1,0.5\n2,nan\n")
+        with pytest.raises(ProbabilityError, match=r"R\.csv:3.*not finite"):
+            load_database(tmp_path)
+
+    def test_inf_probability_rejected(self, tmp_path):
+        (tmp_path / "R.csv").write_text("A,p\n1,inf\n")
+        with pytest.raises(ProbabilityError, match=r"R\.csv:2.*not finite"):
+            load_database(tmp_path)
+
+    def test_non_numeric_probability_rejected(self, tmp_path):
+        (tmp_path / "R.csv").write_text("A,p\n1,high\n")
+        with pytest.raises(ProbabilityError, match=r"R\.csv:2.*not a number"):
+            load_database(tmp_path)
+
+    def test_out_of_range_probability_still_rejected(self, tmp_path):
+        (tmp_path / "R.csv").write_text("A,p\n1,1.5\n")
+        with pytest.raises(ProbabilityError):
+            load_database(tmp_path)
