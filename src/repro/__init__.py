@@ -46,6 +46,19 @@ from repro.core import (
     plan_schema,
     top_k_answers,
 )
+from repro.circuit import (
+    ArithmeticCircuit,
+    CircuitBuilder,
+    CircuitCache,
+    ScenarioBatch,
+    circuit_signature,
+    compile_dnf,
+    compile_lineage,
+    compile_network,
+    compile_obdd,
+    rescore,
+    rescore_with_gradients,
+)
 from repro.core.whatif import Sensitivity, WhatIfAnalysis
 from repro.core.executor import OffendingTuple
 from repro.core.explain import explain, network_to_dot, result_to_dot
@@ -79,6 +92,7 @@ from repro.db import (
 from repro.errors import (
     BudgetExceededError,
     CapacityError,
+    CircuitError,
     DeadlineExceededError,
     InferenceError,
     PlanError,
@@ -181,6 +195,18 @@ __all__ = [
     # performance infrastructure
     "CacheStats",
     "SubformulaCache",
+    # arithmetic circuits: compile once, re-score many
+    "ArithmeticCircuit",
+    "CircuitBuilder",
+    "CircuitCache",
+    "ScenarioBatch",
+    "circuit_signature",
+    "compile_dnf",
+    "compile_lineage",
+    "compile_network",
+    "compile_obdd",
+    "rescore",
+    "rescore_with_gradients",
     # statistics & optimiser
     "fanout_profile",
     "fd_violation_count",
@@ -237,6 +263,7 @@ __all__ = [
     "UnsafePlanError",
     "InferenceError",
     "CapacityError",
+    "CircuitError",
     "BudgetExceededError",
     "DeadlineExceededError",
 ]

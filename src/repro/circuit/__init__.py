@@ -1,0 +1,68 @@
+"""Compile-once, re-score-many: cached arithmetic circuits over lineage.
+
+The intensional engine pays the #P-hard inference cost once per answer; this
+package keeps that investment. Each answer's solved lineage artifact — OBDD,
+tree-shaped And-Or slice, or DPLL decomposition trace — lowers into a flat,
+topologically-ordered :class:`ArithmeticCircuit` (deterministic and
+decomposable, hence multilinear-exact for *any* leaf probabilities), a
+structural :class:`CircuitCache` shares one compilation across
+rename-equivalent lineages, and the :func:`rescore` kernels push whole
+``(batch, n_leaves)`` probability matrices through single bottom-up NumPy
+sweeps — plus a mirror top-down sweep for exact per-leaf sensitivities.
+
+Layout:
+
+* :mod:`repro.circuit.ac` — the circuit representation, builder, levelised
+  batch evaluation and gradient kernels, structural validation;
+* :mod:`repro.circuit.compile` — the three lowering paths and the
+  :func:`compile_lineage` dispatcher;
+* :mod:`repro.circuit.cache` — rename-invariant structural caching with
+  mutation invalidation;
+* :mod:`repro.circuit.rescore` — batch re-scoring kernels and the
+  :class:`ScenarioBatch` scenario representation.
+"""
+
+from repro.circuit.ac import (
+    OP_CMPL,
+    OP_CONST,
+    OP_NVAR,
+    OP_PROD,
+    OP_SUM,
+    OP_VAR,
+    ArithmeticCircuit,
+    CircuitBuilder,
+)
+from repro.circuit.cache import CircuitCache, circuit_signature
+from repro.circuit.compile import (
+    compile_dnf,
+    compile_lineage,
+    compile_network,
+    compile_obdd,
+)
+from repro.circuit.rescore import (
+    CHUNK_BYTES,
+    ScenarioBatch,
+    rescore,
+    rescore_with_gradients,
+)
+
+__all__ = [
+    "ArithmeticCircuit",
+    "CircuitBuilder",
+    "CircuitCache",
+    "circuit_signature",
+    "compile_dnf",
+    "compile_lineage",
+    "compile_network",
+    "compile_obdd",
+    "rescore",
+    "rescore_with_gradients",
+    "ScenarioBatch",
+    "CHUNK_BYTES",
+    "OP_CONST",
+    "OP_VAR",
+    "OP_NVAR",
+    "OP_SUM",
+    "OP_PROD",
+    "OP_CMPL",
+]

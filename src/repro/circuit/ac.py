@@ -1,0 +1,663 @@
+"""Flat arithmetic circuits for compile-once / re-score-many evaluation.
+
+The what-if workload re-evaluates one answer's lineage under thousands of
+changed leaf-probability vectors. Walking an OBDD per scenario in Python pays
+the interpreter cost per node *per scenario*; an :class:`ArithmeticCircuit`
+pays it per node only, pushing the whole scenario batch through each node as
+one NumPy operation ("Towards Deterministic Decomposable Circuits for Safe
+Queries", Monet & Olteanu — our circuits are the arithmetic view of a d-D
+circuit over the lineage variables).
+
+A circuit is a topologically-ordered node table stored as flat NumPy arrays
+(op codes, a CSR child list, a leaf index per literal node) plus the
+``leaf index -> EventVar`` binding for one concrete lineage. Node kinds:
+
+* ``CONST c`` — a constant (the OBDD terminals);
+* ``VAR i`` / ``NVAR i`` — the probability ``p_i`` of leaf *i*, or ``1-p_i``;
+* ``SUM`` — a *deterministic* sum: always the two guarded branches of a
+  Shannon expansion ``p·F|x + (1-p)·F|¬x``;
+* ``PROD`` — a *decomposable* product: children over pairwise-disjoint leaf
+  supports (independent factors multiply);
+* ``CMPL`` — the single-child complement ``1 - c`` (the independent-union
+  rule ``1 - Π(1-Pr(F_i))`` needs it; complements of multilinear functions
+  stay multilinear).
+
+Under these invariants — checked by :meth:`ArithmeticCircuit.validate` —
+the circuit computes exactly the multilinear lineage polynomial
+``Pr(F)(p_1..p_k)``, for *any* leaf probability vector, so re-scoring is a
+single bottom-up sweep and every partial derivative ``∂Pr/∂p_i`` (the exact
+what-if swing of leaf *i*) falls out of one mirror top-down sweep.
+
+Explicit smoothing gates are unnecessary: every literal contributes the
+normalised pair ``(p, 1-p)``, so a variable skipped along a branch (an OBDD
+long edge) marginalises to 1 automatically; values *and* backpropagated
+derivatives of the computed expression equal those of the smoothed circuit.
+
+Evaluation is levelised at construction time: nodes are grouped by depth and
+op code, so one batch sweep over a circuit of ``L`` levels costs ``O(L)``
+NumPy calls regardless of batch size — the compile-once artifact the
+:mod:`repro.circuit.rescore` kernels and :class:`repro.circuit.CircuitCache`
+amortise over millions of re-scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CircuitError
+from repro.lineage.dnf import EventVar
+
+__all__ = [
+    "OP_CONST",
+    "OP_VAR",
+    "OP_NVAR",
+    "OP_SUM",
+    "OP_PROD",
+    "OP_CMPL",
+    "ArithmeticCircuit",
+    "CircuitBuilder",
+]
+
+#: Op codes of the node table (``ops`` array values).
+OP_CONST, OP_VAR, OP_NVAR, OP_SUM, OP_PROD, OP_CMPL = range(6)
+
+_OP_NAMES = ("const", "var", "nvar", "sum", "prod", "cmpl")
+
+
+@dataclass(frozen=True)
+class _Group:
+    """One levelised evaluation step: same-depth nodes of one op code.
+
+    Index arrays are precomputed once so a batch sweep is pure NumPy:
+    ``nodes`` are the node ids written by this step; for SUM/PROD,
+    ``children`` is their concatenated child list and ``starts`` the
+    segment boundaries (``np.add.reduceat`` / ``np.multiply.reduceat``
+    offsets); for VAR/NVAR, ``args`` are the leaf columns; for CMPL,
+    ``children`` holds the single child per node.
+    """
+
+    op: int
+    nodes: np.ndarray
+    children: np.ndarray | None = None
+    starts: np.ndarray | None = None
+    args: np.ndarray | None = None
+    consts: np.ndarray | None = None
+    #: Child repetition counts (SUM/PROD), for the gradient scatter.
+    counts: np.ndarray | None = None
+    #: Uniform child count when every gate of the step has the same arity
+    #: (0 otherwise) — the reshape fast path of the batch sweep. OBDD-lowered
+    #: circuits are almost entirely arity-2 sums and products.
+    arity: int = 0
+
+
+class ArithmeticCircuit:
+    """A validated, levelised arithmetic circuit over ``n_leaves`` variables.
+
+    Construct through :class:`CircuitBuilder` (or the compilers of
+    :mod:`repro.circuit.compile`); the constructor validates structure and
+    precomputes the level schedule.
+
+    Examples
+    --------
+    ``x ∨ y`` as the Shannon circuit ``p_x·1 + (1-p_x)·p_y``:
+
+    >>> b = CircuitBuilder()
+    >>> x1 = b.prod([b.var(0), b.const(1.0)])
+    >>> x0 = b.prod([b.nvar(0), b.var(1)])
+    >>> c = b.build(b.sum([x1, x0]),
+    ...             leaf_vars=(EventVar("R", (1,)), EventVar("R", (2,))),
+    ...             base_probs=[0.5, 0.5])
+    >>> float(c.evaluate([[0.5, 0.5]])[0])
+    0.75
+    >>> values, grads = c.evaluate_with_gradients([[0.5, 0.5]])
+    >>> grads[0].tolist()                    # ∂/∂p_x = 0.5, ∂/∂p_y = 0.5
+    [0.5, 0.5]
+    """
+
+    __slots__ = (
+        "ops",
+        "args",
+        "consts",
+        "child_offsets",
+        "children",
+        "root",
+        "n_leaves",
+        "leaf_vars",
+        "base_probs",
+        "_groups",
+        "_index_of_var",
+    )
+
+    def __init__(
+        self,
+        ops: np.ndarray,
+        args: np.ndarray,
+        consts: np.ndarray,
+        child_offsets: np.ndarray,
+        children: np.ndarray,
+        root: int,
+        leaf_vars: tuple[EventVar, ...],
+        base_probs: np.ndarray,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.ops = np.asarray(ops, dtype=np.int8)
+        self.args = np.asarray(args, dtype=np.int64)
+        self.consts = np.asarray(consts, dtype=np.float64)
+        self.child_offsets = np.asarray(child_offsets, dtype=np.int64)
+        self.children = np.asarray(children, dtype=np.int64)
+        self.root = int(root)
+        self.leaf_vars = tuple(leaf_vars)
+        self.n_leaves = len(self.leaf_vars)
+        self.base_probs = np.asarray(base_probs, dtype=np.float64)
+        self._index_of_var = {v: i for i, v in enumerate(self.leaf_vars)}
+        if validate:
+            self.validate()
+        self._groups = self._levelise()
+
+    # -------------------------------------------------------------- structure
+    def __len__(self) -> int:
+        """Number of circuit nodes (constants and literals included)."""
+        return len(self.ops)
+
+    @property
+    def n_edges(self) -> int:
+        """Total child references across all gates."""
+        return len(self.children)
+
+    @property
+    def depth(self) -> int:
+        """Number of levelised evaluation steps of one batch sweep."""
+        return len(self._groups)
+
+    def node_children(self, node: int) -> np.ndarray:
+        """Child node ids of *node* (empty for literals and constants)."""
+        return self.children[
+            self.child_offsets[node]: self.child_offsets[node + 1]
+        ]
+
+    def index_of(self, var: EventVar) -> int | None:
+        """Leaf column of *var*, or ``None`` when the circuit ignores it."""
+        return self._index_of_var.get(var)
+
+    def rebind(
+        self, leaf_vars: Sequence[EventVar], base_probs
+    ) -> "ArithmeticCircuit":
+        """The same circuit structure over a renamed set of leaf variables.
+
+        The cache's hit path: a structurally-identical lineage from another
+        answer (or another instance) reuses the node table and the level
+        schedule — only the ``leaf index -> EventVar`` binding and the
+        default probabilities change. Arrays are shared, not copied.
+        """
+        if len(leaf_vars) != self.n_leaves:
+            raise CircuitError(
+                f"rebind expects {self.n_leaves} leaf variables, "
+                f"got {len(leaf_vars)}"
+            )
+        clone = ArithmeticCircuit.__new__(ArithmeticCircuit)
+        clone.ops = self.ops
+        clone.args = self.args
+        clone.consts = self.consts
+        clone.child_offsets = self.child_offsets
+        clone.children = self.children
+        clone.root = self.root
+        clone.leaf_vars = tuple(leaf_vars)
+        clone.n_leaves = self.n_leaves
+        clone.base_probs = np.asarray(base_probs, dtype=np.float64)
+        clone._index_of_var = {v: i for i, v in enumerate(clone.leaf_vars)}
+        clone._groups = self._groups
+        if clone.base_probs.shape != (clone.n_leaves,):
+            raise CircuitError(
+                f"rebind expects {clone.n_leaves} base probabilities, "
+                f"got shape {clone.base_probs.shape}"
+            )
+        return clone
+
+    def with_leaf_order(self, order: Sequence[EventVar]) -> "ArithmeticCircuit":
+        """The same circuit with leaf columns permuted to *order*.
+
+        *order* must be a permutation of :attr:`leaf_vars`. Literal nodes
+        are re-pointed at the new columns; structure and semantics are
+        unchanged. The cache uses this to normalise externally-compiled
+        circuits (OBDD or tree layout) into canonical rank layout before
+        storing, so rename-hits can rebind columns positionally.
+        """
+        order = tuple(order)
+        if len(order) != self.n_leaves or set(order) != set(self.leaf_vars):
+            raise CircuitError(
+                "with_leaf_order needs a permutation of the circuit's leaves"
+            )
+        if order == self.leaf_vars:
+            return self
+        pos = {v: i for i, v in enumerate(order)}
+        perm = np.array(
+            [pos[v] for v in self.leaf_vars], dtype=np.int64
+        )
+        mask = (self.ops == OP_VAR) | (self.ops == OP_NVAR)
+        new_args = self.args.copy()
+        new_args[mask] = perm[self.args[mask]]
+        new_base = np.empty(self.n_leaves, dtype=np.float64)
+        new_base[perm] = self.base_probs
+        return ArithmeticCircuit(
+            self.ops,
+            new_args,
+            self.consts,
+            self.child_offsets,
+            self.children,
+            self.root,
+            order,
+            new_base,
+            validate=False,
+        )
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check the multilinearity invariants; raise :class:`CircuitError`.
+
+        * array shapes are consistent and children precede their gate
+          (topological order);
+        * every PROD is decomposable: children's leaf supports are pairwise
+          disjoint;
+        * every SUM is a guarded Shannon split: exactly two PROD children
+          whose supports share a decision leaf appearing as ``VAR`` under
+          one branch and ``NVAR`` under the other (determinism);
+        * every CMPL has exactly one child; literals index real leaves.
+        """
+        n = len(self.ops)
+        if not (
+            self.args.shape == (n,)
+            and self.consts.shape == (n,)
+            and self.child_offsets.shape == (n + 1,)
+        ):
+            raise CircuitError("inconsistent circuit array shapes")
+        if not 0 <= self.root < n:
+            raise CircuitError(f"root {self.root} outside 0..{n - 1}")
+        if self.base_probs.shape != (self.n_leaves,):
+            raise CircuitError(
+                f"{self.n_leaves} leaves but base probabilities of shape "
+                f"{self.base_probs.shape}"
+            )
+        supports: list[frozenset[int]] = []
+        # literal guard of a node: (leaf, positive?) for VAR/NVAR, threaded
+        # through single-literal products so SUM determinism is checkable.
+        for v in range(n):
+            op = self.ops[v]
+            kids = self.node_children(v)
+            if (kids >= v).any():
+                raise CircuitError(f"gate {v} has a non-preceding child")
+            if op in (OP_VAR, OP_NVAR):
+                leaf = int(self.args[v])
+                if not 0 <= leaf < self.n_leaves:
+                    raise CircuitError(f"literal {v} indexes unknown leaf {leaf}")
+                supports.append(frozenset((leaf,)))
+            elif op == OP_CONST:
+                supports.append(frozenset())
+            elif op == OP_CMPL:
+                if len(kids) != 1:
+                    raise CircuitError(f"CMPL node {v} needs exactly one child")
+                supports.append(supports[int(kids[0])])
+            elif op == OP_PROD:
+                if len(kids) == 0:
+                    raise CircuitError(f"PROD node {v} has no children")
+                union: set[int] = set()
+                for c in kids.tolist():
+                    sub = supports[c]
+                    if union & sub:
+                        raise CircuitError(
+                            f"PROD node {v} is not decomposable: leaf "
+                            f"{sorted(union & sub)[0]} appears under two "
+                            f"children"
+                        )
+                    union |= sub
+                supports.append(frozenset(union))
+            elif op == OP_SUM:
+                if len(kids) != 2:
+                    raise CircuitError(
+                        f"SUM node {v} must be a binary Shannon split, has "
+                        f"{len(kids)} children"
+                    )
+                g0 = self._guards(int(kids[0]))
+                g1 = self._guards(int(kids[1]))
+                deterministic = any(
+                    (leaf, not positive) in g1 for leaf, positive in g0
+                )
+                if not deterministic:
+                    raise CircuitError(
+                        f"SUM node {v} is not deterministic: children are "
+                        f"not guarded by complementary literals of one leaf"
+                    )
+                supports.append(supports[int(kids[0])] | supports[int(kids[1])])
+            else:
+                raise CircuitError(f"node {v} has unknown op code {op}")
+
+    def _guards(self, node: int) -> set[tuple[int, bool]]:
+        """The ``(leaf, positive)`` literals syntactically guarding *node*:
+        the node itself if it is a literal, or the direct literal children
+        when it is a PROD. Used only by the determinism check."""
+        op = self.ops[node]
+        if op == OP_VAR:
+            return {(int(self.args[node]), True)}
+        if op == OP_NVAR:
+            return {(int(self.args[node]), False)}
+        if op == OP_PROD:
+            out: set[tuple[int, bool]] = set()
+            for c in self.node_children(node).tolist():
+                if self.ops[c] == OP_VAR:
+                    out.add((int(self.args[c]), True))
+                elif self.ops[c] == OP_NVAR:
+                    out.add((int(self.args[c]), False))
+            return out
+        return set()
+
+    # ------------------------------------------------------------ levelising
+    def _levelise(self) -> list[_Group]:
+        n = len(self.ops)
+        level = np.zeros(n, dtype=np.int64)
+        offsets = self.child_offsets
+        children = self.children
+        ops = self.ops
+        for v in range(n):
+            kids = children[offsets[v]: offsets[v + 1]]
+            if kids.size:
+                level[v] = int(level[kids].max()) + 1
+        groups: list[_Group] = []
+        order = np.lexsort((np.arange(n), ops, level))
+        # split the sorted node list at every (level, op) change
+        sorted_levels = level[order]
+        sorted_ops = ops[order]
+        boundaries = np.flatnonzero(
+            np.diff(sorted_levels) | np.diff(sorted_ops.astype(np.int64))
+        ) + 1
+        for chunk in np.split(order, boundaries):
+            if chunk.size == 0:
+                continue
+            op = int(ops[chunk[0]])
+            if op == OP_CONST:
+                groups.append(
+                    _Group(op, chunk, consts=self.consts[chunk])
+                )
+            elif op in (OP_VAR, OP_NVAR):
+                groups.append(_Group(op, chunk, args=self.args[chunk]))
+            elif op == OP_CMPL:
+                kids = children[offsets[chunk]]
+                groups.append(_Group(op, chunk, children=kids))
+            else:  # SUM / PROD
+                counts = (offsets[chunk + 1] - offsets[chunk])
+                kid_list = [
+                    children[offsets[v]: offsets[v + 1]] for v in chunk.tolist()
+                ]
+                flat = (
+                    np.concatenate(kid_list)
+                    if kid_list
+                    else np.empty(0, dtype=np.int64)
+                )
+                starts = np.concatenate(
+                    [np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1]]
+                )
+                arity = (
+                    int(counts[0])
+                    if counts.size and (counts == counts[0]).all()
+                    else 0
+                )
+                groups.append(
+                    _Group(op, chunk, children=flat, starts=starts,
+                           counts=counts, arity=arity)
+                )
+        return groups
+
+    # ------------------------------------------------------------- evaluation
+    def _probability_matrix(self, P) -> np.ndarray:
+        P = np.asarray(P, dtype=np.float64)
+        if P.ndim == 1:
+            P = P[np.newaxis, :]
+        if P.ndim != 2 or P.shape[1] != self.n_leaves:
+            raise CircuitError(
+                f"probability matrix of shape {P.shape} does not match "
+                f"{self.n_leaves} circuit leaves"
+            )
+        return P
+
+    def evaluate(self, P) -> np.ndarray:
+        """One bottom-up sweep: root values for a ``(batch, n_leaves)``
+        probability matrix (a 1-D vector is promoted to a batch of one).
+
+        Returns a ``(batch,)`` float64 array. Each levelised step is one
+        NumPy call over the whole batch, so the per-node interpreter cost is
+        paid once regardless of how many scenarios ride along.
+        """
+        P = self._probability_matrix(P)
+        values = self._forward(P)
+        return values[self.root].copy()
+
+    def _forward(self, P: np.ndarray) -> np.ndarray:
+        """The full node table, *node-major*: a ``(n_nodes, batch)`` array.
+
+        Node-major layout makes every gather/scatter of a levelised step a
+        contiguous row copy (batch scenarios are adjacent in memory), and
+        uniform-arity steps — the whole table, for OBDD-lowered circuits —
+        take a reshape-and-reduce fast path instead of ``reduceat``.
+        """
+        batch = P.shape[0]
+        PT = np.ascontiguousarray(P.T)
+        values = np.empty((len(self.ops), batch), dtype=np.float64)
+        for g in self._groups:
+            if g.op == OP_CONST:
+                values[g.nodes] = g.consts[:, np.newaxis]
+            elif g.op == OP_VAR:
+                values[g.nodes] = PT[g.args]
+            elif g.op == OP_NVAR:
+                values[g.nodes] = 1.0 - PT[g.args]
+            elif g.op == OP_CMPL:
+                values[g.nodes] = 1.0 - values[g.children]
+            elif g.op == OP_SUM:
+                if g.arity == 2:
+                    values[g.nodes] = (
+                        values[g.children[0::2]] + values[g.children[1::2]]
+                    )
+                else:
+                    values[g.nodes] = np.add.reduceat(
+                        values[g.children], g.starts, axis=0
+                    )
+            else:  # PROD
+                if g.arity == 2:
+                    values[g.nodes] = (
+                        values[g.children[0::2]] * values[g.children[1::2]]
+                    )
+                elif g.arity:
+                    values[g.nodes] = values[g.children].reshape(
+                        len(g.nodes), g.arity, batch
+                    ).prod(axis=1)
+                else:
+                    values[g.nodes] = np.multiply.reduceat(
+                        values[g.children], g.starts, axis=0
+                    )
+        return values
+
+    def evaluate_with_gradients(self, P) -> tuple[np.ndarray, np.ndarray]:
+        """The bottom-up sweep plus its mirror top-down gradient sweep.
+
+        Returns ``(values, gradients)`` with shapes ``(batch,)`` and
+        ``(batch, n_leaves)``; ``gradients[s, i]`` is the exact partial
+        derivative ``∂ Pr / ∂ p_i`` at scenario *s* — by multilinearity,
+        precisely the what-if swing ``Pr(leaf i certain) - Pr(leaf i
+        absent)`` under that scenario.
+        """
+        P = self._probability_matrix(P)
+        values = self._forward(P)
+        batch = P.shape[0]
+        grad = np.zeros((len(self.ops), batch), dtype=np.float64)
+        grad[self.root] = 1.0
+        leaf_grad = np.zeros((self.n_leaves, batch), dtype=np.float64)
+        for g in reversed(self._groups):
+            if g.op == OP_CONST:
+                continue
+            if g.op == OP_VAR:
+                np.add.at(leaf_grad, g.args, grad[g.nodes])
+            elif g.op == OP_NVAR:
+                np.add.at(leaf_grad, g.args, -grad[g.nodes])
+            elif g.op == OP_CMPL:
+                np.add.at(grad, g.children, -grad[g.nodes])
+            elif g.op == OP_SUM:
+                spread = np.repeat(grad[g.nodes], g.counts, axis=0)
+                np.add.at(grad, g.children, spread)
+            elif g.arity == 2:
+                # binary PROD: each child's "product of the others" is just
+                # its sibling's value — exact, zeros included.
+                gn = grad[g.nodes]
+                first, second = g.children[0::2], g.children[1::2]
+                np.add.at(grad, first, gn * values[second])
+                np.add.at(grad, second, gn * values[first])
+            else:  # PROD: each child gets grad(node) * Π(other children)
+                C = values[g.children]
+                nonzero = np.where(C != 0.0, C, 1.0)
+                nz_prod = np.multiply.reduceat(nonzero, g.starts, axis=0)
+                zeros = np.add.reduceat(
+                    (C == 0.0).astype(np.float64), g.starts, axis=0
+                )
+                nz_exp = np.repeat(nz_prod, g.counts, axis=0)
+                z_exp = np.repeat(zeros, g.counts, axis=0)
+                others = np.where(
+                    z_exp == 0.0,
+                    nz_exp / nonzero,
+                    np.where((z_exp == 1.0) & (C == 0.0), nz_exp, 0.0),
+                )
+                spread = np.repeat(grad[g.nodes], g.counts, axis=0)
+                np.add.at(grad, g.children, spread * others)
+        return values[self.root].copy(), np.ascontiguousarray(leaf_grad.T)
+
+    # ---------------------------------------------------------- conveniences
+    def probability(self, probs: Mapping[EventVar, float] | None = None) -> float:
+        """Scalar evaluation under a variable-keyed probability map.
+
+        Missing variables fall back to :attr:`base_probs`; ``None``
+        evaluates the base vector. Mirror of :meth:`OBDD.probability` for
+        drop-in use.
+        """
+        p = self.base_probs.copy()
+        if probs:
+            for var, value in probs.items():
+                i = self._index_of_var.get(var)
+                if i is not None:
+                    p[i] = float(value)
+        return float(self.evaluate(p[np.newaxis, :])[0])
+
+    def op_counts(self) -> dict[str, int]:
+        """``{op name: node count}`` summary, for reports and tests."""
+        out: dict[str, int] = {}
+        for op, count in zip(*np.unique(self.ops, return_counts=True)):
+            out[_OP_NAMES[int(op)]] = int(count)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArithmeticCircuit {len(self)} nodes / {self.n_edges} edges, "
+            f"{self.n_leaves} leaves, depth {self.depth}>"
+        )
+
+
+class CircuitBuilder:
+    """Incremental, hash-consing builder of :class:`ArithmeticCircuit`.
+
+    Structurally identical sub-circuits collapse to one node (the unique
+    table of OBDD construction, carried over), so compilers can emit
+    redundantly and still produce compact tables. Node ids are dense ints in
+    creation order; children always precede parents by construction.
+
+    Examples
+    --------
+    >>> b = CircuitBuilder()
+    >>> a, c = b.var(0), b.var(0)
+    >>> a == c                                   # hash-consed
+    True
+    >>> len(b)
+    1
+    """
+
+    __slots__ = ("_ops", "_args", "_consts", "_children", "_memo")
+
+    def __init__(self) -> None:
+        self._ops: list[int] = []
+        self._args: list[int] = []
+        self._consts: list[float] = []
+        self._children: list[tuple[int, ...]] = []
+        self._memo: dict[tuple, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def _node(self, key: tuple, op: int, arg: int, const: float,
+              children: tuple[int, ...]) -> int:
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        self._ops.append(op)
+        self._args.append(arg)
+        self._consts.append(const)
+        self._children.append(children)
+        node = len(self._ops) - 1
+        self._memo[key] = node
+        return node
+
+    def const(self, value: float) -> int:
+        """A constant node (OBDD terminals are ``const(0)`` / ``const(1)``)."""
+        return self._node(("c", float(value)), OP_CONST, -1, float(value), ())
+
+    def var(self, leaf: int) -> int:
+        """The literal ``p_leaf``."""
+        return self._node(("v", leaf), OP_VAR, int(leaf), 0.0, ())
+
+    def nvar(self, leaf: int) -> int:
+        """The literal ``1 - p_leaf``."""
+        return self._node(("n", leaf), OP_NVAR, int(leaf), 0.0, ())
+
+    def sum(self, children: Sequence[int]) -> int:
+        """A deterministic (Shannon) sum of exactly two guarded branches."""
+        kids = tuple(int(c) for c in children)
+        return self._node(("s",) + kids, OP_SUM, -1, 0.0, kids)
+
+    def prod(self, children: Sequence[int]) -> int:
+        """A decomposable product; order is canonicalised for consing."""
+        kids = tuple(sorted(int(c) for c in children))
+        if len(kids) == 1:
+            return kids[0]
+        return self._node(("p",) + kids, OP_PROD, -1, 0.0, kids)
+
+    def cmpl(self, child: int) -> int:
+        """The complement ``1 - child``; ``cmpl(cmpl(x))`` folds to ``x``."""
+        child = int(child)
+        if self._ops[child] == OP_CMPL:
+            return self._children[child][0]
+        return self._node(("m", child), OP_CMPL, -1, 0.0, (child,))
+
+    def build(
+        self,
+        root: int,
+        leaf_vars: Sequence[EventVar],
+        base_probs,
+        *,
+        validate: bool = True,
+    ) -> ArithmeticCircuit:
+        """Freeze the table into a validated :class:`ArithmeticCircuit`."""
+        offsets = np.zeros(len(self._ops) + 1, dtype=np.int64)
+        np.cumsum([len(c) for c in self._children], out=offsets[1:])
+        flat = (
+            np.concatenate([np.asarray(c, dtype=np.int64)
+                            for c in self._children if c])
+            if any(self._children)
+            else np.empty(0, dtype=np.int64)
+        )
+        return ArithmeticCircuit(
+            np.asarray(self._ops, dtype=np.int8),
+            np.asarray(self._args, dtype=np.int64),
+            np.asarray(self._consts, dtype=np.float64),
+            offsets,
+            flat,
+            root,
+            tuple(leaf_vars),
+            np.asarray(base_probs, dtype=np.float64),
+            validate=validate,
+        )

@@ -1,0 +1,198 @@
+"""Structural caching of compiled arithmetic circuits.
+
+Per-answer lineages of one query — and of repeats of the same query against
+an unchanged instance — are overwhelmingly *rename-equivalent*: the same
+clause shape over differently-named :class:`~repro.lineage.dnf.EventVar`
+variables. Compilation cost (DPLL trace or OBDD construction, the residual
+#P work) depends only on that shape, so the :class:`CircuitCache` keys on a
+rename-invariant signature and a hit costs one :meth:`~repro.circuit
+.ArithmeticCircuit.rebind` — the node table, CSR arrays, and levelised
+schedule are shared; only the ``leaf → EventVar`` binding is fresh.
+
+Soundness of the signature (:func:`circuit_signature`) follows the
+:func:`repro.perf.cache.canonical_key` argument: variables are ranked in a
+deterministic order and the key records the clause structure over ranks.
+Because :func:`~repro.circuit.compile.compile_dnf`'s decisions are a pure
+function of that integer structure (given the same rank-ordered leaf
+layout), equal keys guarantee the *identical* circuit under rank
+relabelling. Unlike ``canonical_key``, the signature drops the probability
+weights — circuit structure is probability-independent, so instances that
+differ only in tuple probabilities still share one compilation (the whole
+point of compile-once / re-score-many).
+
+Invalidation: compiled circuits bake in the lineage of a *specific*
+instance, so any relation mutation must flush. :meth:`CircuitCache.watch`
+subscribes to a :class:`~repro.db.ProbabilisticDatabase`'s mutation hooks
+and clears on every insert.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.circuit.ac import ArithmeticCircuit
+from repro.circuit.compile import compile_dnf
+from repro.lineage.dnf import DNF, EventVar
+from repro.perf.cache import CacheStats, SubformulaCache
+
+__all__ = ["CircuitCache", "circuit_signature"]
+
+
+def circuit_signature(
+    dnf: DNF, probs: Mapping[EventVar, float]
+) -> tuple[tuple, tuple[EventVar, ...]]:
+    """Rename-invariant structural key of a lineage DNF.
+
+    Returns ``(key, ranked_vars)``: variables ranked in ascending
+    ``(probability, variable)`` order — the :func:`~repro.perf.cache
+    .canonical_key` tie-break, so renamings that preserve probabilities are
+    recognised — and the key is the sorted clause structure over ranks,
+    *without* the probability weights (structure is probability-independent;
+    equal shape suffices for sharing a compilation).
+
+    Examples
+    --------
+    >>> x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    >>> z, w = EventVar("S", (8,)), EventVar("S", (9,))
+    >>> key1, _ = circuit_signature(DNF([{x}, {y}]), {x: 0.2, y: 0.7})
+    >>> key2, _ = circuit_signature(DNF([{z}, {w}]), {z: 0.3, w: 0.8})
+    >>> key1 == key2                        # renamed, re-weighted: same shape
+    True
+    """
+    ranked = sorted(dnf.variables(), key=lambda v: (float(probs[v]), v))
+    relabel = {v: i for i, v in enumerate(ranked)}
+    shape = tuple(
+        sorted(tuple(sorted(relabel[v] for v in c)) for c in dnf.clauses)
+    )
+    return ("circuit", shape), tuple(ranked)
+
+
+class CircuitCache:
+    """Bounded LRU of compiled circuits keyed by structural signature.
+
+    Thin policy layer over :class:`~repro.perf.SubformulaCache` (same LRU
+    and :class:`~repro.perf.cache.CacheStats` counters, so
+    :meth:`~repro.obs.MetricsRegistry.absorb` ingests it unchanged), plus a
+    recompile counter: ``recompiles`` counts misses whose key had been
+    compiled before but was evicted or invalidated — the warm-cache
+    recompile rate the rescore benchmark gates on.
+
+    Examples
+    --------
+    >>> cache = CircuitCache()
+    >>> x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    >>> c1 = cache.circuit(DNF([{x}, {y}]), {x: 0.2, y: 0.7})
+    >>> z, w = EventVar("S", (8,)), EventVar("S", (9,))
+    >>> c2 = cache.circuit(DNF([{z}, {w}]), {z: 0.3, w: 0.8})
+    >>> c2.ops is c1.ops                    # one compilation, rebound
+    True
+    >>> c2.probability({z: 0.5, w: 0.5})
+    0.75
+    >>> (cache.stats.hits, cache.stats.misses, cache.recompiles)
+    (1, 1, 0)
+    """
+
+    __slots__ = ("_store", "recompiles", "_compiled_keys", "_watched")
+
+    def __init__(self, max_entries: int = 10_000) -> None:
+        self._store = SubformulaCache(max_entries=max_entries)
+        self.recompiles = 0
+        self._compiled_keys: set = set()
+        self._watched: list = []
+
+    # --------------------------------------------------------------- lookups
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters (shared shape with every repro cache)."""
+        return self._store.stats
+
+    def circuit(
+        self,
+        dnf: DNF,
+        probs: Mapping[EventVar, float],
+        *,
+        budget=None,
+        max_nodes: int = 1_000_000,
+    ) -> ArithmeticCircuit:
+        """The compiled circuit of *dnf*, cached structurally.
+
+        On a hit the stored circuit is rebound to this lineage's variables
+        and probabilities (array-sharing, no copy); on a miss the DNF is
+        compiled via the trace compiler over the canonical rank order and
+        stored.
+        """
+        key, ranked = circuit_signature(dnf, probs)
+        hit = self._store.get(key)
+        if hit is not None:
+            return hit.rebind(ranked, [float(probs[v]) for v in ranked])
+        if key in self._compiled_keys:
+            self.recompiles += 1
+        circuit = compile_dnf(
+            dnf, probs, leaf_order=ranked, budget=budget, max_nodes=max_nodes
+        )
+        self._store.put(key, circuit)
+        self._compiled_keys.add(key)
+        return circuit
+
+    def put(self, dnf: DNF, probs: Mapping[EventVar, float],
+            circuit: ArithmeticCircuit) -> None:
+        """Store an externally-compiled circuit (OBDD or tree-direct path).
+
+        The circuit must be over exactly the variables of *dnf*; it is
+        stored rebound to the canonical rank order so later hits can rebind
+        it to any rename-equivalent lineage.
+        """
+        key, ranked = circuit_signature(dnf, probs)
+        if set(circuit.leaf_vars) != set(ranked):
+            raise ValueError(
+                "circuit leaves do not match the lineage's variables"
+            )
+        # normalise to canonical rank layout so rename-hits can rebind
+        # columns positionally, whatever layout the compiler chose.
+        self._store.put(key, circuit.with_leaf_order(ranked))
+        self._compiled_keys.add(key)
+
+    def get(
+        self, dnf: DNF, probs: Mapping[EventVar, float]
+    ) -> ArithmeticCircuit | None:
+        """Cached circuit rebound to this lineage, or ``None``."""
+        key, ranked = circuit_signature(dnf, probs)
+        hit = self._store.get(key)
+        if hit is None:
+            return None
+        return hit.rebind(ranked, [float(probs[v]) for v in ranked])
+
+    # ---------------------------------------------------------- invalidation
+    def clear(self) -> None:
+        """Drop every cached circuit (counters and recompile memory kept)."""
+        self._store.clear()
+
+    def invalidate(self, relation: str | None = None) -> None:
+        """Flush on instance mutation.
+
+        Compiled circuits embed offending-tuple lineage whose shape can
+        change under any insert, so the whole store is flushed regardless of
+        *relation* (kept as a parameter for hook signatures and future
+        per-relation tracking).
+        """
+        self.clear()
+
+    def watch(self, db) -> None:
+        """Subscribe to *db*'s mutation hooks: any insert invalidates.
+
+        Accepts a :class:`~repro.db.ProbabilisticDatabase` (or any object
+        exposing ``subscribe(fn)``); the hook receives the mutated
+        relation's name.
+        """
+        db.subscribe(self.invalidate)
+        self._watched.append(db)
+
+    def as_dict(self) -> dict:
+        """Counters for reports: the LRU stats plus the recompile count."""
+        out = self._store.stats.as_dict()
+        out["entries"] = len(self._store)
+        out["recompiles"] = self.recompiles
+        return out

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands, mirroring how the paper's system is exercised:
+Six subcommands, mirroring how the paper's system is exercised:
 
 ``repro query``
     Evaluate a conjunctive query over a CSV-backed probabilistic database
@@ -20,6 +20,12 @@ Five subcommands, mirroring how the paper's system is exercised:
 ``repro analyze``
     Static analysis of a query: hierarchy (safety), strict hierarchy
     (bounded lineage treewidth), and the safe plan if one exists.
+``repro whatif``
+    Sensitivity analysis over the offending tuples of one evaluation:
+    per-answer swing rankings (batched circuit gradients by default, the
+    scalar OBDD oracle behind ``--method obdd``), and ``--batch N``
+    re-scores N random probability scenarios per answer through the
+    compiled arithmetic circuit in one vectorized sweep.
 ``repro bench``
     Machine-readable benchmarks. ``--suite mc_dpll`` (default) is the
     scalar-vs-vectorized sampling + DPLL-cache micro-benchmark
@@ -27,7 +33,9 @@ Five subcommands, mirroring how the paper's system is exercised:
     workloads over instance size and compares the row and columnar
     operator engines (``BENCH_columnar.json``); ``--suite parallel``
     compares serial, component-sliced, and process-parallel final
-    inference (``BENCH_parallel.json``).
+    inference (``BENCH_parallel.json``); ``--suite rescore`` compares
+    scalar per-scenario OBDD walks against vectorized circuit batch
+    re-scoring (``BENCH_rescore.json``).
 
 ``query`` and ``workload`` accept ``--engine {columnar,rows}`` to pick the
 operator backend of the partial-lineage evaluator (columnar by default),
@@ -227,6 +235,99 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_whatif(args: argparse.Namespace) -> int:
+    from repro.circuit import CircuitCache, ScenarioBatch
+
+    if args.workload:
+        if args.query not in TABLE1_QUERIES:
+            print(f"error: --workload expects a Table 1 query name, one of "
+                  f"{', '.join(sorted(TABLE1_QUERIES))}", file=sys.stderr)
+            return 2
+        bench = benchmark_query(args.query)
+        params = WorkloadParams(
+            N=args.n, m=args.m, fanout=args.fanout,
+            r_f=args.rf, r_d=args.rd, seed=args.seed,
+        )
+        db = generate_database(params)
+        query = bench.query
+        order = (
+            args.join_order.split(",")
+            if args.join_order
+            else list(bench.join_order)
+        )
+    else:
+        if not args.database:
+            print("error: whatif needs either --database DIR or --workload",
+                  file=sys.stderr)
+            return 2
+        db = load_database(args.database)
+        query = parse_query(args.query)
+        order = args.join_order.split(",") if args.join_order else None
+
+    cache = CircuitCache()
+    evaluator = PartialLineageEvaluator(
+        db, engine=args.engine, circuit_cache=cache
+    )
+    with _observed(args):
+        result = evaluator.evaluate_query(query, order)
+        analysis = result.whatif()
+        offending = result.conditioned_tuples
+        print(f"{len(result.relation)} answers; "
+              f"{len(offending)} offending tuples")
+        answers = sorted(row for row, _, _ in result.relation.items())
+        for row in answers[: args.limit]:
+            sens = analysis.sensitivities(row, method=args.method)
+            base = analysis.probability(row)
+            label = ", ".join(map(str, row)) or "()"
+            if not sens:
+                print(f"\nanswer ({label}): p={base:.{args.digits}f}; "
+                      f"no sensitive tuples")
+                continue
+            print(format_table(
+                ("source", "row", "absent", "certain", "swing"),
+                [(s.tuple.source, ", ".join(map(str, s.tuple.row)),
+                  f"{s.when_absent:.{args.digits}f}",
+                  f"{s.when_certain:.{args.digits}f}",
+                  f"{s.swing:+.{args.digits}f}")
+                 for s in sens[: args.top]],
+                title=f"answer ({label}): p={base:.{args.digits}f}, "
+                      f"top sensitivities [{args.method}]",
+            ))
+        if args.batch:
+            import numpy as np
+
+            rng = np.random.default_rng(args.seed)
+            variables = tuple(
+                analysis.variable_for(off) for off in offending
+            )
+            scenarios = ScenarioBatch(
+                variables, rng.random((args.batch, len(variables)))
+            )
+            rows = []
+            for row in answers[: args.limit]:
+                start = time.perf_counter()
+                probs = analysis.probability_batch(row, scenarios)
+                elapsed = time.perf_counter() - start
+                rows.append((
+                    ", ".join(map(str, row)) or "()",
+                    f"{args.batch / max(elapsed, 1e-9):.0f}",
+                    f"{probs.mean():.{args.digits}f}",
+                    f"{probs.min():.{args.digits}f}",
+                    f"{probs.max():.{args.digits}f}",
+                ))
+            print()
+            print(format_table(
+                ("answer", "scenarios/s", "mean", "min", "max"),
+                rows,
+                title=f"batch re-scoring: {args.batch} random scenarios "
+                      f"over {len(variables)} offending tuples",
+            ))
+            print(f"circuit cache: {cache.stats.hits} hits / "
+                  f"{cache.stats.misses} misses, "
+                  f"{cache.recompiles} recompiles")
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     hierarchical = is_hierarchical(query)
@@ -298,6 +399,19 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "rescore":
+        from repro.bench import rescore
+
+        out = args.out if args.out is not None else "BENCH_rescore.json"
+        argv = [
+            "--out", out,
+            "--n", str(args.n),
+            "--m", str(args.m),
+            "--seed", str(args.seed),
+            "--query", args.query,
+            "--batch", str(args.batch),
+        ]
+        return rescore.main(argv)
     if args.suite == "parallel":
         from repro.bench import parallel
 
@@ -427,6 +541,45 @@ def build_parser() -> argparse.ArgumentParser:
     a.add_argument("query")
     a.set_defaults(func=cmd_analyze)
 
+    wf = sub.add_parser(
+        "whatif",
+        help="sensitivity analysis over offending tuples: per-answer swing "
+             "ranking plus vectorized batch re-scoring of random scenarios",
+    )
+    wf.add_argument("query",
+                    help="datalog-style query text (with --database), or a "
+                         "Table 1 query name (with --workload)")
+    wf.add_argument("--database", metavar="DIR",
+                    help="directory of <Relation>.csv files")
+    wf.add_argument("--workload", action="store_true",
+                    help="treat QUERY as a Table 1 name and analyse it on a "
+                         "generated Section 6.1 instance")
+    wf.add_argument("--n", type=int, default=2, help="[workload] N")
+    wf.add_argument("--m", type=int, default=50, help="[workload] m")
+    wf.add_argument("--fanout", type=int, default=3)
+    wf.add_argument("--rf", type=float, default=0.1)
+    wf.add_argument("--rd", type=float, default=1.0)
+    wf.add_argument("--seed", type=int, default=0,
+                    help="workload generator and scenario-sampler seed")
+    wf.add_argument("--join-order", help="comma-separated relation names")
+    wf.add_argument("--engine", default="columnar",
+                    choices=("columnar", "rows"),
+                    help="operator backend for the pL evaluator")
+    wf.add_argument("--method", default="auto",
+                    choices=("auto", "circuit", "obdd"),
+                    help="sensitivity engine: batched circuit gradients "
+                         "(default) or the scalar OBDD oracle")
+    wf.add_argument("--batch", type=int, default=0, metavar="N",
+                    help="also re-score N random probability scenarios per "
+                         "answer through the compiled circuit")
+    wf.add_argument("--limit", type=int, default=5,
+                    help="max answers to analyse (default 5)")
+    wf.add_argument("--top", type=int, default=10,
+                    help="sensitivities shown per answer (default 10)")
+    wf.add_argument("--digits", type=int, default=6)
+    _add_observability_flags(wf)
+    wf.set_defaults(func=cmd_whatif)
+
     w = sub.add_parser("workload", help="run a Table 1 benchmark query")
     w.add_argument("query", choices=sorted(TABLE1_QUERIES))
     w.add_argument("--n", type=int, default=2)
@@ -460,7 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(mc_dpll, columnar, or parallel)",
     )
     b.add_argument("--suite", default="mc_dpll",
-                   choices=("mc_dpll", "columnar", "parallel"))
+                   choices=("mc_dpll", "columnar", "parallel", "rescore"))
     b.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<suite>.json)")
     b.add_argument("--samples", type=int, default=50_000,
@@ -478,6 +631,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "required on the largest instance")
     b.add_argument("--workers", type=int, nargs="+", default=None,
                    help="[parallel] process-pool sizes to sweep")
+    b.add_argument("--batch", type=int, default=1000,
+                   help="[rescore] scenarios per batch (default 1000)")
     b.set_defaults(func=cmd_bench)
     return parser
 

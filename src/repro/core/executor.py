@@ -93,6 +93,29 @@ class EvaluationResult:
     #: default :class:`~repro.resilience.QueryBudget` for final inference
     #: (``None`` = unlimited), inherited from the evaluator
     budget: QueryBudget | None = None
+    #: default :class:`~repro.circuit.CircuitCache` for what-if circuit
+    #: compilation (``None`` = compile per analysis), inherited from the
+    #: evaluator
+    circuit_cache: object | None = None
+
+    def whatif(self, *, circuit_cache=None, budget=None):
+        """A :class:`~repro.core.whatif.WhatIfAnalysis` over this result.
+
+        The evaluator's :class:`~repro.circuit.CircuitCache` (when it was
+        constructed with one) rides along, so repeated analyses of
+        rename-equivalent answers skip recompilation; pass *circuit_cache*
+        to override.
+        """
+        from repro.core.whatif import WhatIfAnalysis
+
+        return WhatIfAnalysis(
+            self,
+            circuit_cache=(
+                circuit_cache if circuit_cache is not None
+                else self.circuit_cache
+            ),
+            budget=budget if budget is not None else self.budget,
+        )
 
     @property
     def offending_count(self) -> int:
@@ -323,6 +346,7 @@ class PartialLineageEvaluator:
         engine: str = "columnar",
         workers: int | None = None,
         budget=None,
+        circuit_cache=None,
     ) -> None:
         self.db = db
         #: Pass-through to :class:`AndOrNetwork`: disable to ablate the
@@ -344,6 +368,12 @@ class PartialLineageEvaluator:
         #: ``"rows"`` (the row-at-a-time reference implementation). Both grow
         #: identical networks; only throughput differs.
         self.engine = engine
+        #: Optional :class:`~repro.circuit.CircuitCache` shared by every
+        #: what-if analysis over this evaluator's results; subscribed to the
+        #: database's mutation hooks so inserts invalidate compiled circuits.
+        self.circuit_cache = circuit_cache
+        if circuit_cache is not None:
+            circuit_cache.watch(db)
         # Shared dictionary encoding plus a per-base-relation encode cache for
         # the columnar engine: scans of the same (unmodified) relation across
         # evaluations — e.g. the optimizer costing many join orders — reuse
@@ -379,12 +409,15 @@ class PartialLineageEvaluator:
         return EvaluationResult(
             rel, network, stats, conditioned,
             workers=self.workers, budget=budget,
+            circuit_cache=self.circuit_cache,
         )
 
     def invalidate_cache(self) -> None:
-        """Drop the columnar base-relation encode cache (call after mutating
-        a base relation in place)."""
+        """Drop the columnar base-relation encode cache and any compiled
+        circuits (call after mutating a base relation in place)."""
         self._base_cache.clear()
+        if self.circuit_cache is not None:
+            self.circuit_cache.clear()
 
     def evaluate_query(
         self,

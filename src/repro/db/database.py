@@ -34,6 +34,7 @@ class ProbabilisticDatabase:
 
     def __init__(self, relations: Iterable[ProbabilisticRelation] = ()) -> None:
         self._relations: Dict[str, ProbabilisticRelation] = {}
+        self._hooks: list = []
         for rel in relations:
             self.attach(rel)
 
@@ -43,7 +44,22 @@ class ProbabilisticDatabase:
         if relation.name in self._relations:
             raise SchemaError(f"relation {relation.name} already exists")
         self._relations[relation.name] = relation
+        for hook in self._hooks:
+            relation.subscribe(hook)
+            hook(relation.name)
         return relation
+
+    def subscribe(self, hook) -> None:
+        """Register a database-wide mutation hook.
+
+        The hook is wired into every current *and future* relation (and
+        fires once when a new relation is attached), so a subscriber —
+        e.g. :meth:`repro.circuit.CircuitCache.watch` — sees every change
+        to the instance through one call.
+        """
+        self._hooks.append(hook)
+        for rel in self:
+            rel.subscribe(hook)
 
     def add_relation(
         self,

@@ -40,7 +40,7 @@ class ProbabilisticRelation:
     [(1,)]
     """
 
-    __slots__ = ("schema", "_rows")
+    __slots__ = ("schema", "_rows", "_hooks")
 
     def __init__(
         self,
@@ -49,6 +49,7 @@ class ProbabilisticRelation:
     ) -> None:
         self.schema = schema
         self._rows: Dict[Row, float] = {}
+        self._hooks: list = []
         if rows is not None:
             items = rows.items() if isinstance(rows, Mapping) else rows
             for row, p in items:
@@ -90,6 +91,18 @@ class ProbabilisticRelation:
         if r in self._rows:
             raise SchemaError(f"duplicate tuple {r!r} in relation {self.name}")
         self._rows[r] = p
+        for hook in self._hooks:
+            hook(self.name)
+
+    def subscribe(self, hook) -> None:
+        """Register a mutation hook, called as ``hook(relation_name)`` after
+        every successful :meth:`add`.
+
+        Caches of artifacts derived from the instance (compiled lineage
+        circuits, columnar base encodings) subscribe so a mutation flushes
+        them instead of silently serving stale answers.
+        """
+        self._hooks.append(hook)
 
     def probability(self, row: Row) -> float:
         """Marginal probability of *row*; 0.0 if the tuple is not in the relation."""

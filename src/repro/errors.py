@@ -15,6 +15,7 @@ inference problems, and resource-budget problems. The full tree::
     ├── InferenceError       — exact or approximate inference failed
     │   └── DPLLBudgetError  — (also a BudgetExceededError, see below)
     ├── CapacityError        — instance too large for an exhaustive computation
+    ├── CircuitError         — arithmetic circuit violates a structural invariant
     └── BudgetExceededError  — a caller-imposed resource budget ran out
         ├── DeadlineExceededError — the wall-clock deadline passed
         └── DPLLBudgetError       — the DPLL call budget ran out
@@ -71,6 +72,15 @@ class InferenceError(ReproError):
 
 class CapacityError(ReproError):
     """An exhaustive computation was attempted on an instance that is too large."""
+
+
+class CircuitError(ReproError):
+    """An arithmetic circuit violates a structural invariant.
+
+    Raised when a circuit fails validation — a product over non-disjoint
+    variable supports (decomposability), a sum that is not a guarded Shannon
+    split (determinism), or malformed node arrays. Evaluation of such a
+    circuit would not be multilinear-exact, so construction refuses it."""
 
 
 class BudgetExceededError(ReproError):

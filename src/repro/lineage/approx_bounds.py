@@ -28,6 +28,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.errors import DeadlineExceededError
 from repro.lineage.dnf import DNF, EventVar
 from repro.lineage.exact import _split_components
 
@@ -66,10 +67,15 @@ def _clause_weight(clause: frozenset[int], probs: list[float]) -> float:
 
 
 class _Approximator:
-    def __init__(self, probs: list[float], max_calls: int) -> None:
+    #: Expansion steps between cooperative deadline checks.
+    CHECK_EVERY = 256
+
+    def __init__(self, probs: list[float], max_calls: int, budget=None) -> None:
         self.probs = probs
         self.max_calls = max_calls
         self.calls = 0
+        self.budget = budget
+        self.truncated = False
 
     def frontier(self, clauses: _Clauses) -> Interval:
         """Cheap sound bounds without expansion."""
@@ -82,8 +88,21 @@ class _Approximator:
         if frozenset() in clauses:
             return Interval(1.0, 1.0)
         self.calls += 1
+        if (
+            self.budget is not None
+            and not self.truncated
+            and self.calls % self.CHECK_EVERY == 0
+        ):
+            try:
+                self.budget.checkpoint("approx-bounds")
+            except DeadlineExceededError:
+                # Deadline passed mid-expansion: stop deepening and unwind
+                # with frontier bounds everywhere below this point. Same
+                # sound truncation as call-budget exhaustion — the interval
+                # stays a true enclosure, only wider than requested.
+                self.truncated = True
         cheap = self.frontier(clauses)
-        if cheap.width <= epsilon or self.calls > self.max_calls:
+        if cheap.width <= epsilon or self.calls > self.max_calls or self.truncated:
             return cheap
 
         groups = _split_components(clauses)
@@ -142,9 +161,17 @@ def approximate_probability(
     probs: Mapping[EventVar, float],
     epsilon: float = 0.01,
     max_calls: int = 200_000,
+    *,
+    budget=None,
 ) -> Interval:
     """A sound interval of width ≤ *epsilon* around ``Pr(dnf)`` — or the best
     interval reachable within *max_calls* expansion steps.
+
+    *budget* is an optional :class:`~repro.resilience.QueryBudget`: its
+    wall-clock deadline is checked cooperatively inside the expansion loop,
+    and a passed deadline *truncates* the expansion (frontier bounds below
+    the current point) rather than raising — a degraded-but-sound interval
+    beats no answer on the bounds rung of the degradation ladder.
 
     Examples
     --------
@@ -174,7 +201,7 @@ def approximate_probability(
         return Interval(1.0, 1.0)
     if not clauses:
         return Interval(0.0, 0.0)
-    approx = _Approximator(p, max_calls)
+    approx = _Approximator(p, max_calls, budget)
     old_limit = sys.getrecursionlimit()
     sys.setrecursionlimit(max(old_limit, 10_000 + 6 * len(variables)))
     try:

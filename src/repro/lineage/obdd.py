@@ -57,6 +57,22 @@ class OBDD:
             cache[node_id] = (1.0 - p) * cache[low] + p * cache[high]
         return cache[self.root]
 
+    def as_arrays(self) -> tuple:
+        """Flat array export: ``(var_index, low, high)`` int64 columns.
+
+        The vectorized handoff to :mod:`repro.circuit`: rows are decision
+        nodes in id order (node ``i + 2`` at row ``i``), entries reference
+        node ids with 0/1 the terminals. Children always precede parents,
+        so a consumer can lower the table in one forward pass.
+        """
+        import numpy as np
+
+        if not self.nodes:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        table = np.asarray(self.nodes, dtype=np.int64)
+        return table[:, 0], table[:, 1], table[:, 2]
+
     def evaluate(self, world: Mapping[EventVar, bool]) -> bool:
         """Evaluate the encoded function on a world."""
         node_id = self.root

@@ -77,6 +77,13 @@ class ExplainReport:
     degraded_answers: int = 0
     #: The budget the run executed under (``None`` = unlimited).
     budget: dict | None = None
+    #: Per-answer what-if circuit records: circuit size, provenance
+    #: (``cache`` hit vs cold ``obdd`` lowering), compile and re-score
+    #: wall-clocks — the cold-path visibility of compile-once/re-score-many.
+    circuits: list[dict] = field(default_factory=list)
+    #: :class:`~repro.circuit.CircuitCache` counters of this run
+    #: (hits/misses/recompiles).
+    circuit_cache: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-serialisable view (the ``repro explain --json`` payload)."""
@@ -103,6 +110,8 @@ class ExplainReport:
             "metrics": self.metrics,
             "degraded_answers": self.degraded_answers,
             "budget": self.budget,
+            "circuits": list(self.circuits),
+            "circuit_cache": dict(self.circuit_cache),
         }
 
     def format(self) -> str:
@@ -174,7 +183,27 @@ class ExplainReport:
                 f"{self.cache.get('misses', 0)} misses "
                 f"(hit rate {self.cache.get('hit_rate', 0.0):.2%})"
             )
+        if self.circuits:
+            lines.append("")
+            lines.append(format_table(
+                ("answer", "nodes", "source", "compile s", "rescore s"),
+                [(c["answer"], c.get("nodes", "-"), c["source"],
+                  _secs(c.get("compile_seconds")),
+                  _secs(c.get("rescore_seconds")))
+                 for c in self.circuits],
+                title="what-if circuits (compile once vs re-score)",
+            ))
+        if self.circuit_cache:
+            lines.append(
+                f"circuit cache: {self.circuit_cache.get('hits', 0)} hits / "
+                f"{self.circuit_cache.get('misses', 0)} misses, "
+                f"{self.circuit_cache.get('recompiles', 0)} recompiles"
+            )
         return "\n".join(lines)
+
+
+def _secs(value) -> str:
+    return "-" if value is None else f"{value:.5f}"
 
 
 def build_explain_report(
@@ -187,6 +216,7 @@ def build_explain_report(
     dpll_max_calls: int = 5_000_000,
     registry: MetricsRegistry | None = None,
     budget=None,
+    circuit_cache=None,
 ) -> tuple[ExplainReport, dict[Row, float]]:
     """Evaluate *query* and assemble its :class:`ExplainReport`.
 
@@ -200,6 +230,13 @@ def build_explain_report(
     to sound bounds (reported at their interval midpoint in ``answers``),
     each slice record carries the winning ladder rung and its degraded
     count, and the report totals ``degraded_answers``.
+
+    *circuit_cache* (a :class:`~repro.circuit.CircuitCache`, default a
+    fresh one) backs the what-if circuit section: every answer with
+    symbolic lineage is compiled through the cache and re-scored once, so
+    the report shows per answer whether the circuit was a cache hit or a
+    cold compile, and what compile vs re-score cost — pass a long-lived
+    cache to see the warm-path numbers a serving deployment would get.
 
     Examples
     --------
@@ -290,6 +327,54 @@ def build_explain_report(
         annotate(answers=len(answers))
         add("offending", result.offending_count)
 
+        # What-if circuit section: compile each symbolic answer through the
+        # structural cache, re-score once, and record hit/miss + wall times
+        # so cold and degraded paths are visible. Never fails the report:
+        # hard lineages record their reason instead.
+        from repro.circuit import CircuitCache, rescore
+        from repro.core.network import EPSILON
+        from repro.errors import ReproError
+
+        if circuit_cache is None:
+            circuit_cache = CircuitCache()
+        circuits: list[dict] = []
+        try:
+            from repro.core.whatif import WhatIfAnalysis
+
+            analysis = WhatIfAnalysis(
+                result, circuit_cache=circuit_cache, budget=budget
+            )
+            for row, l, _ in rows:
+                record: dict = {"answer": str(row)}
+                if l == EPSILON:  # constant lineage, nothing to compile
+                    record["source"] = "constant"
+                    circuits.append(record)
+                    continue
+                try:
+                    circuit = analysis.circuit_for(row)
+                    t0 = time.perf_counter()
+                    rescore(circuit, circuit.base_probs)
+                    record["rescore_seconds"] = time.perf_counter() - t0
+                    record["nodes"] = len(circuit)
+                    record["source"] = analysis.circuit_sources[l]
+                    record["compile_seconds"] = analysis.compile_seconds[l]
+                except ReproError as exc:
+                    record["source"] = f"uncompiled: {type(exc).__name__}"
+                circuits.append(record)
+        except ReproError as exc:
+            circuits.append(
+                {"answer": "*", "source": f"uncompiled: {type(exc).__name__}"}
+            )
+        registry.absorb("circuit.cache", circuit_cache)
+        for c in circuits:
+            if "compile_seconds" in c:
+                registry.observe(
+                    "circuit.compile_seconds", c["compile_seconds"]
+                )
+                registry.observe(
+                    "circuit.rescore_seconds", c["rescore_seconds"]
+                )
+
     offending_by_source: dict[str, int] = {}
     for off in result.conditioned_tuples:
         offending_by_source[off.source] = (
@@ -339,5 +424,7 @@ def build_explain_report(
             "obdd_max_nodes": budget.obdd_max_nodes,
             "max_samples": budget.max_samples,
         },
+        circuits=circuits,
+        circuit_cache=circuit_cache.as_dict(),
     )
     return report, answers

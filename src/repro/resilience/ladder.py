@@ -296,6 +296,7 @@ def _degrade_target(
             probs,
             epsilon=budget.approx_epsilon,
             max_calls=budget.approx_max_calls,
+            budget=budget,
         )
     except (_RECOVERABLE + (RecursionError,)) as exc:
         _step(steps, registry, "bounds", "failed", _reason(exc), started)

@@ -1,0 +1,53 @@
+"""Smoke test for the rescore benchmark runner (tiny instances)."""
+
+import json
+
+from repro.bench.rescore import main, run_benchmark
+
+
+def test_run_benchmark_payload_shape():
+    payload = run_benchmark(n=2, m=30, seed=7, query="P1", batch=40,
+                            repeats=1)
+    assert payload["benchmark"] == "rescore"
+    assert payload["workload"]["batch"] == 40
+    assert payload["workload"]["offending_tuples"] > 0
+    assert payload["totals"]["symbolic_answers"] > 0
+    for point in payload["answers"]:
+        assert point["circuit_nodes"] > 0
+        assert point["circuit_source"] in ("cache", "obdd")
+        assert point["scalar_seconds"] > 0
+        assert point["batch_seconds"] > 0
+        assert point["max_abs_diff"] <= 1e-12
+    acceptance = payload["acceptance"]
+    assert acceptance["batch_matches_oracle"] is True
+    assert acceptance["warm_cache_no_recompiles"] is True
+    assert acceptance["warm_all_cache_hits"] is True
+    assert payload["warm"]["circuit_sources"] in ([], ["cache"])
+    assert payload["warm"]["cache"]["recompiles"] == 0
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_rescore.json"
+    # a tiny instance measures correctness plumbing, not throughput, so the
+    # speedup floor is relaxed; the committed BENCH_rescore.json carries the
+    # real 50x gate at batch=1000.
+    code = main([
+        "--out", str(out), "--m", "30", "--batch", "40", "--repeats", "1",
+        "--min-speedup", "0.001",
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert {"benchmark", "workload", "environment", "answers", "totals",
+            "warm", "acceptance"} <= set(payload)
+    assert payload["acceptance"]["speedup_at_least_min"] is True
+    assert "metrics" in payload
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_main_rejects_bad_arguments(capsys):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["--batch", "0"])
+    with pytest.raises(SystemExit):
+        main(["--min-speedup", "0"])

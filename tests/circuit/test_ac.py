@@ -1,0 +1,251 @@
+"""Tests for the flat arithmetic-circuit representation and its sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.ac import (
+    OP_CMPL,
+    OP_PROD,
+    OP_SUM,
+    OP_VAR,
+    ArithmeticCircuit,
+    CircuitBuilder,
+)
+from repro.errors import CircuitError
+from repro.lineage.dnf import EventVar
+
+
+def leaves(k):
+    return tuple(EventVar("R", (i,)) for i in range(k))
+
+
+def or_circuit():
+    """x ∨ y as the Shannon circuit p_x·1 + (1-p_x)·p_y."""
+    b = CircuitBuilder()
+    root = b.sum([
+        b.prod([b.var(0), b.const(1.0)]),
+        b.prod([b.nvar(0), b.var(1)]),
+    ])
+    return b.build(root, leaf_vars=leaves(2), base_probs=[0.5, 0.5])
+
+
+# ------------------------------------------------------------------ builder
+def test_builder_hash_conses():
+    b = CircuitBuilder()
+    assert b.var(0) == b.var(0)
+    assert b.prod([b.var(0), b.var(1)]) == b.prod([b.var(1), b.var(0)])
+    assert len(b) == 3  # var(0), var(1), one product
+
+
+def test_builder_singleton_product_collapses():
+    b = CircuitBuilder()
+    assert b.prod([b.var(0)]) == b.var(0)
+
+
+def test_builder_double_complement_folds():
+    b = CircuitBuilder()
+    x = b.var(0)
+    assert b.cmpl(b.cmpl(x)) == x
+
+
+# --------------------------------------------------------------- structure
+def test_structure_accessors():
+    c = or_circuit()
+    assert len(c) == 7
+    assert c.n_edges == 6
+    assert c.depth >= 3
+    assert c.n_leaves == 2
+    assert sorted(c.op_counts()) == ["const", "nvar", "prod", "sum", "var"]
+    assert c.index_of(EventVar("R", (0,))) == 0
+    assert c.index_of(EventVar("S", (0,))) is None
+    assert "7 nodes" in repr(c)
+
+
+def test_node_children():
+    c = or_circuit()
+    assert c.node_children(c.root).tolist() != []
+    assert c.node_children(0).tolist() == []
+
+
+# -------------------------------------------------------------- validation
+def test_validate_rejects_non_decomposable_product():
+    b = CircuitBuilder()
+    root = b.prod([b.var(0), b.var(0)])
+    with pytest.raises(CircuitError, match="not decomposable"):
+        b.build(root, leaf_vars=leaves(1), base_probs=[0.5])
+
+
+def test_validate_rejects_non_deterministic_sum():
+    b = CircuitBuilder()
+    root = b.sum([b.var(0), b.var(1)])
+    with pytest.raises(CircuitError, match="not deterministic"):
+        b.build(root, leaf_vars=leaves(2), base_probs=[0.5, 0.5])
+
+
+def test_validate_rejects_nonbinary_sum():
+    b = CircuitBuilder()
+    root = b.sum([b.var(0), b.nvar(0), b.var(1)])
+    with pytest.raises(CircuitError, match="binary Shannon"):
+        b.build(root, leaf_vars=leaves(2), base_probs=[0.5, 0.5])
+
+
+def test_validate_rejects_unknown_leaf():
+    b = CircuitBuilder()
+    root = b.var(3)
+    with pytest.raises(CircuitError, match="unknown leaf"):
+        b.build(root, leaf_vars=leaves(2), base_probs=[0.5, 0.5])
+
+
+def test_validate_rejects_non_topological_child():
+    with pytest.raises(CircuitError, match="non-preceding"):
+        ArithmeticCircuit(
+            ops=np.array([OP_CMPL], dtype=np.int8),
+            args=np.array([-1]),
+            consts=np.array([0.0]),
+            child_offsets=np.array([0, 1]),
+            children=np.array([0]),  # self-loop
+            root=0,
+            leaf_vars=(),
+            base_probs=np.empty(0),
+        )
+
+
+def test_validate_rejects_multichild_cmpl():
+    with pytest.raises(CircuitError, match="exactly one child"):
+        ArithmeticCircuit(
+            ops=np.array([OP_VAR, OP_VAR, OP_CMPL], dtype=np.int8),
+            args=np.array([0, 1, -1]),
+            consts=np.zeros(3),
+            child_offsets=np.array([0, 0, 0, 2]),
+            children=np.array([0, 1]),
+            root=2,
+            leaf_vars=leaves(2),
+            base_probs=np.array([0.5, 0.5]),
+        )
+
+
+def test_validate_rejects_wrong_base_probs_shape():
+    b = CircuitBuilder()
+    with pytest.raises(CircuitError, match="base probabilities"):
+        b.build(b.var(0), leaf_vars=leaves(1), base_probs=[0.5, 0.5])
+
+
+# -------------------------------------------------------------- evaluation
+def test_evaluate_or():
+    c = or_circuit()
+    P = np.array([[0.5, 0.5], [1.0, 0.0], [0.0, 0.0], [0.2, 0.3]])
+    expected = [0.75, 1.0, 0.0, 1 - 0.8 * 0.7]
+    assert np.allclose(c.evaluate(P), expected, atol=1e-15)
+
+
+def test_evaluate_vector_promotes_to_batch():
+    c = or_circuit()
+    assert c.evaluate([0.5, 0.5]).shape == (1,)
+
+
+def test_evaluate_rejects_wrong_width():
+    c = or_circuit()
+    with pytest.raises(CircuitError, match="does not match"):
+        c.evaluate([[0.5, 0.5, 0.5]])
+
+
+def test_mixed_arity_product_group_falls_back_to_reduceat():
+    # two products of arity 2 and 3 at the same level: the levelised step is
+    # not uniform, exercising the reduceat fallback
+    b = CircuitBuilder()
+    p1 = b.prod([b.var(0), b.var(1)])
+    p2 = b.prod([b.var(2), b.var(3), b.var(4)])
+    root = b.cmpl(b.prod([b.cmpl(p1), b.cmpl(p2)]))
+    c = b.build(root, leaf_vars=leaves(5), base_probs=[0.5] * 5)
+    group = next(
+        g for g in c._groups if g.op == OP_PROD and g.counts is not None
+        and len(g.nodes) == 2
+    )
+    assert group.arity == 0
+    p = 1 - (1 - 0.25) * (1 - 0.125)
+    assert c.evaluate([0.5] * 5)[0] == pytest.approx(p, abs=1e-15)
+
+
+def test_uniform_arity_three_product_group():
+    b = CircuitBuilder()
+    root = b.prod([b.var(0), b.var(1), b.var(2)])
+    c = b.build(root, leaf_vars=leaves(3), base_probs=[0.5] * 3)
+    group = next(g for g in c._groups if g.op == OP_PROD)
+    assert group.arity == 3
+    assert c.evaluate([0.5, 0.5, 0.5])[0] == pytest.approx(0.125)
+
+
+def test_probability_convenience():
+    c = or_circuit()
+    x, y = c.leaf_vars
+    assert c.probability() == pytest.approx(0.75)
+    assert c.probability({x: 1.0}) == pytest.approx(1.0)
+    assert c.probability({x: 0.0, y: 0.25}) == pytest.approx(0.25)
+    # unknown variables are ignored
+    assert c.probability({EventVar("S", (9,)): 0.0}) == pytest.approx(0.75)
+
+
+# --------------------------------------------------------------- gradients
+def test_gradients_match_multilinearity():
+    c = or_circuit()
+    P = np.array([[0.3, 0.6], [0.9, 0.1]])
+    values, grads = c.evaluate_with_gradients(P)
+    for s in range(2):
+        for i in range(2):
+            hi = P[s].copy()
+            hi[i] = 1.0
+            lo = P[s].copy()
+            lo[i] = 0.0
+            swing = c.evaluate(hi)[0] - c.evaluate(lo)[0]
+            assert grads[s, i] == pytest.approx(swing, abs=1e-14)
+
+
+def test_gradients_zero_values_general_product():
+    # arity-3 product with a zero child: the zero-safe exclusive-product
+    # path must hand the zero child the product of the nonzero others
+    b = CircuitBuilder()
+    root = b.prod([b.var(0), b.var(1), b.var(2)])
+    c = b.build(root, leaf_vars=leaves(3), base_probs=[0.5] * 3)
+    values, grads = c.evaluate_with_gradients([[0.0, 0.5, 0.25]])
+    assert values[0] == 0.0
+    assert grads[0].tolist() == pytest.approx([0.125, 0.0, 0.0])
+
+
+# ----------------------------------------------------- rebind / leaf order
+def test_rebind_shares_arrays():
+    c = or_circuit()
+    renamed = (EventVar("S", (7,)), EventVar("S", (8,)))
+    clone = c.rebind(renamed, [0.1, 0.9])
+    assert clone.ops is c.ops and clone.children is c.children
+    assert clone._groups is c._groups
+    assert clone.leaf_vars == renamed
+    assert clone.probability() == pytest.approx(1 - 0.9 * 0.1)
+    # the original is untouched
+    assert c.probability() == pytest.approx(0.75)
+
+
+def test_rebind_rejects_wrong_shapes():
+    c = or_circuit()
+    with pytest.raises(CircuitError, match="leaf variables"):
+        c.rebind((EventVar("S", (1,)),), [0.5])
+    with pytest.raises(CircuitError, match="base probabilities"):
+        c.rebind(leaves(2), [0.5])
+
+
+def test_with_leaf_order_permutes_columns():
+    c = or_circuit()
+    x, y = c.leaf_vars
+    flipped = c.with_leaf_order((y, x))
+    assert flipped.leaf_vars == (y, x)
+    assert flipped.base_probs.tolist() == [0.5, 0.5]
+    P = np.array([[0.2, 0.9]])  # columns now (y, x)
+    assert flipped.evaluate(P)[0] == pytest.approx(
+        c.evaluate([[0.9, 0.2]])[0]
+    )
+    assert c.with_leaf_order((x, y)) is c  # identity permutation
+
+
+def test_with_leaf_order_rejects_non_permutation():
+    c = or_circuit()
+    with pytest.raises(CircuitError, match="permutation"):
+        c.with_leaf_order((c.leaf_vars[0], EventVar("S", (1,))))

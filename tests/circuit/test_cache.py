@@ -1,0 +1,133 @@
+"""Tests for the structural circuit cache and its invalidation hooks."""
+
+import pytest
+
+from repro.circuit import CircuitCache, circuit_signature, compile_obdd
+from repro.db import ProbabilisticDatabase
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+from repro.lineage.obdd import build_obdd
+
+
+def rst():
+    x, y, z = (EventVar("R", (i,)) for i in range(3))
+    return DNF([{x, y}, {y, z}]), {x: 0.2, y: 0.5, z: 0.8}
+
+
+def renamed():
+    """The same clause shape over different names and probabilities."""
+    a, b, c = (EventVar("S", (i + 10,)) for i in range(3))
+    return DNF([{a, b}, {b, c}]), {a: 0.3, b: 0.6, c: 0.9}
+
+
+# ---------------------------------------------------------------- signature
+def test_signature_is_rename_and_weight_invariant():
+    d1, p1 = rst()
+    d2, p2 = renamed()
+    k1, ranked1 = circuit_signature(d1, p1)
+    k2, ranked2 = circuit_signature(d2, p2)
+    assert k1 == k2
+    assert len(ranked1) == len(ranked2) == 3
+    # ranks follow ascending (probability, variable) order
+    assert [p1[v] for v in ranked1] == sorted(p1[v] for v in ranked1)
+
+
+def test_signature_distinguishes_shapes():
+    d1, p1 = rst()
+    x, y = EventVar("R", (0,)), EventVar("R", (1,))
+    k1, _ = circuit_signature(d1, p1)
+    k2, _ = circuit_signature(DNF([{x}, {y}]), {x: 0.2, y: 0.5})
+    assert k1 != k2
+
+
+# -------------------------------------------------------------------- cache
+def test_rename_equivalent_lineages_share_one_circuit():
+    cache = CircuitCache()
+    d1, p1 = rst()
+    d2, p2 = renamed()
+    c1 = cache.circuit(d1, p1)
+    c2 = cache.circuit(d2, p2)
+    assert c2.ops is c1.ops  # one compilation, rebound
+    assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+    assert cache.recompiles == 0
+    assert c1.probability() == pytest.approx(
+        dnf_probability(d1, p1), abs=1e-12
+    )
+    assert c2.probability() == pytest.approx(
+        dnf_probability(d2, p2), abs=1e-12
+    )
+
+
+def test_recompile_counter_after_clear():
+    cache = CircuitCache()
+    d1, p1 = rst()
+    cache.circuit(d1, p1)
+    assert cache.recompiles == 0
+    cache.clear()
+    assert len(cache) == 0
+    cache.circuit(d1, p1)
+    assert cache.recompiles == 1
+
+
+def test_put_and_get_roundtrip_obdd_layout():
+    # an OBDD-compiled circuit (its own leaf order) stored under the
+    # canonical signature must serve rename-equivalent lookups correctly
+    cache = CircuitCache()
+    d1, p1 = rst()
+    cache.put(d1, p1, compile_obdd(build_obdd(d1), p1))
+    d2, p2 = renamed()
+    hit = cache.get(d2, p2)
+    assert hit is not None
+    assert hit.probability() == pytest.approx(
+        dnf_probability(d2, p2), abs=1e-12
+    )
+    assert cache.get(DNF([{EventVar("T", (1,))}]),
+                     {EventVar("T", (1,)): 0.5}) is None
+
+
+def test_put_rejects_mismatched_leaves():
+    cache = CircuitCache()
+    d1, p1 = rst()
+    other = DNF([{EventVar("R", (0,))}, {EventVar("R", (1,))}])
+    circuit = compile_obdd(
+        build_obdd(other),
+        {EventVar("R", (0,)): 0.5, EventVar("R", (1,)): 0.5},
+    )
+    with pytest.raises(ValueError, match="do not match"):
+        cache.put(d1, p1, circuit)
+
+
+def test_as_dict_reports_counters():
+    cache = CircuitCache()
+    d1, p1 = rst()
+    cache.circuit(d1, p1)
+    cache.circuit(d1, p1)
+    out = cache.as_dict()
+    assert out["hits"] == 1
+    assert out["misses"] == 1
+    assert out["entries"] == 1
+    assert out["recompiles"] == 0
+
+
+# ------------------------------------------------------------- invalidation
+def test_watch_invalidates_on_mutation():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    cache = CircuitCache()
+    cache.watch(db)
+    d1, p1 = rst()
+    cache.circuit(d1, p1)
+    assert len(cache) == 1
+    db["R"].add((2,), 0.4)
+    assert len(cache) == 0  # flushed by the mutation hook
+
+
+def test_watch_covers_relations_attached_later():
+    db = ProbabilisticDatabase()
+    cache = CircuitCache()
+    cache.watch(db)
+    db.add_relation("S", ("A",), {(1,): 0.5})
+    d1, p1 = rst()
+    cache.circuit(d1, p1)
+    db["S"].add((2,), 0.4)
+    assert len(cache) == 0

@@ -1,0 +1,155 @@
+"""Tests for the three circuit-lowering paths (OBDD / network / DPLL trace)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.circuit.compile import (
+    compile_dnf,
+    compile_lineage,
+    compile_network,
+    compile_obdd,
+)
+from repro.core import compute_marginal
+from repro.core.network import EPSILON, AndOrNetwork, NodeKind
+from repro.errors import CapacityError
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+from repro.lineage.obdd import build_obdd
+
+
+def random_dnf(rng, n_vars=6, n_clauses=5):
+    vars_ = [EventVar("R", (i,)) for i in range(n_vars)]
+    clauses = [
+        set(rng.sample(vars_, rng.randint(1, min(3, n_vars))))
+        for _ in range(n_clauses)
+    ]
+    probs = {v: rng.uniform(0.05, 0.95) for v in vars_}
+    return DNF(clauses), probs
+
+
+# -------------------------------------------------------------- compile_dnf
+def test_compile_dnf_matches_oracle():
+    rng = random.Random(11)
+    for _ in range(25):
+        dnf, probs = random_dnf(rng)
+        c = compile_dnf(dnf, probs)
+        assert c.probability() == pytest.approx(
+            dnf_probability(dnf, probs), abs=1e-12
+        )
+        # and under a perturbed vector — structure is probability-independent
+        other = {v: rng.uniform(0.0, 1.0) for v in probs}
+        assert c.probability(other) == pytest.approx(
+            dnf_probability(dnf, other), abs=1e-12
+        )
+
+
+def test_compile_dnf_structure_is_probability_independent():
+    x, y, z = (EventVar("R", (i,)) for i in range(3))
+    dnf = DNF([{x, y}, {y, z}])
+    order = (x, y, z)
+    a = compile_dnf(dnf, {x: 0.1, y: 0.2, z: 0.3}, leaf_order=order)
+    b = compile_dnf(dnf, {x: 0.9, y: 0.99, z: 1.0}, leaf_order=order)
+    assert np.array_equal(a.ops, b.ops)
+    assert np.array_equal(a.children, b.children)
+    assert np.array_equal(a.args, b.args)
+    assert a.root == b.root
+
+
+def test_compile_dnf_rejects_incomplete_leaf_order():
+    x, y = EventVar("R", (1,)), EventVar("R", (2,))
+    with pytest.raises(ValueError, match="misses variables"):
+        compile_dnf(DNF([{x}, {y}]), {x: 0.5, y: 0.5}, leaf_order=(x,))
+
+
+def test_compile_dnf_capacity_error():
+    vars_ = [EventVar("R", (i,)) for i in range(10)]
+    chain = DNF([{vars_[i], vars_[i + 1]} for i in range(9)])
+    probs = {v: 0.5 for v in vars_}
+    with pytest.raises(CapacityError, match="exceeded"):
+        compile_dnf(chain, probs, max_nodes=3)
+
+
+# ------------------------------------------------------------- compile_obdd
+def test_compile_obdd_matches_oracle():
+    rng = random.Random(23)
+    for _ in range(25):
+        dnf, probs = random_dnf(rng)
+        obdd = build_obdd(dnf)
+        c = compile_obdd(obdd, probs)
+        assert c.probability() == pytest.approx(
+            obdd.probability(probs), abs=1e-12
+        )
+        other = {v: rng.uniform(0.0, 1.0) for v in probs}
+        assert c.probability(other) == pytest.approx(
+            dnf_probability(dnf, other), abs=1e-12
+        )
+
+
+# ---------------------------------------------------------- compile_network
+def test_compile_network_tree_slice():
+    net = AndOrNetwork()
+    x, y = net.add_leaf(0.5), net.add_leaf(0.25)
+    g = net.add_gate(NodeKind.OR, [(x, 0.5), (y, 1.0), (EPSILON, 0.1)])
+    c = compile_network(net, g)
+    assert c is not None
+    expected = 1 - (1 - 0.5 * 0.5) * (1 - 0.25) * (1 - 0.1)
+    assert c.probability() == pytest.approx(expected, abs=1e-12)
+    assert c.probability() == pytest.approx(
+        compute_marginal(net, g), abs=1e-12
+    )
+    # noisy edges appear as anonymous edge variables, leaves as leaf vars
+    assert EventVar("leaf", (x,)) in c.leaf_vars
+    assert any(v.relation == "edge" for v in c.leaf_vars)
+
+
+def test_compile_network_rejects_shared_input():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    g1 = net.add_gate(NodeKind.OR, [(x, 0.5)])
+    g2 = net.add_gate(NodeKind.OR, [(x, 0.7)])
+    g = net.add_gate(NodeKind.AND, [(g1, 1.0), (g2, 1.0)])
+    assert compile_network(net, g) is None
+
+
+def test_compile_network_epsilon_is_none():
+    assert compile_network(AndOrNetwork(), EPSILON) is None
+
+
+# ---------------------------------------------------------- compile_lineage
+def test_compile_lineage_tree_path():
+    net = AndOrNetwork()
+    x = net.add_leaf(0.5)
+    g = net.add_gate(NodeKind.OR, [(x, 0.25), (EPSILON, 0.1)])
+    circuit, method = compile_lineage(net, g)
+    assert method == "tree"
+    assert circuit.probability() == pytest.approx(
+        compute_marginal(net, g), abs=1e-12
+    )
+
+
+def shared_input_network():
+    net = AndOrNetwork()
+    x, y = net.add_leaf(0.5), net.add_leaf(0.4)
+    g1 = net.add_gate(NodeKind.OR, [(x, 0.5), (y, 1.0)])
+    g2 = net.add_gate(NodeKind.OR, [(x, 0.7)])
+    return net, net.add_gate(NodeKind.AND, [(g1, 1.0), (g2, 1.0)])
+
+
+def test_compile_lineage_obdd_path():
+    net, g = shared_input_network()
+    circuit, method = compile_lineage(net, g)
+    assert method == "obdd"
+    assert circuit.probability() == pytest.approx(
+        compute_marginal(net, g), abs=1e-12
+    )
+
+
+def test_compile_lineage_dnf_fallback():
+    net, g = shared_input_network()
+    circuit, method = compile_lineage(net, g, obdd_max_nodes=1)
+    assert method == "dnf"
+    assert circuit.probability() == pytest.approx(
+        compute_marginal(net, g), abs=1e-12
+    )

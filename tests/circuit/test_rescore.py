@@ -1,0 +1,87 @@
+"""Tests for batch re-scoring and the scenario-batch representation."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import ScenarioBatch, compile_dnf, rescore, rescore_with_gradients
+from repro.errors import CircuitError
+from repro.lineage.dnf import DNF, EventVar
+from repro.lineage.exact import dnf_probability
+
+
+def or3():
+    x, y, z = (EventVar("R", (i,)) for i in range(3))
+    dnf = DNF([{x}, {y, z}])
+    return compile_dnf(dnf, {x: 0.5, y: 0.5, z: 0.5}), dnf
+
+
+def test_rescore_matches_scalar_oracle():
+    c, dnf = or3()
+    rng = np.random.default_rng(3)
+    P = rng.random((40, 3))
+    out = rescore(c, P)
+    for s in range(40):
+        probs = {v: P[s, i] for i, v in enumerate(c.leaf_vars)}
+        assert out[s] == pytest.approx(
+            dnf_probability(dnf, probs), abs=1e-12
+        )
+
+
+def test_rescore_accepts_vector():
+    c, _ = or3()
+    assert rescore(c, [1.0, 0.0, 0.0]).tolist() == [1.0]
+
+
+def test_rescore_chunking_is_invisible():
+    c, _ = or3()
+    rng = np.random.default_rng(5)
+    P = rng.random((23, 3))
+    assert np.array_equal(rescore(c, P), rescore(c, P, chunk_rows=4))
+
+
+def test_rescore_with_gradients_chunking_is_invisible():
+    c, _ = or3()
+    rng = np.random.default_rng(7)
+    P = rng.random((17, 3))
+    v1, g1 = rescore_with_gradients(c, P)
+    v2, g2 = rescore_with_gradients(c, P, chunk_rows=3)
+    assert np.array_equal(v1, v2)
+    assert np.array_equal(g1, g2)
+    assert g1.shape == (17, 3)
+
+
+# ----------------------------------------------------------- ScenarioBatch
+def test_scenario_batch_validates_shape():
+    x = EventVar("R", (0,))
+    with pytest.raises(CircuitError, match="does not match"):
+        ScenarioBatch((x,), [[0.1, 0.2]])
+
+
+def test_scenario_batch_from_overrides_keeps_base():
+    c, _ = or3()
+    x, y, z = c.leaf_vars
+    batch = ScenarioBatch.from_overrides([{x: 0.0}, {y: 1.0}, {}])
+    assert len(batch) == 3
+    P = batch.matrix_for(c)
+    # overridden cells take the scenario value, the rest the circuit base
+    assert P[0].tolist() == [0.0, 0.5, 0.5]
+    assert P[1].tolist() == [0.5, 1.0, 0.5]
+    assert P[2].tolist() == [0.5, 0.5, 0.5]
+
+
+def test_scenario_batch_ignores_foreign_variables():
+    c, _ = or3()
+    foreign = EventVar("S", (99,))
+    batch = ScenarioBatch((foreign,), [[0.0], [1.0]])
+    P = batch.matrix_for(c)
+    assert np.array_equal(P, np.tile(c.base_probs, (2, 1)))
+    # and rescore passes through unchanged
+    assert rescore(c, batch).shape == (2,)
+
+
+def test_rescore_scenario_batch_matches_matrix():
+    c, _ = or3()
+    x, y, z = c.leaf_vars
+    batch = ScenarioBatch((z, x), [[0.9, 0.1], [0.2, 0.8]])
+    expected = rescore(c, [[0.1, 0.5, 0.9], [0.8, 0.5, 0.2]])
+    assert np.allclose(rescore(c, batch), expected, atol=1e-15)

@@ -135,3 +135,76 @@ def test_epsilon_answer(simple_db):
     analysis = WhatIfAnalysis(result)
     assert analysis.probability(()) == pytest.approx(0.5 * 0.7 * 0.9)
     assert analysis.sensitivities(()) == []
+
+
+# ------------------------------------------------- batch re-scoring / circuits
+def test_probability_batch_matches_scalar_loop(simple_db):
+    _, result = build(simple_db)
+    analysis = WhatIfAnalysis(result)
+    off = result.conditioned_tuples[0]
+    scenarios = [{off: p} for p in (0.0, 0.1, 0.5, 0.9, 1.0)] + [{}]
+    batch = analysis.probability_batch((), scenarios)
+    assert batch.shape == (6,)
+    for got, ov in zip(batch, scenarios):
+        assert got == pytest.approx(
+            analysis.probability((), ov), abs=1e-12
+        )
+
+
+def test_sensitivity_methods_agree(simple_db):
+    _, result = build(simple_db)
+    analysis = WhatIfAnalysis(result)
+    fast = analysis.sensitivities((), method="circuit")
+    oracle = analysis.sensitivities((), method="obdd")
+    assert [s.tuple for s in fast] == [s.tuple for s in oracle]
+    for a, b in zip(fast, oracle):
+        assert a.base_probability == pytest.approx(
+            b.base_probability, abs=1e-12
+        )
+        assert a.when_absent == pytest.approx(b.when_absent, abs=1e-12)
+        assert a.when_certain == pytest.approx(b.when_certain, abs=1e-12)
+
+
+def test_sensitivities_rejects_unknown_method(simple_db):
+    _, result = build(simple_db)
+    analysis = WhatIfAnalysis(result)
+    with pytest.raises(ReproError, match="unknown sensitivity method"):
+        analysis.sensitivities((), method="montecarlo")
+
+
+def test_circuit_for_epsilon_answer_is_none():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 1.0})
+    db.add_relation("S", ("A", "B"), {(1, 1): 1.0})
+    db.add_relation("T", ("B",), {(1,): 1.0})
+    _, result = build(db)
+    analysis = WhatIfAnalysis(result)
+    assert analysis.circuit_for(()) is None
+    # batch scoring of a certain answer is a constant column
+    assert analysis.probability_batch((), [{}, {}]).tolist() == [1.0, 1.0]
+
+
+def test_variable_for_returns_event_var(simple_db):
+    _, result = build(simple_db)
+    analysis = WhatIfAnalysis(result)
+    off = result.conditioned_tuples[0]
+    var = analysis.variable_for(off)
+    circuit = analysis.circuit_for(())
+    assert var in circuit.leaf_vars
+
+
+def test_result_whatif_uses_evaluator_cache(simple_db):
+    from repro.circuit import CircuitCache
+
+    cache = CircuitCache()
+    q = parse_query("q() :- R(x), S(x,y), T(y)")
+    evaluator = PartialLineageEvaluator(simple_db, circuit_cache=cache)
+    result = evaluator.evaluate_query(q, ["R", "S", "T"])
+    a1 = result.whatif()
+    a1.circuit_for(())
+    assert a1.circuit_sources == {list(a1.circuit_sources)[0]: "obdd"}
+    # a second analysis over the same result hits the shared cache
+    a2 = result.whatif()
+    a2.circuit_for(())
+    assert list(a2.circuit_sources.values()) == ["cache"]
+    assert cache.stats.hits >= 1

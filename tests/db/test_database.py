@@ -50,3 +50,19 @@ def test_copy_is_deep_enough(db):
     clone["R"].add((3,), 0.1)
     assert (3,) not in db["R"]
     assert clone.names() == db.names()
+
+
+def test_subscribe_covers_current_and_future_relations():
+    from repro.db import ProbabilisticDatabase
+
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5})
+    seen = []
+    db.subscribe(seen.append)
+    db["R"].add((2,), 0.4)
+    assert seen == ["R"]
+    # relations attached after subscribe are wired too; populating the new
+    # relation is itself a mutation
+    db.add_relation("S", ("B",), {(1,): 0.5})
+    db["S"].add((2,), 0.4)
+    assert seen == ["R", "S", "S"]

@@ -69,3 +69,20 @@ def test_copy_is_independent(rel):
 def test_empty_relation_deterministic_fraction():
     rel = ProbabilisticRelation.create("R", ("A",))
     assert rel.deterministic_fraction() == 1.0
+
+
+def test_mutation_hooks_fire_on_add(rel):
+    seen = []
+    rel.subscribe(seen.append)
+    rel.add((9, 9), 0.5)
+    assert seen == [rel.name]
+    rel.add((9, 8), 0.5)
+    assert seen == [rel.name, rel.name]
+
+
+def test_copy_does_not_share_hooks(rel):
+    seen = []
+    rel.subscribe(seen.append)
+    clone = rel.copy()
+    clone.add((7, 7), 0.5)
+    assert seen == []

@@ -100,3 +100,37 @@ def test_component_combination_orientation_regression():
         iv = approximate_probability(f, probs, epsilon=1e-9, max_calls=max_calls)
         assert iv.low <= iv.high
         assert iv.contains(exact), max_calls
+
+
+def test_expired_budget_truncates_instead_of_raising():
+    """A blown deadline truncates the expansion (sound frontier bounds
+    below the cut) rather than raising — the ladder's bounds rung must
+    always come back with an interval."""
+    from repro.resilience.budget import QueryBudget
+
+    xs = [v(i) for i in range(12)]
+    f = DNF([frozenset({xs[i], xs[(i + 1) % 12]}) for i in range(12)])
+    probs = {x: 0.4 for x in xs}
+    budget = QueryBudget(deadline_seconds=0.0).start()
+    iv = approximate_probability(
+        f, probs, epsilon=1e-9, max_calls=10**9, budget=budget
+    )
+    assert iv.low <= iv.high
+    assert iv.contains(dnf_probability(f, probs))
+    # same instance, no deadline: the interval tightens to epsilon
+    tight = approximate_probability(f, probs, epsilon=1e-9, max_calls=10**9)
+    assert tight.width <= 1e-9 < 1.0
+    assert iv.width >= tight.width
+
+
+def test_unlimited_budget_does_not_truncate():
+    from repro.resilience.budget import QueryBudget
+
+    xs = [v(i) for i in range(6)]
+    f = DNF([frozenset({xs[i], xs[(i + 1) % 6]}) for i in range(6)])
+    probs = {x: 0.3 for x in xs}
+    iv = approximate_probability(
+        f, probs, epsilon=1e-9, budget=QueryBudget()
+    )
+    assert iv.width <= 1e-9
+    assert iv.contains(dnf_probability(f, probs))

@@ -167,3 +167,34 @@ def test_query_command_with_trace(csv_db, tmp_path, capsys):
     from repro.obs import validate_chrome_trace
 
     assert validate_chrome_trace(trace_path) == []
+
+
+def test_whatif_command(csv_db, capsys):
+    code = main([
+        "whatif", "q(x) :- R(x), S(x,y), T(y)",
+        "--database", str(csv_db), "--limit", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "offending tuples" in out
+    assert "top sensitivities" in out
+    assert "swing" in out
+
+
+def test_whatif_command_batch(csv_db, capsys):
+    code = main([
+        "whatif", "q(x) :- R(x), S(x,y), T(y)",
+        "--database", str(csv_db), "--batch", "20", "--limit", "2",
+        "--method", "obdd",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scenarios/s" in out
+    assert "batch re-scoring: 20 random scenarios" in out
+    assert "circuit cache:" in out
+
+
+def test_whatif_command_needs_database(capsys):
+    code = main(["whatif", "q(x) :- R(x)"])
+    assert code == 2
+    assert "either --database" in capsys.readouterr().err
