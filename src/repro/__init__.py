@@ -24,6 +24,7 @@ from repro.core import (
     AndOrNetwork,
     EPSILON,
     EvaluationResult,
+    Filter,
     Join,
     NodeKind,
     PartialLineageEvaluator,
@@ -103,11 +104,22 @@ from repro.errors import (
     SchemaError,
     UnsafePlanError,
 )
+from repro.dissociation import (
+    CertifiedAnswer,
+    DissociationBounds,
+    DissociationEvaluator,
+    DissociationResult,
+    TopKCertification,
+    certified_top_k,
+    dissociation_bounds,
+    network_dissociation_bounds,
+)
 from repro.resilience import (
     AnswerResult,
     FaultPlan,
     FaultSpec,
     QueryBudget,
+    exact_fractions,
     resilient_marginals,
 )
 from repro.extensional import lifted_answer_probabilities, lifted_probability, safe_plan
@@ -130,6 +142,7 @@ from repro.lineage import (
 from repro.perf import CacheStats, SubformulaCache
 from repro.query import (
     Atom,
+    ComparisonPredicate,
     ConjunctiveQuery,
     Constant,
     Variable,
@@ -151,6 +164,7 @@ __all__ = [
     "Variable",
     "Constant",
     "Atom",
+    "ComparisonPredicate",
     "ConjunctiveQuery",
     "parse_query",
     "is_hierarchical",
@@ -162,6 +176,7 @@ __all__ = [
     "PLRelation",
     "Scan",
     "Select",
+    "Filter",
     "Project",
     "Join",
     "left_deep_plan",
@@ -247,10 +262,20 @@ __all__ = [
     "MetricsRegistry",
     "ExplainReport",
     "build_explain_report",
+    # dissociation: extensional-speed enclosures and bounds-first top-k
+    "DissociationBounds",
+    "DissociationResult",
+    "DissociationEvaluator",
+    "dissociation_bounds",
+    "network_dissociation_bounds",
+    "CertifiedAnswer",
+    "TopKCertification",
+    "certified_top_k",
     # resilience: budgets, degradation ladder, fault-tolerant pool
     "QueryBudget",
     "AnswerResult",
     "resilient_marginals",
+    "exact_fractions",
     "FaultSpec",
     "FaultPlan",
     # errors

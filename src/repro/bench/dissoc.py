@@ -1,0 +1,297 @@
+"""Bounds-first top-k vs exact-all-answers benchmark; writes ``BENCH_dissoc.json``.
+
+Scales a *ranked* variant of the Section 6.1 workload over instance size
+``m`` and answers the question the dissociation subsystem exists for: how
+much wall-clock does certifying the top-k ranking from extensional-speed
+enclosures save over running exact inference on every answer?
+
+The ranked workload splices two generator runs per head (heads are
+independent components of the Table 1 queries, so per-head splicing is
+sound): the bottom ``N - k`` heads come from a high-``r_f`` instance and
+carry the fan-out hardness, the top ``k`` heads from a low-``r_f``
+instance. Per-head tuple probabilities are then damped log-linearly by
+rank (``spread ** (1 - h/(N-1))``) so the answer probabilities separate.
+Damping is purely multiplicative — it never turns an uncertain tuple
+deterministic, so the hard heads stay hard. This is the regime ranked
+retrieval actually lives in: the expensive lineage sits in low-ranked
+answers the user never sees, and the bounds-first certifier skips exactly
+those.
+
+Both pipelines are timed end to end on fresh evaluators:
+
+* **exact-all** — plan evaluation, then exact inference on every answer,
+  then sort and cut to k.
+* **bounds-first** — plan evaluation, then dissociation enclosures for
+  every answer (:class:`~repro.dissociation.DissociationEvaluator`), then
+  :func:`~repro.dissociation.certified_top_k`, which spends exact
+  inference only on answers whose interval overlaps the k-th decision
+  boundary.
+
+Acceptance: at every size the certified top-k matches the exact-all top-k
+as a *sequence* (same answers, same order), every enclosure contains the
+exact probability to 1e-9, and the largest instance's speedup is at least
+``--min-speedup`` (5x by default; CI's smoke run relaxes this to 1x at
+reduced sizes — the committed full-size BENCH_dissoc.json asserts the
+real bar).
+
+Run ``PYTHONPATH=src python -m repro.bench.dissoc --help`` (or
+``repro bench --suite dissoc``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+
+from repro.bench.reporting import (
+    acceptance_exit_code,
+    bench_environment,
+    write_bench_report,
+)
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.plan import left_deep_plan
+from repro.db import ProbabilisticDatabase
+from repro.dissociation import DissociationEvaluator, certified_top_k
+from repro.obs.metrics import MetricsRegistry
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import TABLE1_QUERIES
+
+#: Enclosure tolerance against exact answer probabilities. The bounds are
+#: closed-form folds; the only slack is float round-off between the
+#: vectorized fold and the DPLL-side accumulation.
+ENCLOSURE_TOLERANCE = 1e-9
+
+#: The Fig. 5 plot's query — one join pair per head, the shape the
+#: dissociation rewrite targets.
+DEFAULT_QUERY = "P1"
+
+
+def ranked_database(
+    params: WorkloadParams,
+    k: int,
+    easy_rf: float,
+    spread: float,
+) -> ProbabilisticDatabase:
+    """The ranked workload: hard low-ranked heads, separated probabilities.
+
+    Generates the Section 6.1 database twice — once with ``params.r_f``
+    (the hard instance) and once with *easy_rf* — and splices them per
+    head: heads below ``N - k`` keep the hard rows, the top ``k`` heads
+    take the easy rows. Every relation leads with ``H`` and the Table 1
+    queries join per head, so each head is an independent component and
+    the splice preserves both instances' per-head lineage exactly.
+
+    Tuple probabilities are then damped by ``spread ** (1 - h/(N-1))`` so
+    head ``N-1`` keeps its probabilities and head 0 is damped by the full
+    *spread*; deterministic tuples (``p == 1``) are left alone so the
+    damping never changes which tuples are uncertain.
+    """
+    hard = generate_database(params)
+    easy = generate_database(replace(params, r_f=easy_rf))
+    cut = params.N - k
+    out = ProbabilisticDatabase()
+    for rel in hard:
+        attrs = rel.schema.attributes
+        hi = attrs.index("H")
+        rows: dict[tuple, float] = {}
+        for source in (hard[rel.name], easy[rel.name]):
+            for row, p in source.items():
+                h = row[hi]
+                if (h < cut) != (source is hard[rel.name]):
+                    continue
+                scale = spread ** (1.0 - h / (params.N - 1))
+                rows[row] = min(1.0, p * scale) if p < 1.0 else p
+        out.add_relation(rel.name, attrs, rows)
+    return out
+
+
+def _run_point(db, bench, k: int, max_calls: int) -> dict:
+    """Time both pipelines on one instance; cross-check their rankings."""
+    plan = left_deep_plan(bench.query, list(bench.join_order))
+
+    # Exact-all: evaluate, infer every answer, sort, cut to k.
+    start = time.perf_counter()
+    result = PartialLineageEvaluator(db, engine="columnar").evaluate(plan)
+    eval_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    exact = result.answer_probabilities(dpll_max_calls=max_calls)
+    inference_seconds = time.perf_counter() - start
+    exact_topk = sorted(exact.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+    exact_seconds = eval_seconds + inference_seconds
+
+    # Bounds-first: fresh evaluator, enclosures, certify, refine the rest.
+    start = time.perf_counter()
+    result = PartialLineageEvaluator(db, engine="columnar").evaluate(plan)
+    bf_eval_seconds = time.perf_counter() - start
+    bounds = DissociationEvaluator(db, engine="columnar").evaluate(plan)
+    cert = certified_top_k(result, bounds, k, dpll_max_calls=max_calls)
+    bounds_first_seconds = (
+        bf_eval_seconds + bounds.seconds + cert.bounds_seconds
+        + cert.refine_seconds
+    )
+
+    topk_match = (
+        [a.row for a in cert.answers] == [row for row, _ in exact_topk]
+    )
+    sound = all(
+        bounds.interval(row).contains(p, ENCLOSURE_TOLERANCE)
+        for row, p in exact.items()
+    )
+    widths = [bounds.interval(row).width for row in exact]
+    return {
+        "answers": len(exact),
+        "exact": {
+            "eval_seconds": eval_seconds,
+            "inference_seconds": inference_seconds,
+            "total_seconds": exact_seconds,
+        },
+        "bounds_first": {
+            "eval_seconds": bf_eval_seconds,
+            "bounds_seconds": bounds.seconds,
+            "certify_seconds": cert.bounds_seconds,
+            "refine_seconds": cert.refine_seconds,
+            "total_seconds": bounds_first_seconds,
+            "refined": cert.refined,
+            "certified_out": cert.certified_out,
+            "threshold": cert.threshold,
+            "dissociated": bounds.dissociated,
+        },
+        "speedup": (
+            exact_seconds / bounds_first_seconds
+            if bounds_first_seconds > 0
+            else 0.0
+        ),
+        "topk_match": topk_match,
+        "sound_enclosure": sound,
+        "max_width": max(widths, default=0.0),
+        "mean_width": sum(widths) / len(widths) if widths else 0.0,
+    }
+
+
+def run_benchmark(
+    *,
+    sizes: tuple[int, ...] = (200, 800, 3200),
+    n: int = 64,
+    k: int = 10,
+    seed: int = 7,
+    hard_rf: float = 0.15,
+    easy_rf: float = 0.02,
+    spread: float = 1e-6,
+    query: str = DEFAULT_QUERY,
+    max_calls: int = 50_000_000,
+) -> dict:
+    """Scale the ranked workload over *sizes*; return the JSON payload."""
+    bench = TABLE1_QUERIES[query]
+    scaling = []
+    for m in sorted(sizes):
+        params = WorkloadParams(
+            N=n, m=m, fanout=4, r_f=hard_rf, r_d=1.0, seed=seed
+        )
+        db = ranked_database(params, k, easy_rf, spread)
+        point = {"m": m, "tuples": db.total_tuples()}
+        point.update(_run_point(db, bench, k, max_calls))
+        scaling.append(point)
+
+    largest = scaling[-1]
+    acceptance = {
+        "tolerance": ENCLOSURE_TOLERANCE,
+        "topk_matches_exact": all(p["topk_match"] for p in scaling),
+        "sound_enclosures": all(p["sound_enclosure"] for p in scaling),
+        "largest_instance_speedup": largest["speedup"],
+    }
+    return {
+        "benchmark": "dissoc",
+        "workload": {
+            "figure": "ranked-topk",
+            "N": n,
+            "k": k,
+            "fanout": 4,
+            "hard_r_f": hard_rf,
+            "easy_r_f": easy_rf,
+            "r_d": 1.0,
+            "spread": spread,
+            "seed": seed,
+            "sizes": sorted(sizes),
+            "query": query,
+        },
+        "environment": bench_environment(),
+        "scaling": scaling,
+        "acceptance": acceptance,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.dissoc",
+        description="Bounds-first top-k certification vs exact-all-answers "
+                    "inference on the ranked workload.",
+    )
+    parser.add_argument("--out", default="BENCH_dissoc.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=[200, 800, 3200],
+                        help="instance sizes m (default: %(default)s)")
+    parser.add_argument("--n", type=int, default=64,
+                        help="workload N, number of head values")
+    parser.add_argument("--k", type=int, default=10,
+                        help="top-k cutoff to certify")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="workload generator seed")
+    parser.add_argument("--hard-rf", type=float, default=0.15,
+                        help="r_f of the bottom N-k heads")
+    parser.add_argument("--easy-rf", type=float, default=0.02,
+                        help="r_f of the top k heads")
+    parser.add_argument("--spread", type=float, default=1e-6,
+                        help="probability damping across the head ranking")
+    parser.add_argument("--query", default=DEFAULT_QUERY,
+                        choices=sorted(TABLE1_QUERIES),
+                        help="Table 1 query to scale (default: %(default)s)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required bounds-first-over-exact speedup on "
+                             "the largest instance (default: %(default)s)")
+    args = parser.parse_args(argv)
+    if any(m <= 0 for m in args.sizes):
+        parser.error("--sizes must be positive")
+    if args.k <= 0 or args.k >= args.n:
+        parser.error("--k must lie in [1, n)")
+    if args.min_speedup <= 0:
+        parser.error("--min-speedup must be positive")
+
+    payload = run_benchmark(
+        sizes=tuple(args.sizes), n=args.n, k=args.k, seed=args.seed,
+        hard_rf=args.hard_rf, easy_rf=args.easy_rf, spread=args.spread,
+        query=args.query,
+    )
+    payload["acceptance"]["min_speedup"] = args.min_speedup
+    payload["acceptance"]["speedup_at_least_min"] = (
+        payload["acceptance"]["largest_instance_speedup"] >= args.min_speedup
+    )
+    registry = MetricsRegistry()
+    for point in payload["scaling"]:
+        registry.observe("dissoc.speedup", point["speedup"])
+        registry.observe("dissoc.max_width", point["max_width"])
+        registry.observe(
+            "dissoc.refined", point["bounds_first"]["refined"]
+        )
+    registry.gauge(
+        "dissoc.largest_speedup",
+        payload["acceptance"]["largest_instance_speedup"],
+    )
+    path = write_bench_report(args.out, payload, registry)
+    for point in payload["scaling"]:
+        bf = point["bounds_first"]
+        print(f"m={point['m']:>6} ({point['tuples']} tuples): "
+              f"exact-all {point['exact']['total_seconds']:.3f}s, "
+              f"bounds-first {bf['total_seconds']:.3f}s "
+              f"(refined {bf['refined']}/{point['answers']}) "
+              f"-> {point['speedup']:.1f}x")
+    print(f"acceptance:           {payload['acceptance']}")
+    print(f"wrote {path}")
+    return acceptance_exit_code(payload["acceptance"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -525,6 +525,29 @@ class ArithmeticCircuit:
                     nz_exp / nonzero,
                     np.where((z_exp == 1.0) & (C == 0.0), nz_exp, 0.0),
                 )
+                # A subnormal product has lost relative precision, and the
+                # division below amplifies that absolute rounding error by
+                # 1/child — up to O(1) when the child itself is denormal
+                # (e.g. 0.75 * 5e-324 rounds to 5e-324; dividing back yields
+                # 1.0 instead of 0.75). Children are probabilities, so
+                # partial products are nonincreasing and a segment whose
+                # full product is normal never passed through the subnormal
+                # range. Recompute the rare subnormal segments without
+                # division via exclusive prefix/suffix products, whose error
+                # stays at the (tiny) absolute scale of the product.
+                under = (zeros == 0.0) & (
+                    nz_prod < np.finfo(np.float64).tiny
+                )
+                if under.any():
+                    for s_i, b_i in zip(*np.nonzero(under)):
+                        lo = g.starts[s_i]
+                        hi = lo + g.counts[s_i]
+                        seg = C[lo:hi, b_i]
+                        pre = np.concatenate(([1.0], np.cumprod(seg[:-1])))
+                        suf = np.concatenate(
+                            (np.cumprod(seg[:0:-1])[::-1], [1.0])
+                        )
+                        others[lo:hi, b_i] = pre * suf
                 spread = np.repeat(grad[g.nodes], g.counts, axis=0)
                 np.add.at(grad, g.children, spread * others)
         return values[self.root].copy(), np.ascontiguousarray(leaf_grad.T)

@@ -5,6 +5,10 @@ Six subcommands, mirroring how the paper's system is exercised:
 ``repro query``
     Evaluate a conjunctive query over a CSV-backed probabilistic database
     and print per-answer probabilities plus the data-safety report.
+    ``--top-k K`` switches to the bounds-first certifier: dissociation
+    enclosures screen every answer at extensional speed and exact
+    inference runs only where the ranking is contested — the printed top-k
+    is identical to ranking every answer exactly.
 ``repro explain``
     Evaluate one query and print the full :class:`repro.obs.ExplainReport`:
     offending tuples per relation, the component histogram of the And-Or
@@ -35,7 +39,9 @@ Six subcommands, mirroring how the paper's system is exercised:
     compares serial, component-sliced, and process-parallel final
     inference (``BENCH_parallel.json``); ``--suite rescore`` compares
     scalar per-scenario OBDD walks against vectorized circuit batch
-    re-scoring (``BENCH_rescore.json``).
+    re-scoring (``BENCH_rescore.json``); ``--suite dissoc`` compares
+    bounds-first top-k certification against exact-all-answers inference
+    on the ranked workload (``BENCH_dissoc.json``).
 
 ``query`` and ``workload`` accept ``--engine {columnar,rows}`` to pick the
 operator backend of the partial-lineage evaluator (columnar by default),
@@ -143,8 +149,45 @@ def cmd_query(args: argparse.Namespace) -> int:
     if args.explain:
         print(explain(left_deep_plan(query, order), db))
         print()
+    if args.top_k is not None and args.degrade:
+        print("error: --top-k and --degrade are mutually exclusive",
+              file=sys.stderr)
+        return 2
     with _observed(args):
         start = time.perf_counter()
+        if args.top_k is not None:
+            from repro.dissociation import DissociationEvaluator, certified_top_k
+
+            plan = left_deep_plan(query, order)
+            result = evaluator.evaluate(plan)
+            bounds = DissociationEvaluator(db, engine=args.engine).evaluate(plan)
+            cert = certified_top_k(
+                result, bounds, args.top_k,
+                workers=args.workers, budget=budget,
+            )
+            elapsed = time.perf_counter() - start
+            rows = [
+                (
+                    rank + 1,
+                    ", ".join(map(str, a.row)) or "()",
+                    round(a.probability, args.digits),
+                    f"[{a.lower:.{args.digits}f}, {a.upper:.{args.digits}f}]",
+                )
+                for rank, a in enumerate(cert.answers)
+            ]
+            print(format_table(
+                ("rank", "answer", "probability", "bounds"),
+                rows, title=f"{query} — certified top-{cert.k}",
+            ))
+            print(f"\n{cert.certified_out} of {cert.total_answers} answers "
+                  f"certified out by dissociation bounds alone; "
+                  f"{cert.refined} refined exactly "
+                  f"(threshold {cert.threshold:.{args.digits}f})")
+            print(f"bounds {cert.bounds_seconds:.3f}s + refine "
+                  f"{cert.refine_seconds:.3f}s; total {elapsed:.3f}s; "
+                  f"{result.offending_count} offending tuples; "
+                  f"network of {len(result.network)} nodes")
+            return 0
         result = evaluator.evaluate_query(query, order)
         if args.degrade:
             answers = result.resilient_answer_probabilities(
@@ -227,6 +270,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
             workers=args.workers,
             registry=registry,
             budget=budget,
+            top_k=args.top_k,
         )
         print(report.format())
     if args.json:
@@ -399,6 +443,21 @@ def cmd_workload(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "dissoc":
+        from repro.bench import dissoc
+
+        out = args.out if args.out is not None else "BENCH_dissoc.json"
+        min_speedup = (
+            args.min_speedup if args.min_speedup is not None else 5.0
+        )
+        argv = [
+            "--out", out,
+            "--seed", str(args.seed),
+            "--sizes", *[str(m) for m in args.sizes],
+            "--k", str(args.k),
+            "--min-speedup", str(min_speedup),
+        ]
+        return dissoc.main(argv)
     if args.suite == "rescore":
         from repro.bench import rescore
 
@@ -435,7 +494,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "--n", str(args.n),
             "--seed", str(args.seed),
             "--sizes", *[str(m) for m in args.sizes],
-            "--min-speedup", str(args.min_speedup),
+            "--min-speedup", str(
+                args.min_speedup if args.min_speedup is not None else 10.0
+            ),
         ]
         return columnar.main(argv)
     from repro.bench import mc_dpll
@@ -488,7 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
     q.add_argument("--degrade", action="store_true",
                    help="never fail on hard instances: answers that blow "
                         "the budget degrade to sound [lower, upper] bounds "
-                        "(OBDD -> interval bounds -> sampling)")
+                        "(dissociation -> OBDD -> interval bounds -> "
+                        "sampling)")
+    q.add_argument("--top-k", type=int, default=None, metavar="K",
+                   help="bounds-first top-k: rank answers by dissociation "
+                        "enclosures and spend exact inference only on the "
+                        "answers whose interval overlaps the k-th decision "
+                        "boundary (identical result to exact-all ranking)")
     q.add_argument("--max-network-nodes", type=int, default=None,
                    help="cap on And-Or network growth during evaluation")
     q.add_argument("--max-samples", type=int, default=20_000,
@@ -532,6 +599,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="solve every slice through the degradation ladder "
                         "under this wall-clock budget; the report then "
                         "records ladder rungs and degraded-answer counts")
+    e.add_argument("--top-k", type=int, default=None, metavar="K",
+                   help="add the dissociation-bounds section: per-answer "
+                        "enclosure widths and the bounds-first top-K "
+                        "certification with its time saved vs exact-all")
     e.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON")
     _add_observability_flags(e)
@@ -610,10 +681,11 @@ def build_parser() -> argparse.ArgumentParser:
     b = sub.add_parser(
         "bench",
         help="run a machine-readable benchmark suite "
-             "(mc_dpll, columnar, or parallel)",
+             "(mc_dpll, columnar, parallel, rescore, or dissoc)",
     )
     b.add_argument("--suite", default="mc_dpll",
-                   choices=("mc_dpll", "columnar", "parallel", "rescore"))
+                   choices=("mc_dpll", "columnar", "parallel", "rescore",
+                            "dissoc"))
     b.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<suite>.json)")
     b.add_argument("--samples", type=int, default=50_000,
@@ -626,9 +698,11 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--sizes", type=int, nargs="+",
                    default=[200, 800, 3200],
                    help="[columnar] instance sizes m to scale over")
-    b.add_argument("--min-speedup", type=float, default=10.0,
-                   help="[columnar] acceptance: columnar-over-rows speedup "
-                        "required on the largest instance")
+    b.add_argument("--min-speedup", type=float, default=None,
+                   help="acceptance: speedup required on the largest "
+                        "instance (columnar default 10, dissoc default 5)")
+    b.add_argument("--k", type=int, default=10,
+                   help="[dissoc] top-k cutoff to certify")
     b.add_argument("--workers", type=int, nargs="+", default=None,
                    help="[parallel] process-pool sizes to sweep")
     b.add_argument("--batch", type=int, default=1000,

@@ -32,7 +32,15 @@ Modules
 from repro.core.network import AndOrNetwork, EPSILON, NodeKind
 from repro.core.plrelation import PLRelation
 from repro.core.columnar import ColumnarPLRelation, Comparison, ValueInterner
-from repro.core.plan import Join, Project, Scan, Select, left_deep_plan, plan_schema
+from repro.core.plan import (
+    Filter,
+    Join,
+    Project,
+    Scan,
+    Select,
+    left_deep_plan,
+    plan_schema,
+)
 from repro.core.executor import EvaluationResult, PartialLineageEvaluator
 from repro.core.inference import compute_marginal, compute_marginals
 from repro.core.compile import partial_lineage_dnf
@@ -71,6 +79,7 @@ __all__ = [
     "ValueInterner",
     "Scan",
     "Select",
+    "Filter",
     "Project",
     "Join",
     "left_deep_plan",

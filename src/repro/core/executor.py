@@ -32,8 +32,17 @@ from repro.core import columnar as _columnar
 from repro.core.columnar import ColumnarPLRelation, ValueInterner
 from repro.core.inference import compute_marginal
 from repro.core.network import EPSILON, AndOrNetwork
-from repro.core.operators import pl_join, project, select_eq
-from repro.core.plan import Join, Plan, Project, Scan, Select, left_deep_plan, plan_schema
+from repro.core.operators import pl_join, project, select_eq, select_where
+from repro.core.plan import (
+    Filter,
+    Join,
+    Plan,
+    Project,
+    Scan,
+    Select,
+    left_deep_plan,
+    plan_schema,
+)
 from repro.core.plrelation import PLRelation
 from repro.obs.trace import span as _span
 from repro.db.database import ProbabilisticDatabase
@@ -458,6 +467,13 @@ class PartialLineageEvaluator:
             with _span("select", op=str(plan), engine=self.engine) as sp:
                 start = time.perf_counter()
                 rel = select_eq(child, dict(plan.conditions))
+                seconds = time.perf_counter() - start
+                sp.add("output_size", len(rel))
+        elif isinstance(plan, Filter):
+            child = self._eval(plan.child, network, stats, provenance, budget)
+            with _span("filter", op=str(plan), engine=self.engine) as sp:
+                start = time.perf_counter()
+                rel = select_where(child, list(plan.predicates))
                 seconds = time.perf_counter() - start
                 sp.add("output_size", len(rel))
         elif isinstance(plan, Project):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.core.executor import EvaluationResult
 from repro.core.network import EPSILON, AndOrNetwork, NodeKind
-from repro.core.plan import Join, Plan, Project, Scan, Select, plan_schema
+from repro.core.plan import Filter, Join, Plan, Project, Scan, Select, plan_schema
 from repro.db.database import ProbabilisticDatabase
 from repro.db.statistics import fanout_profile
 from repro.query.syntax import Variable
@@ -103,6 +103,12 @@ def explain(plan: Plan, db: ProbabilisticDatabase | None = None) -> str:
             children = [node.child]
         elif isinstance(node, Select):
             conds = ", ".join(f"{a}={v!r}" for a, v in node.conditions)
+            label = f"σ[{conds}]"
+            children = [node.child]
+        elif isinstance(node, Filter):
+            conds = ", ".join(
+                f"{c.attribute} {c.op} {c.value!r}" for c in node.predicates
+            )
             label = f"σ[{conds}]"
             children = [node.child]
         elif isinstance(node, Join):

@@ -21,7 +21,7 @@ from repro.db.database import ProbabilisticDatabase
 from repro.errors import PlanError
 from repro.query.syntax import Atom, ConjunctiveQuery, Term, Variable
 
-Plan = Union["Scan", "Select", "Project", "Join"]
+Plan = Union["Scan", "Select", "Filter", "Project", "Join"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,27 @@ class Select:
     def __str__(self) -> str:
         conds = ", ".join(f"{a}={v!r}" for a, v in self.conditions)
         return f"σ[{conds}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Filter:
+    """Comparison selection ``σ_{A ⋚ c, ...}`` over a sub-plan.
+
+    *predicates* are :class:`repro.core.columnar.Comparison` instances (their
+    conjunction); both pL engines compile them to vectorized masks /
+    SQL ``WHERE`` clauses via ``select_where``. The plan builder pushes
+    filters below all joins, directly onto the scan binding the compared
+    variable, so dissociated safe plans stay selective.
+    """
+
+    child: Plan
+    predicates: tuple
+
+    def __str__(self) -> str:
+        preds = ", ".join(
+            f"{c.attribute} {c.op} {c.value!r}" for c in self.predicates
+        )
+        return f"σ[{preds}]({self.child})"
 
 
 @dataclass(frozen=True)
@@ -115,6 +136,14 @@ def plan_schema(plan: Plan, db: ProbabilisticDatabase) -> tuple[str, ...]:
         for a, _ in plan.conditions:
             if a not in schema:
                 raise PlanError(f"selection on unknown attribute {a!r} of {schema}")
+        return schema
+    if isinstance(plan, Filter):
+        schema = plan_schema(plan.child, db)
+        for c in plan.predicates:
+            if c.attribute not in schema:
+                raise PlanError(
+                    f"filter on unknown attribute {c.attribute!r} of {schema}"
+                )
         return schema
     if isinstance(plan, Project):
         schema = plan_schema(plan.child, db)
@@ -183,13 +212,32 @@ def left_deep_plan(
     def atom_vars(atom: Atom) -> set[str]:
         return {v.name for v in atom.variables()}
 
+    # Comparison pushdown: each predicate lands on the first scan (in join
+    # order) that binds its variable, below every join.
+    from repro.core.columnar import Comparison
+
+    pending = list(query.comparisons)
+
+    def scan_of(atom: Atom) -> Plan:
+        bound = atom_vars(atom)
+        mine = [c for c in pending if c.variable.name in bound]
+        scan: Plan = Scan(atom.relation, atom.terms)
+        if not mine:
+            return scan
+        for c in mine:
+            pending.remove(c)
+        return Filter(
+            scan,
+            tuple(Comparison(c.variable.name, c.op, c.value) for c in mine),
+        )
+
     first = atom_by_name[order[0]]
-    plan: Plan = Scan(first.relation, first.terms)
+    plan: Plan = scan_of(first)
     current = atom_vars(first)
     for i, name in enumerate(order[1:], start=1):
         atom = atom_by_name[name]
         shared = tuple(sorted(current & atom_vars(atom)))
-        plan = Join(plan, Scan(atom.relation, atom.terms), on=shared)
+        plan = Join(plan, scan_of(atom), on=shared)
         current |= atom_vars(atom)
         if early_projection:
             needed = set(head_vars)
@@ -213,7 +261,7 @@ def plan_operators(plan: Plan) -> list[Plan]:
         if isinstance(p, Join):
             walk(p.left)
             walk(p.right)
-        elif isinstance(p, (Select, Project)):
+        elif isinstance(p, (Select, Filter, Project)):
             walk(p.child)
         out.append(p)
 

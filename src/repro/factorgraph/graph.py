@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import networkx as nx
 
 from repro.core.network import EPSILON, AndOrNetwork
-from repro.core.plan import Join, Plan, Project, Scan, Select, plan_schema
+from repro.core.plan import Filter, Join, Plan, Project, Scan, Select, plan_schema
 from repro.db.database import ProbabilisticDatabase
 from repro.db.schema import Row
 from repro.errors import PlanError
@@ -91,6 +91,14 @@ def build_factor_graph(
                 if all(row[idx[a]] == v for a, v in p.conditions):
                     out[row] = node
             return out
+        if isinstance(p, Filter):
+            child = walk(p.child)
+            idx = {a: i for i, a in enumerate(plan_schema(p.child, db))}
+            return {
+                row: node
+                for row, node in child.items()
+                if all(c.matches(row, idx.__getitem__) for c in p.predicates)
+            }
         if isinstance(p, Project):
             child = walk(p.child)
             schema = plan_schema(p.child, db)

@@ -84,6 +84,12 @@ class ExplainReport:
     #: :class:`~repro.circuit.CircuitCache` counters of this run
     #: (hits/misses/recompiles).
     circuit_cache: dict = field(default_factory=dict)
+    #: Dissociation-bounds section (``top_k`` runs only): fold wall-clock,
+    #: split count, max/mean interval width, per-answer bounds (capped).
+    dissociation: dict | None = None
+    #: Bounds-first top-k certification: certified-out vs refined counts,
+    #: the decision threshold, and the time saved against exact-all.
+    top_k: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-serialisable view (the ``repro explain --json`` payload)."""
@@ -112,6 +118,8 @@ class ExplainReport:
             "budget": self.budget,
             "circuits": list(self.circuits),
             "circuit_cache": dict(self.circuit_cache),
+            "dissociation": self.dissociation,
+            "top_k": self.top_k,
         }
 
     def format(self) -> str:
@@ -159,12 +167,20 @@ class ExplainReport:
         ))
         if self.slices:
             lines.append("")
+            has_rung = any("rung" in s for s in self.slices)
+            headers = ["component", "size", "targets", "engine", "est. cost",
+                       "seconds"]
+            rows = [
+                [i, s["size"], s["targets"], s["engine"],
+                 f"{s['estimated_cost']:.0f}", f"{s['seconds']:.5f}"]
+                for i, s in enumerate(self.slices)
+            ]
+            if has_rung:
+                headers.append("rung")
+                for row, s in zip(rows, self.slices):
+                    row.append(s.get("rung", "exact"))
             lines.append(format_table(
-                ("component", "size", "targets", "engine", "est. cost",
-                 "seconds"),
-                [(i, s["size"], s["targets"], s["engine"],
-                  f"{s['estimated_cost']:.0f}", f"{s['seconds']:.5f}")
-                 for i, s in enumerate(self.slices)],
+                tuple(headers), [tuple(r) for r in rows],
                 title="per-component inference (estimated vs actual cost)",
             ))
         if self.budget is not None:
@@ -199,6 +215,50 @@ class ExplainReport:
                 f"{self.circuit_cache.get('misses', 0)} misses, "
                 f"{self.circuit_cache.get('recompiles', 0)} recompiles"
             )
+        if self.dissociation is not None:
+            d = self.dissociation
+            lines.append("")
+            lines.append(
+                f"dissociation bounds: {d['answers']} answers, "
+                f"{d['dissociated']} fan-out splits, "
+                f"max width {d['max_width']:.6f}, "
+                f"mean width {d['mean_width']:.6f}, "
+                f"{d['seconds']:.4f}s"
+                + (" (exact: instance is data safe)" if d["exact"] else "")
+            )
+            if d.get("bounds"):
+                lines.append(format_table(
+                    ("answer", "lower", "upper", "width"),
+                    [(", ".join(map(str, b["row"])) or "()",
+                      f"{b['lower']:.6f}", f"{b['upper']:.6f}",
+                      f"{b['width']:.6f}")
+                     for b in d["bounds"]],
+                    title="widest enclosures first"
+                    if not d["exact"] else "per-answer enclosures",
+                ))
+        if self.top_k is not None:
+            t = self.top_k
+            lines.append("")
+            lines.append(format_table(
+                ("rank", "answer", "probability", "bounds"),
+                [(i + 1, ", ".join(map(str, a["row"])) or "()",
+                  f"{a['probability']:.6f}",
+                  f"[{a['lower']:.6f}, {a['upper']:.6f}]")
+                 for i, a in enumerate(t["answers"])],
+                title=f"certified top-{t['k']}",
+            ))
+            lines.append(
+                f"{t['certified_out']} of {t['total_answers']} answers "
+                f"certified out by dissociation bounds alone; "
+                f"{t['refined']} refined exactly "
+                f"(threshold {t['threshold']:.6f})"
+            )
+            lines.append(
+                f"bounds {t['bounds_seconds']:.4f}s + refine "
+                f"{t['refine_seconds']:.4f}s vs exact-all inference "
+                f"{self.inference_seconds:.4f}s "
+                f"(time saved {t['time_saved']:.4f}s)"
+            )
         return "\n".join(lines)
 
 
@@ -217,8 +277,14 @@ def build_explain_report(
     registry: MetricsRegistry | None = None,
     budget=None,
     circuit_cache=None,
+    top_k: int | None = None,
 ) -> tuple[ExplainReport, dict[Row, float]]:
     """Evaluate *query* and assemble its :class:`ExplainReport`.
+
+    With *top_k* the report additionally runs the dissociation-bounds
+    evaluator on the same plan and the bounds-first top-k certifier, and
+    records per-answer bound widths, certified-out vs refined counts, and
+    the wall-clock saved against the exact-all inference it just measured.
 
     Returns ``(report, answers)``. Inference runs component-sliced and
     in-process regardless of *workers* — per-slice wall-clocks are the
@@ -270,8 +336,11 @@ def build_explain_report(
         slices: list[dict] = []
         degraded_answers = 0
         if budget is not None:
+            from repro.resilience.execute import exact_fractions
+
             budget = budget.start()
-        for work in works:
+            fractions = exact_fractions(works)
+        for index, work in enumerate(works):
             tree = is_tree_factorable(work.slice.network)
             slice_engine = "tree" if tree else ("ve" if work.narrow else "dpll")
             t0 = time.perf_counter()
@@ -294,6 +363,8 @@ def build_explain_report(
                         cache=cache,
                         registry=registry,
                         narrow=work.narrow,
+                        exact_fraction=fractions[index],
+                        est_cost=work.cost,
                     )
                     solved = {t: o.midpoint for t, o in outcomes.items()}
                     degraded = sum(
@@ -375,6 +446,49 @@ def build_explain_report(
                     "circuit.rescore_seconds", c["rescore_seconds"]
                 )
 
+        # Bounds-first top-k section: dissociate the same plan, certify,
+        # and charge the certifier against the exact-all inference above.
+        dissociation_section = top_k_section = None
+        if top_k is not None:
+            from repro.dissociation import DissociationEvaluator, certified_top_k
+
+            # No budget here: the certifier's refinement re-solves a subset
+            # of what the (possibly budgeted) loop above already measured,
+            # and the section exists to compare wall-clocks, not to race a
+            # deadline that the first pass may have spent already.
+            bounds = DissociationEvaluator(db, engine=engine).evaluate(plan)
+            cert = certified_top_k(
+                result, bounds, top_k, dpll_max_calls=dpll_max_calls,
+            )
+            widths = [b.width for b in bounds.bounds.values()]
+            for w in widths:
+                registry.observe("dissociation.width", w)
+            registry.gauge("dissociation.seconds", bounds.seconds)
+            registry.inc("topk.certified_out", cert.certified_out)
+            registry.inc("topk.refined", cert.refined)
+            dissociation_section = {
+                "answers": len(bounds.bounds),
+                "dissociated": bounds.dissociated,
+                "exact": bounds.exact,
+                "seconds": bounds.seconds,
+                "max_width": bounds.max_width,
+                "mean_width": (
+                    sum(widths) / len(widths) if widths else 0.0
+                ),
+                "bounds": sorted(
+                    (
+                        {"row": list(row), **b.as_dict()}
+                        for row, b in bounds.bounds.items()
+                    ),
+                    key=lambda r: (-r["width"], r["row"]),
+                )[:10],
+            }
+            time_saved = inference_seconds - (
+                bounds.seconds + cert.refine_seconds
+            )
+            registry.gauge("topk.time_saved_seconds", time_saved)
+            top_k_section = {**cert.as_dict(), "time_saved": time_saved}
+
     offending_by_source: dict[str, int] = {}
     for off in result.conditioned_tuples:
         offending_by_source[off.source] = (
@@ -426,5 +540,7 @@ def build_explain_report(
         },
         circuits=circuits,
         circuit_cache=circuit_cache.as_dict(),
+        dissociation=dissociation_section,
+        top_k=top_k_section,
     )
     return report, answers

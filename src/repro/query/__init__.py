@@ -19,7 +19,13 @@ Modules
     The hierarchical (safe) and strictly-hierarchical (Definition 4.1) tests.
 """
 
-from repro.query.syntax import Atom, ConjunctiveQuery, Constant, Variable
+from repro.query.syntax import (
+    Atom,
+    ComparisonPredicate,
+    ConjunctiveQuery,
+    Constant,
+    Variable,
+)
 from repro.query.parser import parse_query
 from repro.query.grounding import (
     all_groundings,
@@ -32,6 +38,7 @@ __all__ = [
     "Variable",
     "Constant",
     "Atom",
+    "ComparisonPredicate",
     "ConjunctiveQuery",
     "parse_query",
     "world_satisfies",

@@ -60,6 +60,14 @@ def groundings(
     product of relation sizes.
     """
     initial: Binding = dict(binding or {})
+    # Comparison selections prune eagerly: each predicate fires the moment
+    # its variable gets bound (including via the caller's partial binding).
+    compare_by_var: dict[Variable, list] = {}
+    for c in query.comparisons:
+        compare_by_var.setdefault(c.variable, []).append(c)
+    for var, value in initial.items():
+        if not all(c.evaluate(value) for c in compare_by_var.get(var, ())):
+            return
     ordered = _order_atoms(query.atoms)
 
     # Per atom, in join order: which of its variables are already bound, and
@@ -107,9 +115,17 @@ def groundings(
         key = tuple(binding[v] for v in key_vars)
         for row in index.get(key, ()):
             extended = dict(binding)
+            ok = True
             for pos, var in new_positions:
-                extended[var] = row[pos]
-            yield from recurse(i + 1, extended)
+                value = row[pos]
+                if not all(
+                    c.evaluate(value) for c in compare_by_var.get(var, ())
+                ):
+                    ok = False
+                    break
+                extended[var] = value
+            if ok:
+                yield from recurse(i + 1, extended)
 
     yield from recurse(0, initial)
 

@@ -4,8 +4,10 @@ Grammar (whitespace-insensitive)::
 
     query    := head ':-' body | body          # bare body means Boolean query
     head     := NAME '(' termlist? ')' | NAME
-    body     := atom (',' atom)*
+    body     := item (',' item)*
+    item     := atom | comparison
     atom     := NAME '(' termlist ')'
+    comparison := NAME OP constant             # e.g. y < 10  (OP also: = alias ==)
     termlist := term (',' term)*
     term     := NAME            # a variable (identifiers are variables)
               | INT | FLOAT    # numeric constant
@@ -18,6 +20,8 @@ Examples
 'q(h) :- R1(h, x), S1(h, x, y), R2(h, y)'
 >>> parse_query("R(x, 3), S(x, 'a')").is_boolean
 True
+>>> str(parse_query("q(x) :- R(x,y), y < 10"))
+'q(x) :- R(x, y), y < 10'
 """
 
 from __future__ import annotations
@@ -25,13 +29,21 @@ from __future__ import annotations
 import re
 
 from repro.errors import QuerySyntaxError
-from repro.query.syntax import Atom, ConjunctiveQuery, Constant, Term, Variable
+from repro.query.syntax import (
+    Atom,
+    ComparisonPredicate,
+    ConjunctiveQuery,
+    Constant,
+    Term,
+    Variable,
+)
 
 _TOKEN = re.compile(
     r"""\s*(?:
         (?P<name>[A-Za-z_]\w*)
       | (?P<number>-?\d+(?:\.\d+)?)
       | (?P<string>'[^']*'|"[^"]*")
+      | (?P<op><=|>=|!=|==|<|>|=)
       | (?P<punct>:-|[(),])
     )""",
     re.VERBOSE,
@@ -105,12 +117,42 @@ class _Parser:
         self.expect(")")
         return Atom(name, tuple(terms))
 
-    def body(self) -> list[Atom]:
-        atoms = [self.atom()]
-        while self.peek() == ("punct", ","):
+    def comparison(self) -> ComparisonPredicate:
+        kind, name = self.next()
+        if kind != "name":
+            raise QuerySyntaxError(f"expected variable name, found {name!r}")
+        _, op = self.next()
+        rhs = self.term()
+        if isinstance(rhs, Variable):
+            raise QuerySyntaxError(
+                f"comparison {name} {op} {rhs} must compare against a constant"
+            )
+        return ComparisonPredicate(
+            Variable(name), "==" if op == "=" else op, rhs.value
+        )
+
+    def item(self) -> Atom | ComparisonPredicate:
+        # One token of lookahead disambiguates: `R(` starts an atom, `y <`
+        # starts a comparison.
+        after = (
+            self.tokens[self.i + 1] if self.i + 1 < len(self.tokens) else None
+        )
+        if after is not None and after[0] == "op":
+            return self.comparison()
+        return self.atom()
+
+    def body(self) -> tuple[list[Atom], list[ComparisonPredicate]]:
+        atoms: list[Atom] = []
+        comparisons: list[ComparisonPredicate] = []
+        while True:
+            got = self.item()
+            if isinstance(got, Atom):
+                atoms.append(got)
+            else:
+                comparisons.append(got)
+            if self.peek() != ("punct", ","):
+                return atoms, comparisons
             self.next()
-            atoms.append(self.atom())
-        return atoms
 
 
 def parse_query(text: str) -> ConjunctiveQuery:
@@ -145,13 +187,20 @@ def parse_query(text: str) -> ConjunctiveQuery:
         if hp.peek() is not None:
             raise QuerySyntaxError(f"trailing tokens in head: {head_text!r}")
         bp = _Parser(body_text)
-        atoms = bp.body()
+        atoms, comparisons = bp.body()
         if bp.peek() is not None:
             raise QuerySyntaxError(f"trailing tokens in body: {body_text!r}")
-        return ConjunctiveQuery(head=tuple(head_vars), atoms=tuple(atoms), name=qname)
+        return ConjunctiveQuery(
+            head=tuple(head_vars),
+            atoms=tuple(atoms),
+            name=qname,
+            comparisons=tuple(comparisons),
+        )
 
     p = _Parser(text)
-    atoms = p.body()
+    atoms, comparisons = p.body()
     if p.peek() is not None:
         raise QuerySyntaxError(f"trailing tokens in query: {text!r}")
-    return ConjunctiveQuery(head=(), atoms=tuple(atoms))
+    return ConjunctiveQuery(
+        head=(), atoms=tuple(atoms), comparisons=tuple(comparisons)
+    )

@@ -36,6 +36,65 @@ class Constant:
 
 Term = Variable | Constant
 
+#: Comparison operators accepted in query bodies (``=`` normalises to ``==``).
+COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate:
+    """A comparison between a body variable and a constant, e.g. ``y < 10``.
+
+    Comparisons are selections, not atoms: they restrict the bindings of one
+    variable and never connect atoms. The plan builder pushes them below all
+    joins, onto the first scan binding the variable
+    (:func:`repro.core.plan.left_deep_plan`).
+
+    Examples
+    --------
+    >>> c = ComparisonPredicate(Variable("y"), "<", 10)
+    >>> str(c)
+    'y < 10'
+    >>> c.evaluate(3), c.evaluate(12)
+    (True, False)
+    """
+
+    variable: Variable
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variable, Variable):
+            raise QuerySemanticsError(
+                f"comparison left-hand side {self.variable!r} is not a variable"
+            )
+        if self.op not in COMPARISON_OPS:
+            raise QuerySemanticsError(
+                f"unknown comparison operator {self.op!r}; choose from "
+                f"{COMPARISON_OPS}"
+            )
+        if isinstance(self.value, (Variable, Constant)):
+            raise QuerySemanticsError(
+                "comparison right-hand side must be a plain constant value"
+            )
+
+    def evaluate(self, value) -> bool:
+        """Apply the comparison to a candidate binding of the variable."""
+        if self.op == "==":
+            return value == self.value
+        if self.op == "!=":
+            return value != self.value
+        if self.op == "<":
+            return value < self.value
+        if self.op == "<=":
+            return value <= self.value
+        if self.op == ">":
+            return value > self.value
+        return value >= self.value
+
+    def __str__(self) -> str:
+        rhs = repr(self.value) if isinstance(self.value, str) else str(self.value)
+        return f"{self.variable} {self.op} {rhs}"
+
 
 @dataclass(frozen=True)
 class Atom:
@@ -111,10 +170,13 @@ class ConjunctiveQuery:
     head: tuple[Variable, ...]
     atoms: tuple[Atom, ...]
     name: str = "q"
+    #: Comparison selections over body variables (``R(x,y), y < 10``).
+    comparisons: tuple[ComparisonPredicate, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "head", tuple(self.head))
         object.__setattr__(self, "atoms", tuple(self.atoms))
+        object.__setattr__(self, "comparisons", tuple(self.comparisons))
         if not self.atoms:
             raise QuerySemanticsError("a conjunctive query needs at least one atom")
         names = [a.relation for a in self.atoms]
@@ -126,6 +188,11 @@ class ConjunctiveQuery:
         for v in self.head:
             if v not in body_vars:
                 raise QuerySemanticsError(f"head variable {v} not used in the body")
+        for c in self.comparisons:
+            if c.variable not in body_vars:
+                raise QuerySemanticsError(
+                    f"comparison variable {c.variable} not used in the body"
+                )
 
     @property
     def is_boolean(self) -> bool:
@@ -158,18 +225,33 @@ class ConjunctiveQuery:
         raise QuerySemanticsError(f"query has no atom over relation {relation!r}")
 
     def substitute(self, binding: dict[Variable, object]) -> "ConjunctiveQuery":
-        """Bind variables to constants, dropping bound head variables."""
+        """Bind variables to constants, dropping bound head variables.
+
+        Comparisons over still-unbound variables are kept; binding a compared
+        variable is rejected (the bound query would need a truth value, not a
+        syntax tree — evaluate comparison queries through the pL engines).
+        """
+        for c in self.comparisons:
+            if c.variable in binding:
+                raise QuerySemanticsError(
+                    f"cannot substitute compared variable {c.variable}; "
+                    "comparison queries evaluate through the pL engines"
+                )
         return ConjunctiveQuery(
             head=tuple(v for v in self.head if v not in binding),
             atoms=tuple(a.substitute(binding) for a in self.atoms),
             name=self.name,
+            comparisons=self.comparisons,
         )
 
     def boolean_view(self) -> "ConjunctiveQuery":
         """The same body with an empty head (used for per-head evaluation)."""
         if self.is_boolean:
             return self
-        return ConjunctiveQuery(head=(), atoms=self.atoms, name=self.name)
+        return ConjunctiveQuery(
+            head=(), atoms=self.atoms, name=self.name,
+            comparisons=self.comparisons,
+        )
 
     def connected_components(
         self, *, treat_as_constants: Iterable[Variable] = ()
@@ -210,10 +292,16 @@ class ConjunctiveQuery:
                     head=tuple(v for v in self.head if v in comp_vars),
                     atoms=tuple(atoms),
                     name=self.name,
+                    comparisons=tuple(
+                        c for c in self.comparisons if c.variable in comp_vars
+                    ),
                 )
             )
         return out
 
     def __str__(self) -> str:
         head = f"{self.name}({', '.join(str(v) for v in self.head)})"
-        return f"{head} :- {', '.join(str(a) for a in self.atoms)}"
+        body = ", ".join(
+            [str(a) for a in self.atoms] + [str(c) for c in self.comparisons]
+        )
+        return f"{head} :- {body}"

@@ -30,6 +30,7 @@ __all__ = [
     "LADDER_RUNGS",
     "resilient_component_marginals",
     "resilient_marginals",
+    "exact_fractions",
     "FaultSpec",
     "FaultPlan",
     "ChunkOutcome",
@@ -45,6 +46,7 @@ _HOMES = {
     "LADDER_RUNGS": "repro.resilience.ladder",
     "resilient_component_marginals": "repro.resilience.ladder",
     "resilient_marginals": "repro.resilience.execute",
+    "exact_fractions": "repro.resilience.execute",
     "FaultSpec": "repro.resilience.faults",
     "FaultPlan": "repro.resilience.faults",
     "ChunkOutcome": "repro.resilience.pool",

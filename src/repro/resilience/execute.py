@@ -30,11 +30,32 @@ from repro.resilience.faults import FaultPlan, apply_fault
 from repro.resilience.ladder import MarginalOutcome, resilient_component_marginals
 from repro.resilience.pool import run_chunks
 
-__all__ = ["resilient_marginals"]
+__all__ = ["exact_fractions", "resilient_marginals"]
 
 
 def _component_rng(seed: int, rng_key: int) -> random.Random:
     return random.Random(f"{seed}/{rng_key}")
+
+
+def exact_fractions(works) -> list[float]:
+    """Per-component deadline slices for the ladder's exact rung.
+
+    A uniform ``sub(0.5)`` gives the query's one expensive component the
+    same slice as its trivial siblings — it starves while they waste.
+    Instead each component's slice shrinks with its share of the total
+    estimated cost: cheap components (tiny share) keep up to 90% of the
+    remaining deadline, the dominant component leaves most of the deadline
+    to its own fallback rungs. Deterministic, and 0.5 whenever there is
+    nothing to compare against (single component, zero estimates).
+    """
+    total = sum(w.cost for w in works)
+    if len(works) <= 1 or total <= 0.0:
+        return [0.5] * len(works)
+    fractions = []
+    for w in works:
+        share = w.cost / total
+        fractions.append(min(0.9, max(0.1, 0.9 * (1.0 - share))))
+    return fractions
 
 
 def _validate_outcomes(result) -> str | None:
@@ -56,9 +77,10 @@ def _resilient_chunk(payload):
     """Worker entry point: ladder-solve a list of component tasks.
 
     Applies the chunk's injected fault first (chaos tests only), then
-    solves each ``(subnet, targets, narrow, rng_key)`` task with a fresh
-    subformula cache, returning the outcome dicts, the cache entries for
-    merge-back, and — when the parent traced — the local span forest.
+    solves each ``(subnet, targets, narrow, rng_key, exact_fraction,
+    est_cost)`` task with a fresh subformula cache, returning the outcome
+    dicts, the cache entries for merge-back, and — when the parent traced —
+    the local span forest.
     """
     tasks, budget, seed, traced, chunk, attempt, fault_plan = payload
     fault = None if fault_plan is None else fault_plan.for_chunk(chunk, attempt)
@@ -75,8 +97,10 @@ def _resilient_chunk(payload):
                 cache=cache,
                 rng=_component_rng(seed, rng_key),
                 narrow=narrow,
+                exact_fraction=fraction,
+                est_cost=est_cost,
             )
-            for subnet, targets, narrow, rng_key in tasks
+            for subnet, targets, narrow, rng_key, fraction, est_cost in tasks
         ]
 
     if traced:
@@ -139,8 +163,9 @@ def resilient_marginals(
             registry.gauge("resilience.components", len(works))
         if cache is None:
             cache = SubformulaCache()
+        fractions = exact_fractions(works)
         if not parallel:
-            for work in works:
+            for work, fraction in zip(works, fractions):
                 solved = resilient_component_marginals(
                     work.slice.network,
                     work.targets,
@@ -149,6 +174,8 @@ def resilient_marginals(
                     rng=_component_rng(seed, work.slice.to_orig(work.targets[0])),
                     registry=registry,
                     narrow=work.narrow,
+                    exact_fraction=fraction,
+                    est_cost=work.cost,
                 )
                 for sub, outcome in solved.items():
                     out[work.slice.to_orig(sub)] = outcome
@@ -168,6 +195,8 @@ def resilient_marginals(
                     works[i].targets,
                     works[i].narrow,
                     works[i].slice.to_orig(works[i].targets[0]),
+                    fractions[i],
+                    works[i].cost,
                 )
                 for i in members
             ]
@@ -193,10 +222,11 @@ def resilient_marginals(
                     rng=_component_rng(seed, rng_key),
                     registry=registry,
                     narrow=narrow,
+                    exact_fraction=fraction,
+                    est_cost=est_cost,
                 )
-                for subnet, targets, narrow, rng_key in chunk_tasks(
-                    chunks[index]
-                )
+                for subnet, targets, narrow, rng_key, fraction, est_cost
+                in chunk_tasks(chunks[index])
             ]
             return solved, [], []
 

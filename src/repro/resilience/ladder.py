@@ -5,20 +5,27 @@ paper's central observation): most components of the And-Or network are
 extensionally cheap, a few offending-tuple-dense ones are #P-hard. Without
 this module, one such component kills the whole query with a
 :class:`~repro.errors.CapacityError` or blows the deadline. With it, every
-answer independently walks a four-rung ladder and *always* comes back with
+answer independently walks a five-rung ladder and *always* comes back with
 a sound enclosure of its probability:
 
 1. **exact** — the normal component solve
    (:func:`repro.perf.parallel.solve_slice`: tree propagation / variable
    elimination / junction tree / cached DPLL), under a fraction of the
-   remaining deadline;
-2. **obdd** — compile the partial-lineage DNF into an OBDD
+   remaining deadline (adaptive: the caller sizes ``exact_fraction`` from
+   its per-component cost estimates, and a hopeless estimate skips the
+   rung outright);
+2. **dissociation** — two linear-time extensional folds over the component
+   (:func:`repro.dissociation.network.network_dissociation_bounds`): a
+   sound enclosure that wins outright when its width is within the
+   budget's tolerance, and otherwise rides down the ladder as a prior to
+   intersect with;
+3. **obdd** — compile the partial-lineage DNF into an OBDD
    (:func:`repro.lineage.obdd.build_obdd`) under the budget's node cap:
    still exact, and robust on formulas whose DPLL trace thrashes;
-3. **bounds** — Olteanu-Huang-Koch truncated evaluation
+4. **bounds** — Olteanu-Huang-Koch truncated evaluation
    (:func:`repro.lineage.approx_bounds.approximate_probability`): a sound
    ``[lower, upper]`` interval whatever the expansion budget;
-4. **sampling** — Karp-Luby on the DNF (or forward sampling on the
+5. **sampling** — Karp-Luby on the DNF (or forward sampling on the
    network when the DNF itself was uncompilable) with a Hoeffding
    confidence interval.
 
@@ -37,6 +44,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.core.network import EPSILON, AndOrNetwork
+from repro.dissociation.network import network_dissociation_bounds
 from repro.errors import BudgetExceededError, CapacityError, InferenceError
 from repro.lineage.approx_bounds import Interval, approximate_probability
 from repro.obs.trace import span as _span
@@ -52,7 +60,13 @@ __all__ = [
 ]
 
 #: The rungs, in fallback order.
-LADDER_RUNGS = ("exact", "obdd", "bounds", "karp-luby", "forward")
+LADDER_RUNGS = ("exact", "dissociation", "obdd", "bounds", "karp-luby", "forward")
+
+#: Calibration for the rung-1 skip: if the component's estimated solve cost
+#: (factor-table entries) exceeds what this throughput could process in the
+#: remaining deadline, the exact attempt is hopeless and the ladder starts
+#: at dissociation instead of burning its deadline slice.
+EXACT_COST_PER_SECOND = 5e7
 
 #: Confidence parameter for the sampling rung's Hoeffding interval: the
 #: interval contains the true probability with probability ``1 - δ``.
@@ -205,13 +219,22 @@ def resilient_component_marginals(
     rng: random.Random | None = None,
     registry=None,
     narrow: bool | None = None,
+    exact_fraction: float = 0.5,
+    est_cost: float | None = None,
 ) -> dict[int, MarginalOutcome]:
     """Ladder solve of one component slice: never raises on hard instances.
 
     Tries the exact engines on the whole component first (one solve shared
-    by all its targets, like the non-resilient path); on any recoverable
-    failure — deadline, node/width/call budget, capacity — degrades *per
-    target* through OBDD, interval bounds, and sampling. Only genuine bugs
+    by all its targets, like the non-resilient path), under
+    ``exact_fraction`` of the remaining deadline — callers that know the
+    per-component cost estimates size this adaptively, so cheap components
+    keep generous slices and the expensive one cannot starve its own
+    fallbacks. When *est_cost* (factor-table entries) says the exact solve
+    cannot finish inside the remaining deadline at all, rung 1 is skipped
+    outright. On failure the whole component gets linear-time dissociation
+    bounds; targets whose enclosure is still too wide degrade *per target*
+    through OBDD, interval bounds, and sampling, intersecting with the
+    dissociation prior. Only genuine bugs
     (non-:class:`~repro.errors.ReproError` exceptions) propagate.
     """
     from repro.perf.parallel import solve_slice
@@ -220,46 +243,103 @@ def resilient_component_marginals(
     rng = rng or random.Random(0)
     out: dict[int, MarginalOutcome] = {}
     with _span("ladder", nodes=len(subnet), targets=len(targets)) as sp:
-        # Rung 1 — exact, on a fraction of the remaining deadline so a
-        # hopeless component cannot starve its own fallbacks.
+        # Rung 1 — exact, on a slice of the remaining deadline.
         steps: list[DegradationStep] = []
         started = perf_counter()
-        try:
-            solved = solve_slice(
-                subnet,
-                list(targets),
-                "auto",
-                budget.dpll_max_calls,
-                cache,
-                narrow=narrow,
-                budget=budget.sub(0.5),
+        remaining = budget.remaining()
+        if (
+            est_cost is not None
+            and remaining is not None
+            and est_cost > EXACT_COST_PER_SECOND * max(remaining, 0.0)
+        ):
+            _step(
+                steps, registry, "exact", "skipped",
+                f"estimated cost {est_cost:.3g} entries exceeds deadline",
+                started,
             )
-        except _RECOVERABLE as exc:
-            _step(steps, registry, "exact", "failed", _reason(exc), started)
-            sp.annotate(exact="failed")
+            sp.annotate(exact="skipped")
         else:
-            _step(steps, registry, "exact", "ok", "", started)
-            for t in targets:
-                out[t] = MarginalOutcome(
-                    solved[t], solved[t], "exact", True, steps
+            try:
+                solved = solve_slice(
+                    subnet,
+                    list(targets),
+                    "auto",
+                    budget.dpll_max_calls,
+                    cache,
+                    narrow=narrow,
+                    budget=budget.sub(exact_fraction),
                 )
-            return out
-        for t in targets:
-            out[t] = _degrade_target(
-                subnet, t, budget, list(steps), rng, registry
+            except _RECOVERABLE as exc:
+                _step(steps, registry, "exact", "failed", _reason(exc), started)
+                sp.annotate(exact="failed")
+            else:
+                _step(steps, registry, "exact", "ok", "", started)
+                for t in targets:
+                    out[t] = MarginalOutcome(
+                        solved[t], solved[t], "exact", True, steps
+                    )
+                return out
+
+        # Rung 2 — dissociation: two linear-time folds bound the whole
+        # component at once; a within-tolerance enclosure wins outright,
+        # a wider one rides along as a prior for the lower rungs.
+        priors: dict[int, tuple[float, float]] = {}
+        started = perf_counter()
+        dissoc = network_dissociation_bounds(
+            subnet, [t for t in targets if t != EPSILON]
+        )
+        if dissoc is None:
+            _step(
+                steps, registry, "dissociation", "skipped",
+                "conjunctive sharing", started,
             )
-        sp.add("degraded", len(targets))
+        else:
+            priors = dissoc.bounds
+            _step(
+                steps, registry, "dissociation", "ok",
+                "exact folds" if dissoc.exact
+                else f"{dissoc.shared} shared nodes split",
+                started,
+            )
+        degraded = 0
+        for t in targets:
+            if t == EPSILON:
+                out[t] = MarginalOutcome(1.0, 1.0, "exact", True, list(steps))
+                continue
+            prior = priors.get(t)
+            if prior is not None:
+                lo, up = prior
+                if registry is not None:
+                    registry.observe("resilience.dissociation.width", up - lo)
+                if up - lo <= budget.approx_epsilon:
+                    out[t] = MarginalOutcome(
+                        lo, up, "dissociation", lo == up, list(steps)
+                    )
+                    degraded += 1
+                    continue
+            out[t] = _degrade_target(
+                subnet, t, budget, list(steps), rng, registry, prior=prior
+            )
+            degraded += 1
+        sp.add("degraded", degraded)
         if registry is not None:
-            registry.inc("resilience.degraded_targets", len(targets))
+            registry.inc("resilience.degraded_targets", degraded)
     return out
 
 
 def _degrade_target(
-    subnet, target, budget, steps, rng, registry
+    subnet, target, budget, steps, rng, registry,
+    prior: tuple[float, float] | None = None,
 ) -> MarginalOutcome:
-    """Rungs 2-4 for one target whose component-exact solve failed."""
+    """Rungs 3-5 for one target whose exact and dissociation rungs failed.
+
+    *prior* is the target's dissociation enclosure when one exists; every
+    lower rung's interval intersects with it (both are sound, so the
+    intersection is too).
+    """
     if target == EPSILON:
         return MarginalOutcome(1.0, 1.0, "exact", True, steps)
+    pr = Interval(prior[0], prior[1]) if prior is not None else None
 
     dnf = probs = None
     started = perf_counter()
@@ -271,9 +351,9 @@ def _degrade_target(
         _step(steps, registry, "obdd", "skipped", _reason(exc), started)
         _step(steps, registry, "bounds", "skipped", "no DNF", started)
         return _sampling_rung(subnet, target, None, None, budget, steps, rng,
-                              registry)
+                              registry, prior=pr)
 
-    # Rung 2 — OBDD: still exact, materialised Shannon expansion.
+    # Rung 3 — OBDD: still exact, materialised Shannon expansion.
     started = perf_counter()
     try:
         from repro.lineage.obdd import build_obdd
@@ -288,7 +368,7 @@ def _degrade_target(
         _step(steps, registry, "obdd", "ok", "", started)
         return MarginalOutcome(p, p, "obdd", True, steps)
 
-    # Rung 3 — sound interval bounds by truncated evaluation.
+    # Rung 4 — sound interval bounds by truncated evaluation.
     started = perf_counter()
     try:
         iv = approximate_probability(
@@ -302,6 +382,7 @@ def _degrade_target(
         _step(steps, registry, "bounds", "failed", _reason(exc), started)
     else:
         _step(steps, registry, "bounds", "ok", "", started)
+        iv = _intersect(iv, pr)
         if iv.width <= budget.approx_epsilon:
             return MarginalOutcome(
                 iv.low, iv.high, "bounds", False, steps
@@ -313,7 +394,18 @@ def _degrade_target(
             prior=iv,
         )
     return _sampling_rung(subnet, target, dnf, probs, budget, steps, rng,
-                          registry)
+                          registry, prior=pr)
+
+
+def _intersect(iv: Interval, prior: Interval | None) -> Interval:
+    """Intersect two sound enclosures; on float-noise crossing keep the
+    narrower one."""
+    if prior is None:
+        return iv
+    low, high = max(iv.low, prior.low), min(iv.high, prior.high)
+    if low <= high:
+        return Interval(low, high)
+    return prior if prior.width < iv.width else iv
 
 
 def _sampling_rung(

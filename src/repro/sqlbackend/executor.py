@@ -13,14 +13,26 @@ from __future__ import annotations
 
 import itertools
 import sqlite3
+import time
 from typing import Sequence
 
 from repro.core.executor import EvaluationResult, OffendingTuple, OperatorStat
 from repro.core.network import EPSILON, AndOrNetwork, NodeKind
-from repro.core.plan import Join, Plan, Project, Scan, Select, left_deep_plan, plan_schema
+from repro.core.plan import (
+    Filter,
+    Join,
+    Plan,
+    Project,
+    Scan,
+    Select,
+    left_deep_plan,
+    plan_schema,
+)
 from repro.core.plrelation import PLRelation
 from repro.db.database import ProbabilisticDatabase
-from repro.errors import PlanError
+from repro.dissociation.engine import DissociationBounds, DissociationResult
+from repro.errors import InferenceError, PlanError
+from repro.obs.trace import span as _span
 from repro.query.syntax import ConjunctiveQuery, Constant
 from repro.sqlbackend.storage import SQLiteStorage, _check_identifier
 
@@ -33,6 +45,20 @@ def _q(name: str) -> str:
 def _cols(attrs: Sequence[str], prefix: str = "") -> str:
     p = f"{prefix}." if prefix else ""
     return ", ".join(f"{p}{_q(a)}" for a in attrs)
+
+
+#: Comparison operators as SQLite spells them (``==`` / ``!=`` normalised).
+_SQL_OPS = {"==": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _comparison_clause(predicates, prefix: str = "") -> tuple[str, list]:
+    """A ``WHERE`` conjunction + parameters for Comparison predicates."""
+    p = f"{prefix}." if prefix else ""
+    clauses, params = [], []
+    for c in predicates:
+        clauses.append(f"{p}{_q(c.attribute)} {_SQL_OPS[c.op]} ?")
+        params.append(c.value)
+    return " AND ".join(clauses), params
 
 
 class SQLitePartialLineageEvaluator:
@@ -57,6 +83,7 @@ class SQLitePartialLineageEvaluator:
         self.storage = SQLiteStorage.from_database(db)
         self._tmp = itertools.count()
         self._provenance: list[OffendingTuple] = []
+        self._dissociated = 0
 
     def close(self) -> None:
         """Close the underlying SQLite connection."""
@@ -110,6 +137,8 @@ class SQLitePartialLineageEvaluator:
             table, attrs = self._scan(plan)
         elif isinstance(plan, Select):
             table, attrs = self._select(plan, net, stats)
+        elif isinstance(plan, Filter):
+            table, attrs = self._filter(plan, net, stats)
         elif isinstance(plan, Project):
             table, attrs = self._project(plan, net, stats)
         elif isinstance(plan, Join):
@@ -146,13 +175,13 @@ class SQLitePartialLineageEvaluator:
                 where.append(f"{_q(base_cols[i])} = {_q(base_cols[var_first[t.name]])}")
             else:
                 var_first[t.name] = i
-        sel = ", ".join(
-            f"{_q(base_cols[i])} AS {_q(v)}" for v, i in var_first.items()
+        sel = "".join(
+            f"{_q(base_cols[i])} AS {_q(v)}, " for v, i in var_first.items()
         )
         clause = f" WHERE {' AND '.join(where)}" if where else ""
         self._conn.execute(
             f"CREATE TEMP TABLE {_q(out)} AS "
-            f"SELECT {sel}, 0 AS l, p FROM {_q(scan.relation)}{clause}",
+            f"SELECT {sel}0 AS l, p FROM {_q(scan.relation)}{clause}",
             params,
         )
         return out, tuple(var_first)
@@ -170,6 +199,36 @@ class SQLitePartialLineageEvaluator:
         )
         return out, attrs
 
+    def _filter(
+        self, plan: Filter, net: AndOrNetwork, stats: list[OperatorStat]
+    ) -> tuple[str, tuple[str, ...]]:
+        child, attrs = self._eval(plan.child, net, stats)
+        out = self._new_table()
+        where, params = _comparison_clause(plan.predicates)
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS SELECT * FROM {_q(child)} "
+            f"WHERE {where}",
+            params,
+        )
+        return out, attrs
+
+    def _or_fold_sql(self, column: str = "p") -> str:
+        """The group fold ``1 - Π(1 - p)`` as one SQL aggregate expression.
+
+        Native math functions when available: ``LN(0)`` is NULL and ``SUM``
+        skips NULLs, so certain rows (``p >= 1``) are guarded explicitly;
+        singleton groups pass their value through bit-exactly. Falls back to
+        the Python ``indep_or`` aggregate on math-less builds.
+        """
+        if not self.storage.has_math_functions():
+            return f"indep_or({column})"
+        return (
+            f"CASE WHEN MAX({column} >= 1.0) = 1 THEN 1.0 "
+            f"WHEN COUNT(*) = 1 THEN MAX({column}) "
+            f"ELSE MIN(1.0, MAX(0.0, "
+            f"1.0 - EXP(SUM(LN(1.0 - {column}))))) END"
+        )
+
     def _project(
         self, plan: Project, net: AndOrNetwork, stats: list[OperatorStat]
     ) -> tuple[str, tuple[str, ...]]:
@@ -181,10 +240,13 @@ class SQLitePartialLineageEvaluator:
         sel = (_cols(attrs) + ", ") if attrs else ""
         self._conn.execute(
             f"CREATE TEMP TABLE {_q(ip)} AS "
-            f"SELECT {sel}l, indep_or(p) AS p FROM {_q(child)} GROUP BY {group}"
+            f"SELECT {sel}l, {self._or_fold_sql()} AS p FROM {_q(child)} "
+            f"GROUP BY {group}"
         )
         # Deduplication: single-member groups pass through in SQL; duplicate
-        # groups come out to Python for Or-gate allocation.
+        # groups get a SQL-side group id, so only (gid, l, p) integer/float
+        # triples cross into Python for Or-gate allocation — the projected
+        # values never round-trip.
         out = self._new_table()
         self._conn.execute(
             f"CREATE TEMP TABLE {_q(out)} AS SELECT * FROM {_q(ip)} WHERE 0"
@@ -196,22 +258,41 @@ class SQLitePartialLineageEvaluator:
                 f"SELECT i.* FROM {_q(ip)} i JOIN (SELECT {keys} FROM {_q(ip)} "
                 f"GROUP BY {keys} HAVING COUNT(*) = 1) s USING ({keys})"
             )
-            dup_rows = self._conn.execute(
-                f"SELECT i.* FROM {_q(ip)} i JOIN (SELECT {keys} FROM {_q(ip)} "
-                f"GROUP BY {keys} HAVING COUNT(*) > 1) s USING ({keys}) "
-                f"ORDER BY {keys}"
+            dup = self._new_table()
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(dup)} AS SELECT {keys} FROM {_q(ip)} "
+                f"GROUP BY {keys} HAVING COUNT(*) > 1 ORDER BY {keys}"
+            )
+            members = self._conn.execute(
+                f"SELECT d.rowid, i.l, i.p FROM {_q(ip)} i "
+                f"JOIN {_q(dup)} d USING ({keys}) ORDER BY d.rowid, i.rowid"
             ).fetchall()
-            groups: dict[tuple, list[tuple[int, float]]] = {}
-            for row in dup_rows:
-                *values, l, p = row
-                groups.setdefault(tuple(values), []).append((int(l), float(p)))
-            placeholders = ", ".join("?" for _ in range(len(attrs) + 2))
+            gates: list[tuple[int, int]] = []
+            group_members: list[tuple[int, float]] = []
+            current = None
+            for gid, l, p in members:
+                if gid != current and group_members:
+                    gates.append(
+                        (current, net.add_gate(NodeKind.OR, group_members))
+                    )
+                    group_members = []
+                current = gid
+                group_members.append((int(l), float(p)))
+            if group_members:
+                gates.append(
+                    (current, net.add_gate(NodeKind.OR, group_members))
+                )
+            gmap = self._new_table()
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(gmap)} "
+                f"(gid INTEGER PRIMARY KEY, node INTEGER)"
+            )
             self._conn.executemany(
-                f"INSERT INTO {_q(out)} VALUES ({placeholders})",
-                (
-                    key + (net.add_gate(NodeKind.OR, members), 1.0)
-                    for key, members in groups.items()
-                ),
+                f"INSERT INTO {_q(gmap)} VALUES (?, ?)", gates
+            )
+            self._conn.execute(
+                f"INSERT INTO {_q(out)} SELECT {_cols(attrs, 'd')}, g.node, "
+                f"1.0 FROM {_q(dup)} d JOIN {_q(gmap)} g ON g.gid = d.rowid"
             )
         else:
             rows = self._conn.execute(f"SELECT l, p FROM {_q(ip)}").fetchall()
@@ -329,5 +410,211 @@ class SQLitePartialLineageEvaluator:
             OperatorStat(
                 str(plan), output_size=self._count(out), conditioned=conditioned
             )
+        )
+        return out, out_attrs
+
+    # ------------------------------------------------------ dissociation bounds
+    def dissociated_bounds(self, plan: Plan) -> DissociationResult:
+        """Dissociation enclosures of every answer, evaluated in pure SQL.
+
+        The same two rewritten plans as
+        :class:`repro.dissociation.engine.DissociationEvaluator`, folded with
+        SQL aggregation only: intermediate temp tables carry ``(attrs...,
+        pup, plo)``, projections OR-combine both columns with the guarded
+        ``1 - EXP(SUM(LN(1 - p)))`` fold, and joins apply the symmetric
+        failure split ``1 - POWER(1 - plo, 1.0/c)`` against the partner
+        fan-out. No And-Or network, no conditioning, no per-row Python.
+        """
+        if not self.storage.has_math_functions():
+            raise InferenceError(
+                "SQL dissociation bounds need SQLite built-in math functions "
+                "(EXP/LN/POWER, SQLite 3.35+)"
+            )
+        plan_schema(plan, self.db)
+        self._dissociated = 0
+        start = time.perf_counter()
+        with _span("dissociation", engine="sql"):
+            table, attrs = self._bounds_eval(plan)
+            sel = (_cols(attrs) + ", pup, plo") if attrs else "pup, plo"
+            rows = self._conn.execute(f"SELECT {sel} FROM {_q(table)}").fetchall()
+        bounds: dict[tuple, DissociationBounds] = {}
+        for row in rows:
+            *values, pup, plo = row
+            up = min(max(float(pup), 0.0), 1.0)
+            lo = min(max(float(plo), 0.0), up)
+            bounds[tuple(values)] = DissociationBounds(lo, up)
+        return DissociationResult(
+            attributes=attrs,
+            bounds=bounds,
+            seconds=time.perf_counter() - start,
+            dissociated=self._dissociated,
+        )
+
+    def dissociated_bounds_query(
+        self, query: ConjunctiveQuery, join_order: list[str] | None = None
+    ) -> DissociationResult:
+        """Dissociation enclosures for *query*'s left-deep plan."""
+        return self.dissociated_bounds(left_deep_plan(query, join_order))
+
+    def _bounds_eval(self, plan: Plan) -> tuple[str, tuple[str, ...]]:
+        if isinstance(plan, Scan):
+            return self._bounds_scan(plan)
+        if isinstance(plan, Select):
+            child, attrs = self._bounds_eval(plan.child)
+            out = self._new_table()
+            where = " AND ".join(f"{_q(a)} = ?" for a, _ in plan.conditions)
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(out)} AS SELECT * FROM {_q(child)} "
+                f"WHERE {where}",
+                [v for _, v in plan.conditions],
+            )
+            return out, attrs
+        if isinstance(plan, Filter):
+            child, attrs = self._bounds_eval(plan.child)
+            out = self._new_table()
+            where, params = _comparison_clause(plan.predicates)
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(out)} AS SELECT * FROM {_q(child)} "
+                f"WHERE {where}",
+                params,
+            )
+            return out, attrs
+        if isinstance(plan, Project):
+            return self._bounds_project(plan)
+        if isinstance(plan, Join):
+            return self._bounds_join(plan)
+        raise PlanError(f"unknown plan node {plan!r}")
+
+    def _bounds_scan(self, scan: Scan) -> tuple[str, tuple[str, ...]]:
+        base = self.db[scan.relation]
+        out = self._new_table()
+        base_cols = base.schema.attributes
+        if scan.terms is None:
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(out)} AS SELECT {_cols(base_cols)}, "
+                f"p AS pup, p AS plo FROM {_q(scan.relation)}"
+            )
+            return out, base_cols
+        if len(scan.terms) != len(base_cols):
+            raise PlanError(
+                f"scan of {scan.relation}: {len(scan.terms)} terms for arity "
+                f"{len(base_cols)}"
+            )
+        var_first: dict[str, int] = {}
+        where: list[str] = []
+        params: list[object] = []
+        for i, t in enumerate(scan.terms):
+            if isinstance(t, Constant):
+                where.append(f"{_q(base_cols[i])} = ?")
+                params.append(t.value)
+            elif t.name in var_first:
+                where.append(
+                    f"{_q(base_cols[i])} = {_q(base_cols[var_first[t.name]])}"
+                )
+            else:
+                var_first[t.name] = i
+        sel = "".join(
+            f"{_q(base_cols[i])} AS {_q(v)}, " for v, i in var_first.items()
+        )
+        clause = f" WHERE {' AND '.join(where)}" if where else ""
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS "
+            f"SELECT {sel}p AS pup, p AS plo FROM {_q(scan.relation)}{clause}",
+            params,
+        )
+        return out, tuple(var_first)
+
+    def _bounds_project(self, plan: Project) -> tuple[str, tuple[str, ...]]:
+        child, _ = self._bounds_eval(plan.child)
+        attrs = tuple(plan.attributes)
+        out = self._new_table()
+        folds = (
+            f"{self._or_fold_sql('pup')} AS pup, "
+            f"{self._or_fold_sql('plo')} AS plo"
+        )
+        if attrs:
+            keys = _cols(attrs)
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(out)} AS SELECT {keys}, {folds} "
+                f"FROM {_q(child)} GROUP BY {keys}"
+            )
+        else:
+            # SELECT with aggregates and no GROUP BY always yields one row;
+            # HAVING drops it when the child is empty (probability-0 answer).
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(out)} AS SELECT {folds} "
+                f"FROM {_q(child)} HAVING COUNT(*) > 0"
+            )
+        return out, attrs
+
+    def _split_lower(
+        self, table: str, attrs: tuple[str, ...], on: Sequence[str], other: str
+    ) -> str:
+        """A copy of *table* with ``plo`` symmetrically split by fan-out.
+
+        Each tuple with ``c > 1`` join partners in *other* is about to be
+        referenced ``c`` times; splitting its failure mass evenly
+        (``plo' = 1 - (1 - plo)^(1/c)``) keeps the downstream extensional
+        fold a sound lower bound.
+        """
+        vals = (_cols(attrs, "t") + ", ") if attrs else ""
+        if not on:
+            (partners,) = self._conn.execute(
+                f"SELECT COUNT(*) FROM {_q(other)}"
+            ).fetchone()
+            if partners <= 1:
+                return table
+            (n,) = self._conn.execute(
+                f"SELECT COUNT(*) FROM {_q(table)} WHERE plo < 1.0"
+            ).fetchone()
+            self._dissociated += n
+            out = self._new_table()
+            self._conn.execute(
+                f"CREATE TEMP TABLE {_q(out)} AS SELECT {vals}t.pup AS pup, "
+                f"CASE WHEN t.plo < 1.0 "
+                f"THEN 1.0 - POWER(1.0 - t.plo, 1.0 / ?) ELSE t.plo END AS plo "
+                f"FROM {_q(table)} t",
+                (float(partners),),
+            )
+            return out
+        keys = _cols(on)
+        on_clause = " AND ".join(f"t.{_q(a)} = g.{_q(a)}" for a in on)
+        fanout = (
+            f"(SELECT {keys}, COUNT(*) AS c FROM {_q(other)} GROUP BY {keys})"
+        )
+        (n,) = self._conn.execute(
+            f"SELECT COUNT(*) FROM {_q(table)} t JOIN {fanout} g "
+            f"ON {on_clause} WHERE g.c > 1 AND t.plo < 1.0"
+        ).fetchone()
+        self._dissociated += n
+        out = self._new_table()
+        # LEFT JOIN: partnerless rows keep plo (NULL fan-out falls to ELSE)
+        # and drop at the join anyway.
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS SELECT {vals}t.pup AS pup, "
+            f"CASE WHEN g.c > 1 AND t.plo < 1.0 "
+            f"THEN 1.0 - POWER(1.0 - t.plo, 1.0 / g.c) ELSE t.plo END AS plo "
+            f"FROM {_q(table)} t LEFT JOIN {fanout} g ON {on_clause}"
+        )
+        return out
+
+    def _bounds_join(self, plan: Join) -> tuple[str, tuple[str, ...]]:
+        ltable, lattrs = self._bounds_eval(plan.left)
+        rtable, rattrs = self._bounds_eval(plan.right)
+        on = tuple(plan.on)
+        lsplit = self._split_lower(ltable, lattrs, on, rtable)
+        rsplit = self._split_lower(rtable, rattrs, on, ltable)
+        keep = tuple(a for a in rattrs if a not in set(on))
+        out_attrs = lattrs + keep
+        out = self._new_table()
+        lsel = (_cols(lattrs, "L") + ", ") if lattrs else ""
+        ksel = (_cols(keep, "R") + ", ") if keep else ""
+        on_clause = (
+            " AND ".join(f"L.{_q(a)} = R.{_q(a)}" for a in on) if on else "1 = 1"
+        )
+        self._conn.execute(
+            f"CREATE TEMP TABLE {_q(out)} AS SELECT {lsel}{ksel}"
+            f"L.pup * R.pup AS pup, L.plo * R.plo AS plo "
+            f"FROM {_q(lsplit)} L JOIN {_q(rsplit)} R ON {on_clause}"
         )
         return out, out_attrs

@@ -44,6 +44,22 @@ class SQLiteStorage:
         self.connection = connection or sqlite3.connect(":memory:")
         self.connection.create_aggregate("indep_or", 1, _IndepOr)
         self._tables: set[str] = set()
+        self._mathfuncs: bool | None = None
+
+    def has_math_functions(self) -> bool:
+        """True when SQLite was built with EXP/LN/POWER (3.35+ default).
+
+        The probability folds prefer the native ``1 - EXP(SUM(LN(1-p)))``
+        form (one pass, no Python per group); the ``indep_or`` aggregate is
+        the fallback.
+        """
+        if self._mathfuncs is None:
+            try:
+                self.connection.execute("SELECT EXP(0.0), LN(1.0), POWER(2.0, 2.0)")
+                self._mathfuncs = True
+            except sqlite3.OperationalError:
+                self._mathfuncs = False
+        return self._mathfuncs
 
     @classmethod
     def from_database(cls, db: ProbabilisticDatabase) -> "SQLiteStorage":

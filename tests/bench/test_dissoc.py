@@ -1,0 +1,67 @@
+"""Smoke test for the dissociation benchmark runner (tiny instances)."""
+
+import json
+
+import pytest
+
+from repro.bench.dissoc import main, ranked_database, run_benchmark
+from repro.workload.generator import WorkloadParams
+
+
+def test_ranked_database_splices_and_damps():
+    params = WorkloadParams(N=4, m=6, fanout=3, r_f=0.5, r_d=1.0, seed=3)
+    db = ranked_database(params, 2, 0.0, 1e-3)
+    assert db.total_tuples() == 9 * params.N * params.m
+    # Head 0 is damped by the full spread, head N-1 not at all.
+    r1 = db["R1"]
+    assert all(p <= 1e-3 for row, p in r1.items() if row[0] == 0)
+    assert any(p > 1e-3 for row, p in r1.items() if row[0] == 3)
+
+
+def test_run_benchmark_payload_shape():
+    payload = run_benchmark(
+        sizes=(15, 30), n=8, k=3, seed=3, hard_rf=0.3, easy_rf=0.05,
+        spread=1e-3,
+    )
+    assert payload["benchmark"] == "dissoc"
+    assert payload["workload"]["sizes"] == [15, 30]
+    assert payload["workload"]["k"] == 3
+    assert len(payload["scaling"]) == 2
+    for point in payload["scaling"]:
+        assert point["answers"] == 8
+        assert point["exact"]["total_seconds"] > 0
+        bf = point["bounds_first"]
+        assert bf["total_seconds"] > 0
+        assert bf["refined"] + bf["certified_out"] == point["answers"]
+        assert bf["refined"] >= 3
+        assert point["topk_match"] is True
+        assert point["sound_enclosure"] is True
+    acceptance = payload["acceptance"]
+    assert acceptance["topk_matches_exact"] is True
+    assert acceptance["sound_enclosures"] is True
+    assert acceptance["largest_instance_speedup"] > 0
+
+
+def test_main_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_dissoc.json"
+    # --min-speedup 0.001: tiny instances measure correctness plumbing,
+    # not throughput; the committed BENCH_dissoc.json uses the real 5x.
+    code = main([
+        "--out", str(out), "--sizes", "15", "30", "--n", "8", "--k", "3",
+        "--hard-rf", "0.3", "--easy-rf", "0.05", "--spread", "1e-3",
+        "--min-speedup", "0.001",
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert {"benchmark", "workload", "environment", "scaling",
+            "acceptance"} <= set(payload)
+    assert payload["acceptance"]["speedup_at_least_min"] is True
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_main_rejects_bad_arguments(capsys):
+    with pytest.raises(SystemExit):
+        main(["--sizes", "0"])
+    with pytest.raises(SystemExit):
+        main(["--k", "8", "--n", "8"])
+    capsys.readouterr()

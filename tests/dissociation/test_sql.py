@@ -1,0 +1,82 @@
+"""Pure-SQL dissociation folds: parity with the columnar engine."""
+
+import pytest
+
+from repro.db import ProbabilisticDatabase
+from repro.dissociation import dissociation_bounds
+from repro.query.parser import parse_query
+from repro.sqlbackend import SQLitePartialLineageEvaluator
+
+from tests.conftest import make_rst_database, oracle_probability
+
+Q_RST = parse_query("q() :- R(x), S(x,y), T(y)")
+Q_HEAD = parse_query("q(x) :- R(x), S(x,y), T(y)")
+
+
+def sql_bounds(db, query, join_order):
+    ev = SQLitePartialLineageEvaluator(db)
+    try:
+        if not ev.storage.has_math_functions():
+            pytest.skip("sqlite build lacks EXP/LN/POWER")
+        return ev.dissociated_bounds_query(query, join_order)
+    finally:
+        ev.close()
+
+
+def test_matches_columnar_on_random_instances(rng):
+    for _ in range(25):
+        db = make_rst_database(rng)
+        for query in (Q_RST, Q_HEAD):
+            col = dissociation_bounds(db, query, ["R", "S", "T"])
+            sql = sql_bounds(db, query, ["R", "S", "T"])
+            assert set(sql.bounds) == set(col.bounds)
+            assert sql.dissociated == col.dissociated
+            for row, b in col.bounds.items():
+                other = sql.bounds[row]
+                assert other.lower == pytest.approx(b.lower, abs=1e-9)
+                assert other.upper == pytest.approx(b.upper, abs=1e-9)
+
+
+def test_encloses_oracle(rng):
+    for _ in range(10):
+        db = make_rst_database(rng)
+        exact = oracle_probability(Q_RST, db)
+        res = sql_bounds(db, Q_RST, ["R", "S", "T"])
+        assert res.interval(()).contains(exact)
+
+
+def test_data_safe_instance_is_exact():
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.4, (2,): 0.6})
+    db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (2, 2): 0.7})
+    db.add_relation("T", ("B",), {(1,): 0.9, (2,): 0.8})
+    res = sql_bounds(db, Q_RST, ["R", "S", "T"])
+    assert res.exact and res.dissociated == 0
+    exact = oracle_probability(Q_RST, db)
+    assert res.interval(()).lower == pytest.approx(exact, abs=1e-9)
+
+
+def test_empty_boolean_answer_set():
+    # No joinable tuples: the Boolean projection must yield no row (not a
+    # spurious NULL aggregate row) and the enclosure defaults to [0, 1].
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.4})
+    db.add_relation("S", ("A", "B"), {(2, 1): 0.5})
+    db.add_relation("T", ("B",), {(1,): 0.9})
+    res = sql_bounds(db, Q_RST, ["R", "S", "T"])
+    assert res.bounds == {}
+    assert res.interval(()).lower == 0.0
+    assert res.interval(()).upper == 1.0
+
+
+def test_comparison_filters_flow_through(rng):
+    query = parse_query("q(x) :- R(x), S(x,y), T(y), y < 2")
+    for _ in range(10):
+        db = make_rst_database(rng)
+        col = dissociation_bounds(db, query, ["R", "S", "T"])
+        sql = sql_bounds(db, query, ["R", "S", "T"])
+        assert set(sql.bounds) == set(col.bounds)
+        for row, b in col.bounds.items():
+            other = sql.bounds[row]
+            assert other.lower == pytest.approx(b.lower, abs=1e-9)
+            assert other.upper == pytest.approx(b.upper, abs=1e-9)
