@@ -175,13 +175,38 @@ def bench_environment() -> dict:
     return env
 
 
+#: Version of the ``BENCH_*.json`` report shape. Version 2 adds the
+#: ``schema_version`` / ``run_sequence`` stamps themselves — the fields the
+#: trajectory sentinel (:mod:`repro.bench.trajectory`) needs to order and
+#: compare reports across PRs. Reports without them are treated as version 1.
+BENCH_SCHEMA_VERSION = 2
+
+
+def next_run_sequence(path: str | pathlib.Path) -> int:
+    """The monotonically-increasing run sequence for a report at *path*.
+
+    Reads the previous report (if any) and returns its ``run_sequence + 1``,
+    so successive runs writing to the same committed file are totally
+    ordered even when wall clocks or git SHAs are unavailable. A missing or
+    unreadable previous report (or a pre-versioning one) starts at 1.
+    """
+    path = pathlib.Path(path)
+    try:
+        previous = json.loads(path.read_text())
+        return int(previous.get("run_sequence", 0)) + 1
+    except (OSError, ValueError, TypeError):
+        return 1
+
+
 def write_bench_report(
     path: str | pathlib.Path, payload: dict, registry=None
 ) -> pathlib.Path:
     """Stamp and write one benchmark payload.
 
     Fills ``payload["environment"]`` with :func:`bench_environment` (keys the
-    runner already set win) and, when a
+    runner already set win), stamps ``schema_version``
+    (:data:`BENCH_SCHEMA_VERSION`) and the monotone ``run_sequence``
+    (:func:`next_run_sequence`), and, when a
     :class:`~repro.obs.metrics.MetricsRegistry` is passed, embeds its
     snapshot as ``payload["metrics"]``; then writes via
     :func:`write_json_report`.
@@ -191,6 +216,8 @@ def write_bench_report(
     for key, value in bench_environment().items():
         environment.setdefault(key, value)
     payload["environment"] = environment
+    payload.setdefault("schema_version", BENCH_SCHEMA_VERSION)
+    payload.setdefault("run_sequence", next_run_sequence(path))
     if registry is not None:
         payload["metrics"] = registry.snapshot()
     return write_json_report(path, payload)

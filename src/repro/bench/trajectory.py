@@ -1,0 +1,325 @@
+"""Bench-trajectory regression sentinel over the committed ``BENCH_*.json``.
+
+The five suite reports each carry one or two *headline* metrics — scale-free
+speedup ratios that stay comparable across machines of different absolute
+speed (an 8x columnar speedup means the same thing on a laptop and in CI,
+unlike raw seconds). :data:`EXTRACTORS` names them per suite:
+
+========== ==============================================================
+suite      headline metrics (path into the report payload)
+========== ==============================================================
+columnar   ``acceptance.largest_instance_speedup``
+parallel   ``acceptance.largest_instance_sliced_speedup``
+rescore    ``acceptance.speedup``
+dissoc     ``acceptance.largest_instance_speedup``
+mc_dpll    ``sampling.karp_luby.speedup``,
+           ``sampling.mc_query_probability.speedup``
+========== ==============================================================
+
+:func:`main` (behind ``python -m repro.bench.trajectory`` and the CI
+``telemetry-smoke`` job) reads every ``BENCH_<suite>.json`` next to the
+history file, compares each headline metric against the last recorded point
+in ``BENCH_trajectory.json``, and exits nonzero when any metric fell by more
+than ``--tolerance`` (a fraction: 0.25 means a drop below 75% of the
+baseline fails). ``--update`` appends the current points to the history —
+keyed by ``run_sequence`` and ``git_sha``, never wall-clock time, so the
+file stays deterministic and diff-friendly. Fresh CI runs on unknown
+hardware pass a relaxed tolerance; the committed history is only advanced
+deliberately, with ``--update`` on a benchmarking host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+
+from repro.bench.reporting import format_table, write_json_report
+
+__all__ = [
+    "EXTRACTORS",
+    "TRAJECTORY_SCHEMA_VERSION",
+    "Regression",
+    "check_trajectory",
+    "extract_headline",
+    "load_history",
+    "read_current_points",
+    "update_history",
+    "main",
+]
+
+TRAJECTORY_SCHEMA_VERSION = 1
+
+#: suite name -> {metric name -> key path into the suite's report payload}.
+EXTRACTORS: dict[str, dict[str, tuple[str, ...]]] = {
+    "columnar": {
+        "largest_instance_speedup": ("acceptance", "largest_instance_speedup"),
+    },
+    "parallel": {
+        "largest_instance_sliced_speedup": (
+            "acceptance", "largest_instance_sliced_speedup",
+        ),
+    },
+    "rescore": {
+        "speedup": ("acceptance", "speedup"),
+    },
+    "dissoc": {
+        "largest_instance_speedup": ("acceptance", "largest_instance_speedup"),
+    },
+    "mc_dpll": {
+        "karp_luby_speedup": ("sampling", "karp_luby", "speedup"),
+        "mc_query_probability_speedup": (
+            "sampling", "mc_query_probability", "speedup",
+        ),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One headline metric that fell below its tolerance band."""
+
+    suite: str
+    metric: str
+    baseline: float
+    current: float
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (0 when the baseline is 0)."""
+        return self.current / self.baseline if self.baseline else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.suite}.{self.metric}: {self.current:.4g} is "
+            f"{self.ratio:.0%} of baseline {self.baseline:.4g} "
+            f"(floor {1.0 - self.tolerance:.0%})"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "ratio": self.ratio,
+            "tolerance": self.tolerance,
+        }
+
+
+def extract_headline(suite: str, payload: dict) -> dict[str, float]:
+    """The suite's headline metrics present in *payload*.
+
+    Missing paths are skipped rather than raised — a partially-written or
+    older-schema report simply contributes fewer points.
+
+    Examples
+    --------
+    >>> extract_headline("rescore", {"acceptance": {"speedup": 64.25}})
+    {'speedup': 64.25}
+    >>> extract_headline("rescore", {"acceptance": {}})
+    {}
+    """
+    metrics: dict[str, float] = {}
+    for name, path in EXTRACTORS.get(suite, {}).items():
+        node: object = payload
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                node = None
+                break
+            node = node[key]
+        if isinstance(node, (int, float)) and not isinstance(node, bool):
+            metrics[name] = float(node)
+    return metrics
+
+
+def read_current_points(bench_dir: str | pathlib.Path) -> dict[str, dict]:
+    """Read every ``BENCH_<suite>.json`` under *bench_dir* known to EXTRACTORS.
+
+    Returns ``{suite: {"metrics": {...}, "run_sequence": int,
+    "git_sha": str | None}}`` for each suite whose report exists and yields
+    at least one headline metric.
+    """
+    bench_dir = pathlib.Path(bench_dir)
+    points: dict[str, dict] = {}
+    for suite in EXTRACTORS:
+        path = bench_dir / f"BENCH_{suite}.json"
+        if not path.exists():
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError:
+            continue
+        metrics = extract_headline(suite, payload)
+        if not metrics:
+            continue
+        points[suite] = {
+            "metrics": metrics,
+            "run_sequence": int(payload.get("run_sequence", 0)),
+            "git_sha": (payload.get("environment") or {}).get("git_sha"),
+        }
+    return points
+
+
+def load_history(path: str | pathlib.Path) -> dict:
+    """Load ``BENCH_trajectory.json``, or an empty history if absent."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return {"schema_version": TRAJECTORY_SCHEMA_VERSION, "suites": {}}
+    history = json.loads(path.read_text())
+    history.setdefault("schema_version", TRAJECTORY_SCHEMA_VERSION)
+    history.setdefault("suites", {})
+    return history
+
+
+def check_trajectory(
+    history: dict, points: dict[str, dict], *, tolerance: float
+) -> list[Regression]:
+    """Compare *points* against the last recorded history entry per suite.
+
+    A metric regresses when ``current < baseline * (1 - tolerance)``.
+    Suites or metrics without history are new — recorded, never failed.
+
+    Examples
+    --------
+    >>> history = {"suites": {"rescore": [
+    ...     {"run_sequence": 1, "metrics": {"speedup": 60.0}}]}}
+    >>> check_trajectory(
+    ...     history, {"rescore": {"metrics": {"speedup": 58.0}}},
+    ...     tolerance=0.25)
+    []
+    >>> [r.describe() for r in check_trajectory(
+    ...     history, {"rescore": {"metrics": {"speedup": 30.0}}},
+    ...     tolerance=0.25)]
+    ['rescore.speedup: 30 is 50% of baseline 60 (floor 75%)']
+    """
+    regressions: list[Regression] = []
+    for suite, point in sorted(points.items()):
+        entries = history.get("suites", {}).get(suite) or []
+        if not entries:
+            continue
+        baseline = entries[-1].get("metrics", {})
+        for metric, current in sorted(point["metrics"].items()):
+            if metric not in baseline:
+                continue
+            floor = baseline[metric] * (1.0 - tolerance)
+            if current < floor:
+                regressions.append(Regression(
+                    suite=suite, metric=metric,
+                    baseline=baseline[metric], current=current,
+                    tolerance=tolerance,
+                ))
+    return regressions
+
+
+def update_history(history: dict, points: dict[str, dict]) -> bool:
+    """Append each suite's current point to *history*; True if anything new.
+
+    A point identical to the suite's last entry (same metrics, sequence and
+    sha) is skipped, so re-running ``--update`` without re-benchmarking
+    leaves the file byte-identical.
+    """
+    changed = False
+    suites = history.setdefault("suites", {})
+    for suite, point in sorted(points.items()):
+        entries = suites.setdefault(suite, [])
+        entry = {
+            "run_sequence": point.get("run_sequence", 0),
+            "git_sha": point.get("git_sha"),
+            "metrics": dict(sorted(point["metrics"].items())),
+        }
+        if entries and entries[-1] == entry:
+            continue
+        entries.append(entry)
+        changed = True
+    return changed
+
+
+def _format_report(
+    points: dict[str, dict], history: dict, regressions: list[Regression]
+) -> str:
+    rows = []
+    flagged = {(r.suite, r.metric) for r in regressions}
+    for suite, point in sorted(points.items()):
+        entries = history.get("suites", {}).get(suite) or []
+        baseline = entries[-1].get("metrics", {}) if entries else {}
+        for metric, current in sorted(point["metrics"].items()):
+            base = baseline.get(metric)
+            rows.append((
+                suite, metric, current,
+                "-" if base is None else base,
+                "-" if not base else f"{current / base:.0%}",
+                "REGRESSED" if (suite, metric) in flagged
+                else ("new" if base is None else "ok"),
+            ))
+    return format_table(
+        ("suite", "metric", "current", "baseline", "ratio", "status"),
+        rows, title="bench trajectory",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-trajectory", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--bench-dir", default=".",
+        help="directory holding the BENCH_*.json reports (default: .)",
+    )
+    parser.add_argument(
+        "--history", default=None,
+        help="trajectory history file "
+             "(default: <bench-dir>/BENCH_trajectory.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop below the baseline before failing "
+             "(default: 0.25; CI smoke runs on unknown hardware pass a "
+             "relaxed value)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="append the current points to the history file",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the report as JSON instead of a text table",
+    )
+    args = parser.parse_args(argv)
+
+    bench_dir = pathlib.Path(args.bench_dir)
+    history_path = (
+        pathlib.Path(args.history) if args.history
+        else bench_dir / "BENCH_trajectory.json"
+    )
+    points = read_current_points(bench_dir)
+    if not points:
+        print(f"no BENCH_*.json reports found under {bench_dir}",
+              file=sys.stderr)
+        return 2
+    history = load_history(history_path)
+    regressions = check_trajectory(history, points, tolerance=args.tolerance)
+    report_text = _format_report(points, history, regressions)
+    if args.update:
+        if update_history(history, points):
+            write_json_report(history_path, history)
+    if args.as_json:
+        print(json.dumps({
+            "history": str(history_path),
+            "tolerance": args.tolerance,
+            "points": points,
+            "regressions": [r.as_dict() for r in regressions],
+            "ok": not regressions,
+        }, indent=2, sort_keys=True))
+    else:
+        print(report_text)
+        for regression in regressions:
+            print(f"REGRESSION: {regression.describe()}", file=sys.stderr)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

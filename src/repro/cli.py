@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands, mirroring how the paper's system is exercised:
+Seven subcommands, mirroring how the paper's system is exercised:
 
 ``repro query``
     Evaluate a conjunctive query over a CSV-backed probabilistic database
@@ -42,6 +42,14 @@ Six subcommands, mirroring how the paper's system is exercised:
     re-scoring (``BENCH_rescore.json``); ``--suite dissoc`` compares
     bounds-first top-k certification against exact-all-answers inference
     on the ranked workload (``BENCH_dissoc.json``).
+``repro obs``
+    Observability: ``obs metrics`` renders the per-query flight records as
+    an OpenMetrics/Prometheus text exposition, ``obs slo`` evaluates
+    latency-percentile / error-rate / degradation-rate objectives (nonzero
+    exit on violation), ``obs lint`` is the promtool-style exposition
+    linter, and ``obs validate`` schema-checks a JSONL flight log. Each of
+    the first two reads ``--flight-log PATH`` or replays a small Section
+    6.1 workload in-process.
 
 ``query`` and ``workload`` accept ``--engine {columnar,rows}`` to pick the
 operator backend of the partial-lineage evaluator (columnar by default),
@@ -53,7 +61,9 @@ degrade through the :mod:`repro.resilience` ladder to sound
 ``[lower, upper]`` bounds instead of failing, with ``--chunk-timeout``
 bounding each pool dispatch). ``query``, ``workload``, and ``explain`` all
 take ``--trace PATH`` (write a Chrome trace-event JSON of the run, workers
-included) and ``--profile`` (print the span tree with wall/CPU times).
+included), ``--profile`` (print the span tree with wall/CPU times), and
+``--flight-log PATH`` (sink the always-on flight recorder's records for the
+run to a JSONL file — one record per evaluation).
 
 Database directory format: one ``<Relation>.csv`` per relation, first line a
 header of attribute names, a trailing ``p`` column with the tuple
@@ -94,20 +104,31 @@ from repro.workload.queries import TABLE1_QUERIES, benchmark_query
 @contextlib.contextmanager
 def _observed(args: argparse.Namespace):
     """Activate a tracer while the command works when ``--trace``/``--profile``
-    ask for one; export the span forest afterwards."""
+    ask for one, and sink flight records to ``--flight-log``; export the span
+    forest afterwards."""
+    flight_path = getattr(args, "flight_log", None)
     trace_path = getattr(args, "trace", None)
     profile = getattr(args, "profile", False)
-    if not trace_path and not profile:
-        yield
-        return
-    with Tracer() as tracer:
-        yield
-    if profile:
-        print()
-        print(format_trace(tracer.roots))
-    if trace_path:
-        path = write_chrome_trace(trace_path, tracer.roots)
-        print(f"wrote Chrome trace to {path} ({tracer.total_spans()} spans)")
+    recorder = None
+    with contextlib.ExitStack() as stack:
+        if flight_path:
+            from repro.obs import flight_recorder
+
+            recorder = stack.enter_context(flight_recorder(flight_path))
+        if not trace_path and not profile:
+            yield
+        else:
+            with Tracer() as tracer:
+                yield
+            if profile:
+                print()
+                print(format_trace(tracer.roots))
+            if trace_path:
+                path = write_chrome_trace(trace_path, tracer.roots)
+                print(f"wrote Chrome trace to {path} "
+                      f"({tracer.total_spans()} spans)")
+    if recorder is not None:
+        print(f"wrote {recorder.recorded} flight records to {flight_path}")
 
 
 def _query_budget(args: argparse.Namespace):
@@ -372,6 +393,105 @@ def cmd_whatif(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_flight(args: argparse.Namespace) -> list[dict]:
+    """Replay Table 1 queries on a generated instance under the active flight
+    recorder; returns the records the replay produced."""
+    from repro.obs import telemetry
+
+    params = WorkloadParams(
+        N=args.n, m=args.m, fanout=3, r_f=0.1, r_d=1.0, seed=args.seed
+    )
+    db = generate_database(params)
+    recorder = telemetry.current_recorder()
+    before = recorder.recorded
+    for name in args.queries:
+        bench = benchmark_query(name)
+        evaluator = PartialLineageEvaluator(db, engine=args.engine)
+        result = evaluator.evaluate_query(bench.query, list(bench.join_order))
+        result.answer_probabilities()
+    produced = recorder.recorded - before
+    return list(recorder.records)[-produced:] if produced else []
+
+
+def _obs_records(args: argparse.Namespace) -> list[dict]:
+    """Flight records for an ``obs`` subcommand: read ``--flight-log`` when
+    given, otherwise replay a small workload to produce fresh ones."""
+    from repro.obs import read_flight_log
+
+    if args.flight_log:
+        return read_flight_log(args.flight_log)
+    return _replay_flight(args)
+
+
+def cmd_obs_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import render_openmetrics, registry_from_records
+
+    records = _obs_records(args)
+    registry = registry_from_records(records)
+    text = render_openmetrics(registry.snapshot())
+    if args.out:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text)
+        print(f"wrote OpenMetrics exposition to {args.out} "
+              f"({len(records)} flight records)")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.obs import DEFAULT_SLO_TARGETS, slo_report_from_records
+
+    overrides = {
+        "latency_p50": args.p50,
+        "latency_p95": args.p95,
+        "latency_p99": args.p99,
+        "error_rate": args.max_error_rate,
+        "degradation_rate": args.max_degradation_rate,
+    }
+    targets = tuple(
+        dataclasses.replace(t, threshold=overrides[t.name])
+        if overrides.get(t.name) is not None else t
+        for t in DEFAULT_SLO_TARGETS
+    )
+    records = _obs_records(args)
+    report = slo_report_from_records(records, targets)
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+def cmd_obs_lint(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.obs import validate_openmetrics
+
+    errors = validate_openmetrics(pathlib.Path(args.path).read_text())
+    for error in errors:
+        print(f"lint: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{args.path}: valid OpenMetrics exposition")
+    return 1 if errors else 0
+
+
+def cmd_obs_validate(args: argparse.Namespace) -> int:
+    from repro.obs import read_flight_log, validate_flight_records
+
+    records = read_flight_log(args.path)
+    errors = validate_flight_records(records)
+    for error in errors:
+        print(f"invalid: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{args.path}: {len(records)} schema-valid flight records")
+    return 1 if errors else 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     query = parse_query(args.query)
     hierarchical = is_hierarchical(query)
@@ -519,6 +639,24 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="print the span tree with wall/CPU times after "
                              "the run")
+    parser.add_argument("--flight-log", metavar="PATH",
+                        help="sink the run's flight records (one JSON object "
+                             "per evaluation) to PATH as JSONL")
+
+
+def _add_replay_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--flight-log", metavar="PATH",
+                        help="read flight records from this JSONL log "
+                             "instead of replaying a workload")
+    parser.add_argument("--queries", nargs="+", default=["P1"],
+                        choices=sorted(TABLE1_QUERIES), metavar="Q",
+                        help="[replay] Table 1 queries to run (default: P1)")
+    parser.add_argument("--n", type=int, default=2, help="[replay] N")
+    parser.add_argument("--m", type=int, default=40,
+                        help="[replay] instance size m")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--engine", default="columnar",
+                        choices=("columnar", "rows"))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -708,6 +846,57 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--batch", type=int, default=1000,
                    help="[rescore] scenarios per batch (default 1000)")
     b.set_defaults(func=cmd_bench)
+
+    o = sub.add_parser(
+        "obs",
+        help="observability: OpenMetrics export, SLO report, and linters "
+             "for flight logs and metric expositions",
+    )
+    osub = o.add_subparsers(dest="obs_command", required=True)
+
+    om = osub.add_parser(
+        "metrics",
+        help="render an OpenMetrics/Prometheus text exposition from a "
+             "flight log (or a fresh workload replay)",
+    )
+    _add_replay_flags(om)
+    om.add_argument("--out", metavar="PATH",
+                    help="write the exposition to PATH instead of stdout")
+    om.set_defaults(func=cmd_obs_metrics)
+
+    osl = osub.add_parser(
+        "slo",
+        help="evaluate latency/error/degradation objectives over a flight "
+             "log (or a fresh workload replay); exits nonzero on violation",
+    )
+    _add_replay_flags(osl)
+    osl.add_argument("--json", action="store_true", dest="as_json",
+                     help="emit the report as JSON")
+    osl.add_argument("--p50", type=float, default=None, metavar="MS",
+                     help="override the p50 latency objective (milliseconds)")
+    osl.add_argument("--p95", type=float, default=None, metavar="MS",
+                     help="override the p95 latency objective (milliseconds)")
+    osl.add_argument("--p99", type=float, default=None, metavar="MS",
+                     help="override the p99 latency objective (milliseconds)")
+    osl.add_argument("--max-error-rate", type=float, default=None,
+                     metavar="RATE", help="override the error-rate objective")
+    osl.add_argument("--max-degradation-rate", type=float, default=None,
+                     metavar="RATE",
+                     help="override the degradation-rate objective")
+    osl.set_defaults(func=cmd_obs_slo)
+
+    ol = osub.add_parser(
+        "lint",
+        help="promtool-style lint of an OpenMetrics text exposition file",
+    )
+    ol.add_argument("path")
+    ol.set_defaults(func=cmd_obs_lint)
+
+    ov = osub.add_parser(
+        "validate", help="schema-validate a JSONL flight log"
+    )
+    ov.add_argument("path")
+    ov.set_defaults(func=cmd_obs_validate)
     return parser
 
 

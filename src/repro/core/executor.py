@@ -106,6 +106,9 @@ class EvaluationResult:
     #: compilation (``None`` = compile per analysis), inherited from the
     #: evaluator
     circuit_cache: object | None = None
+    #: operator backend that produced this result (``"columnar"``,
+    #: ``"rows"``, ``"sqlite"``), stamped into flight-recorder records
+    engine: str = ""
 
     def whatif(self, *, circuit_cache=None, budget=None):
         """A :class:`~repro.core.whatif.WhatIfAnalysis` over this result.
@@ -134,6 +137,39 @@ class EvaluationResult:
         in which case the evaluation was purely extensional.
         """
         return sum(s.conditioned for s in self.stats)
+
+    def record_flight(
+        self, kind: str, *, seconds: float, answers: int,
+        inference: str = "", rungs: dict | None = None, degraded: int = 0,
+        cache=None, budget=None, workers=None, error: str | None = None,
+    ) -> dict:
+        """Append one :mod:`repro.obs.telemetry` record for this result.
+
+        The query hash is the digest of the plan's operator signature, so
+        re-evaluations of the same plan shape aggregate under one hash in
+        the flight log regardless of instance data.
+        """
+        from repro.obs import telemetry
+
+        plan_sig = "|".join(s.operator for s in self.stats)
+        return telemetry.record(
+            kind,
+            query_hash=telemetry.query_hash(plan_sig),
+            engine=self.engine,
+            inference=inference,
+            plan=self.stats[-1].operator if self.stats else "",
+            seconds=seconds,
+            answers=answers,
+            offending=self.offending_count,
+            network_nodes=len(self.network),
+            operators=telemetry.operator_dicts(self.stats),
+            rungs=dict(rungs or {}),
+            degraded=degraded,
+            cache=telemetry.cache_dict(cache),
+            budget=telemetry.budget_dict(budget),
+            workers=workers if workers is not None else self.workers,
+            error=error,
+        )
 
     @property
     def is_data_safe(self) -> bool:
@@ -181,15 +217,33 @@ class EvaluationResult:
         degradation to sound bounds instead, use
         :meth:`resilient_answer_probabilities`.
         """
+        budget = budget if budget is not None else self.budget
+        rows = list(self.relation.items())
+        nodes = [l for _, l, _ in rows]
+        flight_start = time.perf_counter()
+        try:
+            if budget is not None:
+                budget.start().checkpoint("answer_probabilities")
+            return self._answer_probabilities(
+                engine, dpll_max_calls, cache, workers, budget,
+                rows, nodes, flight_start,
+            )
+        except Exception as exc:
+            self.record_flight(
+                "query", seconds=time.perf_counter() - flight_start,
+                answers=0, inference=engine, cache=cache, budget=budget,
+                workers=workers, error=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+
+    def _answer_probabilities(
+        self, engine, dpll_max_calls, cache, workers, budget,
+        rows, nodes, flight_start,
+    ) -> dict[Row, float]:
         from repro.core.junction import all_marginals
         from repro.core.treeprop import is_tree_factorable, tree_marginals
         from repro.perf.parallel import parallel_marginals
 
-        budget = budget if budget is not None else self.budget
-        if budget is not None:
-            budget.start().checkpoint("answer_probabilities")
-        rows = list(self.relation.items())
-        nodes = [l for _, l, _ in rows]
         marginals: dict[int, float]
         with _span(
             "answer_probabilities", engine=engine, nodes=len(self.network)
@@ -225,7 +279,14 @@ class EvaluationResult:
                     budget=budget,
                 )
             sp.add("answers", len(rows))
-        return {row: p * marginals[l] for row, l, p in rows}
+        answers = {row: p * marginals[l] for row, l, p in rows}
+        self.record_flight(
+            "query", seconds=time.perf_counter() - flight_start,
+            answers=len(answers), inference=engine,
+            rungs={"exact": len(answers)},
+            cache=cache, budget=budget, workers=workers,
+        )
+        return answers
 
     def resilient_answer_probabilities(
         self,
@@ -265,11 +326,13 @@ class EvaluationResult:
         from repro.resilience.execute import resilient_marginals
         from repro.resilience.ladder import AnswerResult
 
+        budget = budget if budget is not None else self.budget
         rows = list(self.relation.items())
+        flight_start = time.perf_counter()
         outcomes = resilient_marginals(
             self.network,
             [l for _, l, _ in rows],
-            budget=budget if budget is not None else self.budget,
+            budget=budget,
             workers=workers if workers is not None else self.workers,
             cache=cache,
             timeout=timeout,
@@ -279,10 +342,20 @@ class EvaluationResult:
             registry=registry,
             seed=seed,
         )
-        return {
+        answers = {
             row: AnswerResult.from_marginal(row, p, outcomes[l])
             for row, l, p in rows
         }
+        rungs: dict[str, int] = {}
+        for a in answers.values():
+            rungs[a.method] = rungs.get(a.method, 0) + 1
+        self.record_flight(
+            "ladder", seconds=time.perf_counter() - flight_start,
+            answers=len(answers), inference="ladder", rungs=rungs,
+            degraded=sum(1 for a in answers.values() if a.degraded),
+            cache=cache, budget=budget, workers=workers,
+        )
+        return answers
 
     def approximate_answer_probabilities(
         self,
@@ -419,6 +492,7 @@ class PartialLineageEvaluator:
             rel, network, stats, conditioned,
             workers=self.workers, budget=budget,
             circuit_cache=self.circuit_cache,
+            engine=self.engine,
         )
 
     def invalidate_cache(self) -> None:

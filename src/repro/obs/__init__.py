@@ -11,7 +11,13 @@ One instrumentation substrate for the whole pipeline:
   (``OperatorStat``, ``CacheStats``, ``DPLLStats``) through their common
   ``as_dict()``;
 * :mod:`repro.obs.export` — the ``--profile`` text tree, Chrome
-  trace-event JSON, and the validator CI runs over ``trace.json``;
+  trace-event JSON and its validator, and the OpenMetrics/Prometheus text
+  exporter plus the promtool-style linter behind ``repro obs metrics``;
+* :mod:`repro.obs.telemetry` — the always-on per-query flight recorder: a
+  ring-buffered structured event log (optionally JSONL-sinked via
+  ``--flight-log``) with one record per evaluation across every layer;
+* :mod:`repro.obs.slo` — latency percentile / error-rate / degradation-rate
+  objectives computed from the histograms, behind ``repro obs slo``;
 * :mod:`repro.obs.report` — the per-query :class:`ExplainReport` behind
   ``repro explain``.
 """
@@ -19,10 +25,28 @@ One instrumentation substrate for the whole pipeline:
 from repro.obs.export import (
     chrome_events,
     format_trace,
+    render_openmetrics,
     validate_chrome_trace,
+    validate_openmetrics,
     write_chrome_trace,
 )
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLO_TARGETS,
+    SLOReport,
+    SLOTarget,
+    evaluate_slos,
+    registry_from_records,
+    slo_report_from_records,
+)
+from repro.obs.telemetry import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    current_recorder,
+    flight_recorder,
+    read_flight_log,
+    validate_flight_records,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -47,6 +71,20 @@ __all__ = [
     "chrome_events",
     "write_chrome_trace",
     "validate_chrome_trace",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder",
+    "current_recorder",
+    "flight_recorder",
+    "read_flight_log",
+    "validate_flight_records",
+    "SLOTarget",
+    "SLOReport",
+    "DEFAULT_SLO_TARGETS",
+    "evaluate_slos",
+    "registry_from_records",
+    "slo_report_from_records",
     "ExplainReport",
     "build_explain_report",
 ]

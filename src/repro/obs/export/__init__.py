@@ -1,0 +1,34 @@
+"""Trace and metrics exporters.
+
+A package of three consumers of the observability substrate:
+
+* :mod:`repro.obs.export.chrome` — the ``--profile`` text tree, Chrome
+  trace-event JSON (``chrome://tracing`` / Perfetto), and the trace
+  validator CI runs over ``trace.json``;
+* :mod:`repro.obs.export.openmetrics` — the OpenMetrics/Prometheus text
+  rendering of a :class:`~repro.obs.metrics.MetricsRegistry` snapshot
+  (``repro obs metrics``) plus the promtool-style linter CI runs over it.
+
+The chrome module's names are re-exported here so the historical
+``from repro.obs.export import chrome_events`` import keeps working.
+"""
+
+from repro.obs.export.chrome import (
+    chrome_events,
+    format_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.export.openmetrics import (
+    render_openmetrics,
+    validate_openmetrics,
+)
+
+__all__ = [
+    "format_trace",
+    "chrome_events",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "render_openmetrics",
+    "validate_openmetrics",
+]

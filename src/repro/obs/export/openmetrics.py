@@ -1,0 +1,244 @@
+"""OpenMetrics text rendering of a metrics snapshot, plus an in-repo linter.
+
+:func:`render_openmetrics` turns a
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` into the OpenMetrics
+text exposition format (the Prometheus scrape format):
+
+* counters become ``# TYPE <name> counter`` families with one
+  ``<name>_total`` sample;
+* numeric gauges (bools as 0/1) become gauge families; non-numeric gauges
+  (engine names, git SHAs) are rendered as comments so no information is
+  silently dropped but the payload stays parseable;
+* histograms become real histogram families: the power-of-two buckets are
+  emitted as *cumulative* ``_bucket{le="..."}`` samples (upper edge
+  ``2**k``), closed by the mandatory ``le="+Inf"`` bucket plus ``_sum`` and
+  ``_count``.
+
+Metric names are sanitised to ``[a-zA-Z_][a-zA-Z0-9_]*`` (dots become
+underscores) and prefixed (default ``repro_``), so the future ``repro
+serve`` daemon exposes the entire registry to a Prometheus scraper with no
+further mapping. The payload ends with the ``# EOF`` terminator the
+OpenMetrics spec requires.
+
+:func:`validate_openmetrics` is the promtool-style lint CI runs over the
+rendered text: sample syntax, metadata-before-samples ordering, contiguous
+families, counter ``_total`` suffixes, cumulative histogram buckets, and
+the ``# EOF`` terminator.
+
+Examples
+--------
+>>> from repro.obs.metrics import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> reg.inc("cache.hits", 3)
+>>> text = render_openmetrics(reg.snapshot())
+>>> print(text, end="")
+# TYPE repro_cache_hits counter
+repro_cache_hits_total 3
+# EOF
+>>> validate_openmetrics(text)
+[]
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_openmetrics", "validate_openmetrics"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+_SAMPLE = re.compile(
+    r"(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>\S+))?\Z"
+)
+_LABEL = re.compile(r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"\Z')
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    safe = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not re.match(r"[a-zA-Z_]", safe):
+        safe = "_" + safe
+    return f"{prefix}{safe}" if prefix else safe
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(snapshot: dict, *, prefix: str = "repro_") -> str:
+    """Render a registry snapshot as OpenMetrics text (``# EOF``-terminated).
+
+    *snapshot* is the dict shape of
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; *prefix* is
+    prepended to every sanitised metric name.
+    """
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        family = _sanitize(name, prefix)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total {_fmt_value(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        family = _sanitize(name, prefix)
+        if isinstance(value, bool):
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_fmt_value(value)}")
+        elif isinstance(value, (int, float)):
+            lines.append(f"# TYPE {family} gauge")
+            lines.append(f"{family} {_fmt_value(value)}")
+        else:
+            # Non-numeric gauges (engine names, git SHAs) have no OpenMetrics
+            # value type; keep them visible without breaking parsers.
+            lines.append(f"# {family} (non-numeric gauge) = {value!r}")
+    for name, summary in sorted(snapshot.get("histograms", {}).items()):
+        family = _sanitize(name, prefix)
+        lines.append(f"# TYPE {family} histogram")
+        count = summary.get("count", 0)
+        cumulative = 0
+        if count:
+            edges = sorted(
+                int(label.split("^", 1)[1])
+                for label in summary.get("buckets", {})
+            )
+            for k in edges:
+                cumulative += summary["buckets"][f"<=2^{k}"]
+                lines.append(
+                    f'{family}_bucket{{le="{float(2.0 ** k)!r}"}} '
+                    f"{cumulative}"
+                )
+        lines.append(f'{family}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{family}_sum {_fmt_value(summary.get('sum', 0.0))}")
+        lines.append(f"{family}_count {count}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _family_of(sample_name: str, types: dict[str, str]) -> str | None:
+    """The declared family a sample name belongs to, if any."""
+    if sample_name in types:
+        return sample_name
+    for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in types:
+            return sample_name[: -len(suffix)]
+    return None
+
+
+def validate_openmetrics(text: str) -> list[str]:
+    """Promtool-style lint of OpenMetrics text; returns problems (empty=OK).
+
+    Checks: the ``# EOF`` terminator, sample-line syntax and label syntax,
+    every sample preceded by its family's ``# TYPE``, families contiguous,
+    counter samples suffixed ``_total``, histogram buckets cumulative with a
+    ``le="+Inf"`` bucket equal to ``_count``.
+
+    Examples
+    --------
+    >>> validate_openmetrics("cache_hits_total 3\\n")
+    ['missing # EOF terminator', 'line 1: sample for undeclared family (no preceding # TYPE): cache_hits_total']
+    """
+    errors: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        errors.append("missing # EOF terminator")
+    types: dict[str, str] = {}
+    current_family: str | None = None
+    seen_families: set[str] = set()
+    hist_buckets: dict[str, list[tuple[float, float]]] = {}
+    hist_counts: dict[str, float] = {}
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {i}: blank lines are not allowed")
+            continue
+        if line.strip() == "# EOF":
+            if i != len(lines):
+                errors.append(f"line {i}: # EOF before end of payload")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(f"line {i}: malformed # TYPE line")
+                continue
+            _, _, family, mtype = parts
+            if not _NAME_OK.match(family):
+                errors.append(f"line {i}: invalid family name {family!r}")
+            if mtype not in ("counter", "gauge", "histogram", "summary",
+                            "info", "unknown"):
+                errors.append(f"line {i}: unknown metric type {mtype!r}")
+            if family in types:
+                errors.append(f"line {i}: duplicate # TYPE for {family!r}")
+            if family in seen_families:
+                errors.append(f"line {i}: family {family!r} reopened "
+                              f"(samples must be contiguous)")
+            types[family] = mtype
+            if current_family is not None:
+                seen_families.add(current_family)
+            current_family = family
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT/comments
+        match = _SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {i}: unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels")
+        if labels:
+            for part in labels.split(","):
+                if not _LABEL.match(part.strip()):
+                    errors.append(f"line {i}: malformed label {part!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {i}: non-numeric value "
+                          f"{match.group('value')!r}")
+            continue
+        family = _family_of(name, types)
+        if family is None:
+            errors.append(f"line {i}: sample for undeclared family "
+                          f"(no preceding # TYPE): {name}")
+            continue
+        if family != current_family:
+            errors.append(f"line {i}: sample of family {family!r} inside "
+                          f"family {current_family!r} block")
+        mtype = types[family]
+        if mtype == "counter" and not (
+            name.endswith("_total") or name.endswith("_created")
+        ):
+            errors.append(f"line {i}: counter sample must end in _total: "
+                          f"{name}")
+        if mtype == "histogram":
+            if name.endswith("_bucket"):
+                le = None
+                for part in (labels or "").split(","):
+                    part = part.strip()
+                    if part.startswith("le="):
+                        le = part[4:-1]
+                if le is None:
+                    errors.append(f"line {i}: histogram bucket without an "
+                                  f"le label")
+                else:
+                    edge = float("inf") if le == "+Inf" else float(le)
+                    hist_buckets.setdefault(family, []).append((edge, value))
+            elif name.endswith("_count"):
+                hist_counts[family] = value
+    for family, buckets in hist_buckets.items():
+        edges = [e for e, _ in buckets]
+        counts = [c for _, c in buckets]
+        if edges != sorted(edges):
+            errors.append(f"family {family!r}: bucket edges not sorted")
+        if counts != sorted(counts):
+            errors.append(f"family {family!r}: bucket counts not cumulative")
+        if not edges or edges[-1] != float("inf"):
+            errors.append(f"family {family!r}: missing le=\"+Inf\" bucket")
+        elif family in hist_counts and counts[-1] != hist_counts[family]:
+            errors.append(
+                f"family {family!r}: +Inf bucket {counts[-1]} != _count "
+                f"{hist_counts[family]}"
+            )
+    return errors

@@ -71,6 +71,38 @@ class Histogram:
         """Arithmetic mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile estimate from the power-of-two buckets.
+
+        Walks the cumulative bucket counts to the bucket holding the
+        nearest-rank observation and returns that bucket's upper edge,
+        clamped into ``[min, max]``. The estimate therefore always lies in
+        the same bucket as (and at or above) the exact nearest-rank value —
+        the "within one bucket" accuracy the SLO layer advertises.
+
+        Examples
+        --------
+        >>> h = Histogram()
+        >>> for v in (1, 2, 3, 100):
+        ...     h.observe(v)
+        >>> h.percentile(0.5)
+        2.0
+        >>> h.percentile(1.0)
+        100.0
+        """
+        if not self.count:
+            return 0.0
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction {q!r} not in [0, 1]")
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for k in sorted(self.buckets):
+            cumulative += self.buckets[k]
+            if cumulative >= rank:
+                upper = 2.0 ** k
+                return min(max(upper, self.min), self.max)
+        return self.max
+
     def as_dict(self) -> dict:
         """JSON shape; bucket keys become ``"<=2^k"`` strings."""
         if not self.count:

@@ -1,0 +1,226 @@
+"""SLO layer: latency percentiles, error rate, degradation rate, and gates.
+
+The flight recorder (:mod:`repro.obs.telemetry`) gives a workload-level
+stream of per-evaluation records; this module folds that stream into the
+power-of-two histograms of a :class:`~repro.obs.metrics.MetricsRegistry`
+(:func:`registry_from_records`) and checks declarative objectives against
+them (:func:`evaluate_slos`):
+
+* **latency** objectives bound a percentile of a latency histogram
+  (p50/p95/p99 of ``flight.query.latency_ms``, estimated to within one
+  power-of-two bucket by :meth:`~repro.obs.metrics.Histogram.percentile`);
+* **ratio** objectives bound a counter ratio (``errors / count``,
+  ``degraded / count``).
+
+``repro obs slo`` replays a workload (or reads a ``--flight-log`` JSONL)
+and prints the report; a failed objective makes it exit nonzero, so the
+same command is a CI gate and, later, the serving daemon's health probe.
+
+Examples
+--------
+>>> from repro.obs.metrics import MetricsRegistry
+>>> reg = MetricsRegistry()
+>>> for ms in (10, 12, 14, 300):
+...     reg.observe("flight.query.latency_ms", ms)
+>>> reg.inc("flight.query.count", 4)
+>>> report = evaluate_slos(reg, [
+...     SLOTarget("latency_p50", metric="flight.query.latency_ms",
+...               percentile=0.50, threshold=100.0),
+...     SLOTarget("error_rate", ratio=("flight.query.errors",
+...                                    "flight.query.count"),
+...               threshold=0.01),
+... ])
+>>> report.ok, [round(r.observed, 2) for r in report.results]
+(True, [16.0, 0.0])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SLOTarget",
+    "SLOResult",
+    "SLOReport",
+    "DEFAULT_SLO_TARGETS",
+    "registry_from_records",
+    "evaluate_slos",
+    "slo_report_from_records",
+]
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One declarative objective: a bounded percentile or counter ratio.
+
+    Exactly one of *metric* (+ *percentile*) or *ratio* must be set.
+    *threshold* is the maximum tolerated observed value (milliseconds for
+    latency histograms recorded in ms; a fraction for ratios).
+    """
+
+    name: str
+    threshold: float
+    #: Histogram name for percentile objectives.
+    metric: str | None = None
+    #: Percentile fraction in [0, 1] (e.g. 0.95) for percentile objectives.
+    percentile: float | None = None
+    #: ``(numerator_counter, denominator_counter)`` for ratio objectives.
+    ratio: tuple[str, str] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.metric is None) == (self.ratio is None):
+            raise ValueError(
+                f"SLO {self.name!r}: exactly one of metric= or ratio= "
+                f"must be given"
+            )
+        if self.metric is not None and self.percentile is None:
+            raise ValueError(
+                f"SLO {self.name!r}: percentile objectives need percentile="
+            )
+
+    def describe(self) -> str:
+        if self.metric is not None:
+            return (f"p{round(self.percentile * 100)} of {self.metric} "
+                    f"<= {self.threshold:g}")
+        return f"{self.ratio[0]} / {self.ratio[1]} <= {self.threshold:g}"
+
+
+@dataclass
+class SLOResult:
+    """One objective's verdict."""
+
+    target: SLOTarget
+    observed: float
+    passed: bool
+    #: Number of observations the verdict rests on (0 = vacuous pass).
+    samples: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.target.name,
+            "objective": self.target.describe(),
+            "threshold": self.target.threshold,
+            "observed": self.observed,
+            "samples": self.samples,
+            "passed": self.passed,
+        }
+
+
+@dataclass
+class SLOReport:
+    """All objectives' verdicts; ``ok`` iff every one passed."""
+
+    results: list[SLOResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    def as_dict(self) -> dict:
+        return {"ok": self.ok, "slos": [r.as_dict() for r in self.results]}
+
+    def format(self) -> str:
+        from repro.bench.reporting import format_table
+
+        rows = [
+            (
+                r.target.name,
+                r.target.describe(),
+                f"{r.observed:g}",
+                r.samples,
+                "PASS" if r.passed else "FAIL",
+            )
+            for r in self.results
+        ]
+        table = format_table(
+            ("slo", "objective", "observed", "samples", "verdict"),
+            rows, title="SLO report",
+        )
+        verdict = "all objectives met" if self.ok else "OBJECTIVES VIOLATED"
+        return f"{table}\n\n{verdict}"
+
+
+#: Default serving objectives: generous enough for CI runners, tight enough
+#: to catch a pathological regression. Override per deployment.
+DEFAULT_SLO_TARGETS = (
+    SLOTarget("latency_p50", metric="flight.query.latency_ms",
+              percentile=0.50, threshold=1_000.0),
+    SLOTarget("latency_p95", metric="flight.query.latency_ms",
+              percentile=0.95, threshold=4_000.0),
+    SLOTarget("latency_p99", metric="flight.query.latency_ms",
+              percentile=0.99, threshold=16_000.0),
+    SLOTarget("error_rate", ratio=("flight.query.errors",
+                                   "flight.query.count"),
+              threshold=0.01),
+    SLOTarget("degradation_rate", ratio=("flight.query.degraded",
+                                         "flight.query.count"),
+              threshold=0.5),
+)
+
+
+def registry_from_records(
+    records, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Fold flight records into the SLO metrics of a registry.
+
+    Every query-level record (kinds ``query``/``sql``/``ladder``)
+    contributes to both its per-kind series (``flight.<kind>.*``) and the
+    aggregate ``flight.query.*`` series the default objectives read:
+    a ``latency_ms`` histogram observation, a ``count`` counter, an
+    ``errors`` counter when the record carries an error, a ``degraded``
+    counter when any answer degraded, and per-rung counters
+    (``flight.rung.<rung>``).
+    """
+    from repro.obs.telemetry import QUERY_KINDS
+
+    reg = registry if registry is not None else MetricsRegistry()
+    for rec in records:
+        kind = rec.get("kind")
+        if kind not in QUERY_KINDS:
+            if kind == "pool_chunk":
+                reg.inc("flight.pool_chunk.count")
+                if rec.get("requeued_serial"):
+                    reg.inc("flight.pool_chunk.requeued_serial")
+                reg.observe("flight.pool_chunk.attempts",
+                            rec.get("attempts", 0))
+            continue
+        series = (f"flight.{kind}", "flight.query")
+        seconds = float(rec.get("seconds", 0.0) or 0.0)
+        for prefix in dict.fromkeys(series):
+            reg.inc(f"{prefix}.count")
+            reg.observe(f"{prefix}.latency_ms", seconds * 1e3)
+            if rec.get("error"):
+                reg.inc(f"{prefix}.errors")
+            if rec.get("degraded"):
+                reg.inc(f"{prefix}.degraded")
+        for rung, n in (rec.get("rungs") or {}).items():
+            reg.inc(f"flight.rung.{rung}", n)
+    return reg
+
+
+def evaluate_slos(
+    registry: MetricsRegistry, targets=DEFAULT_SLO_TARGETS
+) -> SLOReport:
+    """Check each objective against the registry; see module docstring."""
+    report = SLOReport()
+    for target in targets:
+        if target.metric is not None:
+            hist = registry.histogram(target.metric)
+            observed = hist.percentile(target.percentile) if hist.count else 0.0
+            samples = hist.count
+        else:
+            numerator = registry.counter(target.ratio[0])
+            denominator = registry.counter(target.ratio[1])
+            observed = numerator / denominator if denominator else 0.0
+            samples = int(denominator)
+        report.results.append(
+            SLOResult(target, observed, observed <= target.threshold, samples)
+        )
+    return report
+
+
+def slo_report_from_records(records, targets=DEFAULT_SLO_TARGETS) -> SLOReport:
+    """One-shot: fold *records* into a registry and evaluate *targets*."""
+    return evaluate_slos(registry_from_records(records), targets)

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ReproError
+from repro.obs import telemetry
 from repro.obs.trace import span as _span
 
 __all__ = ["ChunkOutcome", "run_chunks"]
@@ -108,6 +109,12 @@ def run_chunks(
                 registry.inc("pool.requeued_serial")
             outcomes[index].result = serial_fn(index)
             outcomes[index].requeued_serial = True
+    for index, outcome in enumerate(outcomes):
+        telemetry.record(
+            "pool_chunk", chunk=index, attempts=outcome.attempts,
+            requeued_serial=outcome.requeued_serial,
+            events=list(outcome.events), workers=workers,
+        )
     return outcomes
 
 

@@ -32,6 +32,8 @@ from repro.core.plrelation import PLRelation
 from repro.db.database import ProbabilisticDatabase
 from repro.dissociation.engine import DissociationBounds, DissociationResult
 from repro.errors import InferenceError, PlanError
+from repro.obs import telemetry
+from repro.obs.trace import add as _add
 from repro.obs.trace import span as _span
 from repro.query.syntax import ConjunctiveQuery, Constant
 from repro.sqlbackend.storage import SQLiteStorage, _check_identifier
@@ -93,13 +95,24 @@ class SQLitePartialLineageEvaluator:
     def evaluate(self, plan: Plan) -> EvaluationResult:
         """Evaluate an explicit plan and return the standard result object."""
         plan_schema(plan, self.db)
+        start = time.perf_counter()
         network = AndOrNetwork()
         stats: list[OperatorStat] = []
         conditioned: list[OffendingTuple] = []
         self._provenance = conditioned
-        table, attrs = self._eval(plan, network, stats)
-        rel = self._fetch(table, attrs, network)
-        return EvaluationResult(rel, network, stats, conditioned)
+        with _span("sql.evaluate", plan=str(plan)) as sp:
+            table, attrs = self._eval(plan, network, stats)
+            rel = self._fetch(table, attrs, network)
+            sp.add("rows", len(rel))
+            sp.add("network_nodes", len(network))
+        result = EvaluationResult(
+            rel, network, stats, conditioned, engine="sqlite"
+        )
+        result.record_flight(
+            "sql", seconds=time.perf_counter() - start,
+            answers=len(rel), inference="",
+        )
+        return result
 
     def evaluate_query(
         self, query: ConjunctiveQuery, join_order: list[str] | None = None
@@ -133,19 +146,35 @@ class SQLitePartialLineageEvaluator:
     def _eval(
         self, plan: Plan, net: AndOrNetwork, stats: list[OperatorStat]
     ) -> tuple[str, tuple[str, ...]]:
-        if isinstance(plan, Scan):
-            table, attrs = self._scan(plan)
-        elif isinstance(plan, Select):
-            table, attrs = self._select(plan, net, stats)
-        elif isinstance(plan, Filter):
-            table, attrs = self._filter(plan, net, stats)
-        elif isinstance(plan, Project):
-            table, attrs = self._project(plan, net, stats)
-        elif isinstance(plan, Join):
-            return self._join(plan, net, stats)
-        else:
-            raise PlanError(f"unknown plan node {plan!r}")
-        stats.append(OperatorStat(str(plan), output_size=self._count(table)))
+        # One OperatorStat per node with its own wall time (children
+        # excluded, mirroring the row/columnar engines) plus a span, so the
+        # SQL backend profiles and flight-records like the in-process ones.
+        kind = type(plan).__name__.lower()
+        start = time.perf_counter()
+        before = len(stats)
+        conditioned = 0
+        with _span(f"sql.{kind}", op=str(plan)) as sp:
+            if isinstance(plan, Scan):
+                table, attrs = self._scan(plan)
+            elif isinstance(plan, Select):
+                table, attrs = self._select(plan, net, stats)
+            elif isinstance(plan, Filter):
+                table, attrs = self._filter(plan, net, stats)
+            elif isinstance(plan, Project):
+                table, attrs = self._project(plan, net, stats)
+            elif isinstance(plan, Join):
+                table, attrs, conditioned = self._join(plan, net, stats)
+            else:
+                raise PlanError(f"unknown plan node {plan!r}")
+            output_size = self._count(table)
+            sp.add("output_size", output_size)
+            if conditioned:
+                sp.add("conditioned", conditioned)
+        child_seconds = sum(s.seconds for s in stats[before:])
+        stats.append(OperatorStat(
+            str(plan), output_size=output_size, conditioned=conditioned,
+            seconds=max(time.perf_counter() - start - child_seconds, 0.0),
+        ))
         return table, attrs
 
     def _scan(self, scan: Scan) -> tuple[str, tuple[str, ...]]:
@@ -359,16 +388,18 @@ class SQLitePartialLineageEvaluator:
 
     def _join(
         self, plan: Join, net: AndOrNetwork, stats: list[OperatorStat]
-    ) -> tuple[str, tuple[str, ...]]:
+    ) -> tuple[str, tuple[str, ...], int]:
         ltable, lattrs = self._eval(plan.left, net, stats)
         rtable, rattrs = self._eval(plan.right, net, stats)
         on = tuple(plan.on)
-        conditioned = self._condition_in_place(
-            ltable, lattrs, on, rtable, net, str(plan.left)
-        )
-        conditioned += self._condition_in_place(
-            rtable, rattrs, on, ltable, net, str(plan.right)
-        )
+        with _span("sql.condition", side="left"):
+            conditioned = self._condition_in_place(
+                ltable, lattrs, on, rtable, net, str(plan.left)
+            )
+        with _span("sql.condition", side="right"):
+            conditioned += self._condition_in_place(
+                rtable, rattrs, on, ltable, net, str(plan.right)
+            )
         keep = tuple(a for a in rattrs if a not in set(on))
         out_attrs = lattrs + keep
         out = self._new_table()
@@ -406,12 +437,7 @@ class SQLitePartialLineageEvaluator:
         )
         for col in ("l1", "p1", "l2", "p2"):
             self._conn.execute(f"ALTER TABLE {_q(out)} DROP COLUMN {col}")
-        stats.append(
-            OperatorStat(
-                str(plan), output_size=self._count(out), conditioned=conditioned
-            )
-        )
-        return out, out_attrs
+        return out, out_attrs, conditioned
 
     # ------------------------------------------------------ dissociation bounds
     def dissociated_bounds(self, plan: Plan) -> DissociationResult:
@@ -443,12 +469,25 @@ class SQLitePartialLineageEvaluator:
             up = min(max(float(pup), 0.0), 1.0)
             lo = min(max(float(plo), 0.0), up)
             bounds[tuple(values)] = DissociationBounds(lo, up)
-        return DissociationResult(
+        result = DissociationResult(
             attributes=attrs,
             bounds=bounds,
             seconds=time.perf_counter() - start,
             dissociated=self._dissociated,
         )
+        telemetry.record(
+            "sql",
+            query_hash=telemetry.query_hash(str(plan)),
+            engine="sqlite",
+            inference="dissociation",
+            plan=str(plan),
+            seconds=result.seconds,
+            answers=len(bounds),
+            rungs={"dissociation": len(bounds)},
+            operators=[],
+            dissociated=self._dissociated,
+        )
+        return result
 
     def dissociated_bounds_query(
         self, query: ConjunctiveQuery, join_order: list[str] | None = None
@@ -457,6 +496,12 @@ class SQLitePartialLineageEvaluator:
         return self.dissociated_bounds(left_deep_plan(query, join_order))
 
     def _bounds_eval(self, plan: Plan) -> tuple[str, tuple[str, ...]]:
+        with _span(
+            f"sql.bounds.{type(plan).__name__.lower()}", op=str(plan)
+        ):
+            return self._bounds_eval_node(plan)
+
+    def _bounds_eval_node(self, plan: Plan) -> tuple[str, tuple[str, ...]]:
         if isinstance(plan, Scan):
             return self._bounds_scan(plan)
         if isinstance(plan, Select):
@@ -568,6 +613,7 @@ class SQLitePartialLineageEvaluator:
                 f"SELECT COUNT(*) FROM {_q(table)} WHERE plo < 1.0"
             ).fetchone()
             self._dissociated += n
+            _add("dissociated", n)
             out = self._new_table()
             self._conn.execute(
                 f"CREATE TEMP TABLE {_q(out)} AS SELECT {vals}t.pup AS pup, "
@@ -587,6 +633,7 @@ class SQLitePartialLineageEvaluator:
             f"ON {on_clause} WHERE g.c > 1 AND t.plo < 1.0"
         ).fetchone()
         self._dissociated += n
+        _add("dissociated", n)
         out = self._new_table()
         # LEFT JOIN: partnerless rows keep plo (NULL fan-out falls to ELSE)
         # and drop at the join anyway.

@@ -1,0 +1,179 @@
+"""The bench-trajectory regression sentinel and the report stamps it reads."""
+
+import json
+
+import pytest
+
+from repro.bench.reporting import (
+    BENCH_SCHEMA_VERSION,
+    next_run_sequence,
+    write_bench_report,
+)
+from repro.bench.trajectory import (
+    check_trajectory,
+    extract_headline,
+    load_history,
+    main,
+    read_current_points,
+    update_history,
+)
+
+
+def write_suite(tmp_path, suite, payload, run_sequence=1):
+    payload = dict(payload)
+    payload.setdefault("run_sequence", run_sequence)
+    payload.setdefault("environment", {"git_sha": "abc123"})
+    path = tmp_path / f"BENCH_{suite}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+# --------------------------------------------------------------- reporting
+def test_write_bench_report_stamps_schema_and_sequence(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    write_bench_report(path, {"acceptance": {"ok": True}})
+    first = json.loads(path.read_text())
+    assert first["schema_version"] == BENCH_SCHEMA_VERSION
+    assert first["run_sequence"] == 1
+    write_bench_report(path, {"acceptance": {"ok": True}})
+    second = json.loads(path.read_text())
+    assert second["run_sequence"] == 2  # monotone across reruns
+
+
+def test_next_run_sequence_handles_missing_and_garbage(tmp_path):
+    assert next_run_sequence(tmp_path / "nope.json") == 1
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    assert next_run_sequence(bad) == 1
+    old = tmp_path / "old.json"
+    old.write_text(json.dumps({"no_sequence": True}))
+    assert next_run_sequence(old) == 1  # pre-versioning report restarts
+
+
+# --------------------------------------------------------------- extraction
+def test_extract_headline_per_suite():
+    assert extract_headline(
+        "columnar", {"acceptance": {"largest_instance_speedup": 12.0}}
+    ) == {"largest_instance_speedup": 12.0}
+    assert extract_headline(
+        "mc_dpll",
+        {"sampling": {"karp_luby": {"speedup": 50.0},
+                      "mc_query_probability": {"speedup": 130.0}}},
+    ) == {"karp_luby_speedup": 50.0,
+          "mc_query_probability_speedup": 130.0}
+    assert extract_headline("columnar", {}) == {}
+    assert extract_headline("unknown_suite", {"acceptance": {}}) == {}
+    # booleans are acceptance flags, never headline metrics
+    assert extract_headline(
+        "rescore", {"acceptance": {"speedup": True}}
+    ) == {}
+
+
+def test_read_current_points(tmp_path):
+    write_suite(tmp_path, "rescore",
+                {"acceptance": {"speedup": 60.0}}, run_sequence=3)
+    (tmp_path / "BENCH_broken.json").write_text("{nope")
+    points = read_current_points(tmp_path)
+    assert set(points) == {"rescore"}
+    assert points["rescore"]["metrics"] == {"speedup": 60.0}
+    assert points["rescore"]["run_sequence"] == 3
+    assert points["rescore"]["git_sha"] == "abc123"
+
+
+# ------------------------------------------------------------------- check
+def history_with(suite, **metrics):
+    return {"suites": {suite: [{"run_sequence": 1, "git_sha": None,
+                                "metrics": metrics}]}}
+
+
+def test_check_passes_within_tolerance():
+    history = history_with("rescore", speedup=60.0)
+    points = {"rescore": {"metrics": {"speedup": 50.0}}}
+    assert check_trajectory(history, points, tolerance=0.25) == []
+
+
+def test_check_flags_regression_beyond_tolerance():
+    history = history_with("rescore", speedup=60.0)
+    points = {"rescore": {"metrics": {"speedup": 30.0}}}
+    (reg,) = check_trajectory(history, points, tolerance=0.25)
+    assert reg.suite == "rescore" and reg.metric == "speedup"
+    assert reg.ratio == pytest.approx(0.5)
+    assert "50%" in reg.describe()
+
+
+def test_check_ignores_new_suites_and_metrics():
+    points = {"rescore": {"metrics": {"speedup": 1.0}}}
+    assert check_trajectory({"suites": {}}, points, tolerance=0.25) == []
+
+
+def test_relaxed_tolerance_absorbs_larger_drops():
+    history = history_with("rescore", speedup=60.0)
+    points = {"rescore": {"metrics": {"speedup": 10.0}}}
+    assert check_trajectory(history, points, tolerance=0.25) != []
+    assert check_trajectory(history, points, tolerance=0.9) == []
+
+
+# ------------------------------------------------------------------ update
+def test_update_appends_and_deduplicates():
+    history = {"suites": {}}
+    points = {"rescore": {"metrics": {"speedup": 60.0},
+                          "run_sequence": 1, "git_sha": "abc"}}
+    assert update_history(history, points) is True
+    assert update_history(history, points) is False  # identical point
+    assert len(history["suites"]["rescore"]) == 1
+    points["rescore"] = {"metrics": {"speedup": 61.0},
+                         "run_sequence": 2, "git_sha": "def"}
+    assert update_history(history, points) is True
+    assert [e["metrics"]["speedup"]
+            for e in history["suites"]["rescore"]] == [60.0, 61.0]
+
+
+# --------------------------------------------------------------------- CLI
+def test_main_green_run_and_update(tmp_path, capsys):
+    write_suite(tmp_path, "rescore", {"acceptance": {"speedup": 60.0}})
+    history_path = tmp_path / "BENCH_trajectory.json"
+    assert main(["--bench-dir", str(tmp_path), "--update"]) == 0
+    assert history_path.exists()
+    out = capsys.readouterr().out
+    assert "bench trajectory" in out and "new" in out
+    # second run compares against the recorded baseline and stays green
+    assert main(["--bench-dir", str(tmp_path)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_main_exits_nonzero_on_regression(tmp_path, capsys):
+    write_suite(tmp_path, "rescore", {"acceptance": {"speedup": 60.0}})
+    assert main(["--bench-dir", str(tmp_path), "--update"]) == 0
+    write_suite(tmp_path, "rescore", {"acceptance": {"speedup": 10.0}})
+    capsys.readouterr()
+    assert main(["--bench-dir", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSED" in captured.out
+    assert "REGRESSION" in captured.err
+    # the same drop passes with a relaxed tolerance
+    assert main(["--bench-dir", str(tmp_path), "--tolerance", "0.9"]) == 0
+
+
+def test_main_json_output(tmp_path, capsys):
+    write_suite(tmp_path, "rescore", {"acceptance": {"speedup": 60.0}})
+    assert main(["--bench-dir", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["points"]["rescore"]["metrics"]["speedup"] == 60.0
+
+
+def test_main_errors_without_reports(tmp_path, capsys):
+    assert main(["--bench-dir", str(tmp_path)]) == 2
+    assert "no BENCH_" in capsys.readouterr().err
+
+
+def test_committed_history_covers_all_five_suites():
+    import pathlib
+
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    history = load_history(repo / "BENCH_trajectory.json")
+    assert set(history["suites"]) == {
+        "columnar", "parallel", "rescore", "dissoc", "mc_dpll",
+    }
+    for entries in history["suites"].values():
+        assert entries and all(e["metrics"] for e in entries)

@@ -1,0 +1,115 @@
+"""OpenMetrics renderer and the promtool-style linter: valid expositions
+round-trip cleanly, broken ones are caught."""
+
+from repro.obs.export import render_openmetrics, validate_openmetrics
+from repro.obs.metrics import MetricsRegistry
+
+
+def full_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("cache.hits", 3)
+    reg.inc("flight.query.count", 7)
+    reg.gauge("network.nodes", 17)
+    reg.gauge("pool.hit_rate", 0.75)
+    reg.gauge("engine.name", "columnar")  # non-numeric gauge
+    for v in (0.5, 1.5, 3.0, 100.0):
+        reg.observe("flight.query.latency_ms", v)
+    return reg
+
+
+def test_render_is_lint_clean():
+    text = render_openmetrics(full_registry().snapshot())
+    assert validate_openmetrics(text) == []
+
+
+def test_render_shape():
+    text = render_openmetrics(full_registry().snapshot())
+    assert text.endswith("# EOF\n")
+    assert "# TYPE repro_cache_hits counter" in text
+    assert "repro_cache_hits_total 3" in text  # ints render without .0
+    assert "# TYPE repro_network_nodes gauge" in text
+    assert "repro_network_nodes 17" in text
+    # histogram: cumulative buckets, +Inf equals _count
+    assert 'repro_flight_query_latency_ms_bucket{le="+Inf"} 4' in text
+    assert "repro_flight_query_latency_ms_count 4" in text
+    assert "repro_flight_query_latency_ms_sum 105" in text
+    # non-numeric gauges degrade to comments, never invalid samples
+    assert "repro_engine_name 'columnar'" not in text
+    assert "non-numeric gauge" in text
+
+
+def test_histogram_buckets_are_cumulative_and_sorted():
+    text = render_openmetrics(full_registry().snapshot())
+    lines = [l for l in text.splitlines()
+             if l.startswith("repro_flight_query_latency_ms_bucket")]
+    counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+    assert counts == sorted(counts)
+    assert counts[-1] == 4
+    edges = [l.split('le="', 1)[1].split('"', 1)[0] for l in lines]
+    assert edges[-1] == "+Inf"
+    numeric = [float(e) for e in edges[:-1]]
+    assert numeric == sorted(numeric)
+
+
+def test_empty_snapshot_is_valid():
+    text = render_openmetrics(MetricsRegistry().snapshot())
+    assert validate_openmetrics(text) == []
+    assert text.strip().endswith("# EOF")
+
+
+def test_name_sanitisation():
+    reg = MetricsRegistry()
+    reg.inc("pool.chunk_failure.FaultInjectedError")
+    text = render_openmetrics(reg.snapshot())
+    assert "repro_pool_chunk_failure_FaultInjectedError_total 1" in text
+    assert validate_openmetrics(text) == []
+
+
+def test_lint_catches_missing_eof():
+    assert any("EOF" in e for e in validate_openmetrics("x_total 1\n"))
+
+
+def test_lint_catches_sample_before_type():
+    text = "x_total 1\n# TYPE x counter\n# EOF\n"
+    assert any("TYPE" in e or "before" in e
+               for e in validate_openmetrics(text))
+
+
+def test_lint_catches_counter_without_total_suffix():
+    text = "# TYPE x counter\nx 1\n# EOF\n"
+    assert validate_openmetrics(text) != []
+
+
+def test_lint_catches_noncumulative_buckets():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1.0"} 5\n'
+        'h_bucket{le="2.0"} 3\n'
+        'h_bucket{le="+Inf"} 5\n'
+        "h_sum 4.0\nh_count 5\n# EOF\n"
+    )
+    assert any("cumulative" in e or "decreas" in e
+               for e in validate_openmetrics(text))
+
+
+def test_lint_catches_missing_inf_bucket():
+    text = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="1.0"} 5\n'
+        "h_sum 4.0\nh_count 5\n# EOF\n"
+    )
+    assert any("+Inf" in e for e in validate_openmetrics(text))
+
+
+def test_lint_catches_reopened_family():
+    text = (
+        "# TYPE a counter\na_total 1\n"
+        "# TYPE b counter\nb_total 1\n"
+        "# TYPE a counter\na_total 2\n# EOF\n"
+    )
+    assert validate_openmetrics(text) != []
+
+
+def test_lint_catches_nonnumeric_value():
+    text = "# TYPE x gauge\nx hello\n# EOF\n"
+    assert validate_openmetrics(text) != []

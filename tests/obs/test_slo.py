@@ -1,0 +1,101 @@
+"""SLO targets, the record->registry fold, and report evaluation."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_SLO_TARGETS,
+    SLOTarget,
+    evaluate_slos,
+    registry_from_records,
+    slo_report_from_records,
+)
+from repro.obs.telemetry import FlightRecorder
+
+
+def make_records(latencies=(0.001, 0.002), errors=0, degraded=0):
+    rec = FlightRecorder()
+    for i, seconds in enumerate(latencies):
+        rec.record(
+            "query", engine="columnar", seconds=seconds, answers=1,
+            rungs={"exact": 1},
+            error="ReproError: boom" if i < errors else None,
+            degraded=1 if i < degraded else 0,
+        )
+    return rec.records
+
+
+def test_target_requires_exactly_one_of_metric_or_ratio():
+    with pytest.raises(ValueError, match="exactly one"):
+        SLOTarget("x", threshold=1.0)
+    with pytest.raises(ValueError, match="exactly one"):
+        SLOTarget("x", threshold=1.0, metric="m", percentile=0.5,
+                  ratio=("a", "b"))
+    with pytest.raises(ValueError):
+        SLOTarget("x", threshold=1.0, metric="m")  # percentile missing
+
+
+def test_registry_from_records_folds_query_series():
+    reg = registry_from_records(
+        make_records(latencies=(0.001, 0.004), errors=1, degraded=1)
+    )
+    assert reg.counter("flight.query.count") == 2
+    assert reg.counter("flight.query.errors") == 1
+    assert reg.counter("flight.query.degraded") == 1
+    assert reg.counter("flight.rung.exact") == 2
+    hist = reg.histogram("flight.query.latency_ms")
+    assert hist.count == 2
+    assert hist.max == pytest.approx(4.0)
+
+
+def test_registry_from_records_folds_pool_chunks():
+    rec = FlightRecorder()
+    rec.record("pool_chunk", chunk=0, attempts=2, requeued_serial=True,
+               events=["attempt0:timeout"])
+    rec.record("pool_chunk", chunk=1, attempts=1, requeued_serial=False,
+               events=[])
+    reg = registry_from_records(rec.records)
+    assert reg.counter("flight.pool_chunk.count") == 2
+    assert reg.counter("flight.pool_chunk.requeued_serial") == 1
+    assert reg.histogram("flight.pool_chunk.attempts").count == 2
+
+
+def test_default_targets_pass_on_fast_clean_records():
+    report = slo_report_from_records(make_records())
+    assert report.ok
+    assert all(r.passed for r in report.results)
+    assert {r.target.name for r in report.results} == {
+        "latency_p50", "latency_p95", "latency_p99",
+        "error_rate", "degradation_rate",
+    }
+
+
+def test_latency_objective_fails_on_slow_records():
+    # 100s queries blow the 1000ms p50 objective
+    report = slo_report_from_records(make_records(latencies=(100.0, 200.0)))
+    assert not report.ok
+    failed = {r.target.name for r in report.results if not r.passed}
+    assert "latency_p50" in failed
+
+
+def test_error_rate_objective():
+    report = slo_report_from_records(
+        make_records(latencies=(0.001,) * 2, errors=1)
+    )
+    failed = {r.target.name for r in report.results if not r.passed}
+    assert "error_rate" in failed  # 50% >> the 1% objective
+
+
+def test_ratio_with_empty_denominator_passes():
+    report = evaluate_slos(MetricsRegistry())
+    assert report.ok  # no traffic, no violations
+
+
+def test_report_format_and_as_dict():
+    report = slo_report_from_records(make_records())
+    text = report.format()
+    assert "latency_p95" in text and "PASS" in text
+    d = report.as_dict()
+    assert d["ok"] is True
+    assert len(d["slos"]) == len(DEFAULT_SLO_TARGETS)
+    assert all("observed" in r for r in d["slos"])

@@ -1,0 +1,124 @@
+"""Property tests for the observability layer.
+
+Two contracts the SLO/pool machinery relies on:
+
+* :meth:`Histogram.percentile` is a *bucketed* nearest-rank estimate — it
+  must land in the same power-of-two bucket as the exact nearest-rank
+  value, at or above it, and never outside ``[min, max]``;
+* :meth:`MetricsRegistry.merge` over pool-worker snapshots is associative
+  and commutative (up to float summation), so chunk results can be folded
+  back in any order and any grouping.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+values = st.floats(min_value=1e-6, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+fractions = st.floats(min_value=0.0, max_value=1.0)
+
+
+def bucket_of(value: float) -> int:
+    """The power-of-two bucket index ``Histogram.observe`` files *value* in."""
+    return 0 if value <= 1.0 else math.ceil(math.log2(value))
+
+
+def exact_nearest_rank(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+# ------------------------------------------------------------ percentile
+@given(st.lists(values, min_size=1, max_size=200), fractions)
+def test_percentile_within_one_bucket_of_exact(samples, q):
+    hist = Histogram()
+    for v in samples:
+        hist.observe(v)
+    estimate = hist.percentile(q)
+    exact = exact_nearest_rank(samples, q)
+    # same bucket, never below the exact value's bucket floor
+    assert bucket_of(estimate) == bucket_of(exact)
+    assert estimate >= exact or estimate == pytest.approx(exact)
+    assert hist.min <= estimate <= hist.max
+
+
+@given(st.lists(values, min_size=1, max_size=50))
+def test_percentile_is_monotone_in_q(samples):
+    hist = Histogram()
+    for v in samples:
+        hist.observe(v)
+    qs = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0]
+    estimates = [hist.percentile(q) for q in qs]
+    assert estimates == sorted(estimates)
+
+
+def test_percentile_empty_and_bad_fraction():
+    assert Histogram().percentile(0.5) == 0.0
+    hist = Histogram()
+    hist.observe(1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+
+
+# ----------------------------------------------------------------- merge
+@st.composite
+def registry_snapshots(draw) -> dict:
+    """A plausible pool-worker snapshot: counters + histogram observations."""
+    reg = MetricsRegistry()
+    names = ("cache.hits", "pool.chunk_retries", "dpll.calls")
+    for name in names:
+        n = draw(st.integers(min_value=0, max_value=20))
+        if n:
+            reg.inc(name, n)
+    for v in draw(st.lists(values, max_size=20)):
+        reg.observe("chunk.cost", v)
+    return reg.snapshot()
+
+
+def assert_snapshots_equal(a: dict, b: dict):
+    assert a["counters"] == b["counters"]
+    assert a["gauges"] == b["gauges"]
+    assert set(a["histograms"]) == set(b["histograms"])
+    for name, ha in a["histograms"].items():
+        hb = b["histograms"][name]
+        assert ha["count"] == hb["count"]
+        if ha["count"]:
+            assert ha["min"] == hb["min"]
+            assert ha["max"] == hb["max"]
+            assert ha["buckets"] == hb["buckets"]
+            # float summation order may differ across merge orders
+            assert ha["sum"] == pytest.approx(hb["sum"])
+
+
+def merged(*snapshots) -> dict:
+    reg = MetricsRegistry()
+    for snap in snapshots:
+        reg.merge(snap)
+    return reg.snapshot()
+
+
+@settings(max_examples=50)
+@given(registry_snapshots(), registry_snapshots())
+def test_merge_commutative(a, b):
+    assert_snapshots_equal(merged(a, b), merged(b, a))
+
+
+@settings(max_examples=50)
+@given(registry_snapshots(), registry_snapshots(), registry_snapshots())
+def test_merge_associative(a, b, c):
+    left = merged(merged(a, b), c)
+    right = merged(a, merged(b, c))
+    assert_snapshots_equal(left, right)
+
+
+@given(registry_snapshots())
+def test_merge_identity(a):
+    assert_snapshots_equal(merged(a), merged({}, a))

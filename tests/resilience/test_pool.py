@@ -123,3 +123,18 @@ def test_chunk_outcome_defaults():
     o = ChunkOutcome()
     assert o.result is None and o.attempts == 0
     assert not o.requeued_serial and o.events == []
+
+
+def test_run_chunks_emits_pool_chunk_flight_records():
+    from repro.obs import flight_recorder, validate_flight_records
+
+    with flight_recorder() as rec:
+        run_chunks(
+            _worker, _payload("ok"), 3,
+            workers=0, serial_fn=_serial,
+        )
+    records = [r for r in rec.records if r["kind"] == "pool_chunk"]
+    assert len(records) == 3
+    assert [r["chunk"] for r in records] == [0, 1, 2]
+    assert all(r["requeued_serial"] for r in records)  # workers=0
+    assert validate_flight_records(rec.records) == []

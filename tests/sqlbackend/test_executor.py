@@ -136,3 +136,70 @@ def test_provenance_parity_with_memory(rng):
         }
         checked += bool(mem.conditioned_tuples)
     assert checked > 0
+
+
+def test_operator_stats_carry_timings_and_spans():
+    """Satellite instrumentation: every OperatorStat of the SQL executor
+    reports a children-excluded positive duration, and the evaluation opens
+    sql.* spans."""
+    from repro.obs.trace import Tracer
+    from tests.core.test_executor import sec42_database
+
+    db = sec42_database()
+    q = parse_query("q() :- R(x), S(x,y), T(y)")
+    ev = SQLitePartialLineageEvaluator(db)
+    try:
+        with Tracer() as tracer:
+            result = ev.evaluate_query(q, ["R", "S", "T"])
+    finally:
+        ev.close()
+    assert result.stats, "executor must record per-operator stats"
+    assert all(s.seconds > 0 for s in result.stats)
+    names = {s.name for root in tracer.roots for s in root.walk()}
+    assert "sql.evaluate" in names
+    assert any(n.startswith("sql.join") or n.startswith("sql.scan")
+               for n in names)
+
+
+def test_sql_evaluation_emits_flight_record():
+    from repro.obs import flight_recorder
+    from tests.core.test_executor import sec42_database
+
+    db = sec42_database()
+    q = parse_query("q() :- R(x), S(x,y), T(y)")
+    with flight_recorder() as rec:
+        ev = SQLitePartialLineageEvaluator(db)
+        try:
+            ev.evaluate_query(q, ["R", "S", "T"])
+        finally:
+            ev.close()
+    sql_records = [r for r in rec.records if r["kind"] == "sql"]
+    assert len(sql_records) == 1
+    (r,) = sql_records
+    assert r["engine"] == "sqlite"
+    assert r["operators"] and all(
+        op["seconds"] > 0 for op in r["operators"]
+    )
+    assert r["offending"] == 2
+    from repro.obs import validate_flight_records
+
+    assert validate_flight_records(rec.records) == []
+
+
+def test_dissociated_bounds_emits_dissociation_record():
+    from repro.obs import flight_recorder, validate_flight_records
+    from tests.core.test_executor import sec42_database
+
+    db = sec42_database()
+    q = parse_query("q() :- R(x), S(x,y), T(y)")
+    with flight_recorder() as rec:
+        ev = SQLitePartialLineageEvaluator(db)
+        try:
+            ev.dissociated_bounds_query(q, ["R", "S", "T"])
+        finally:
+            ev.close()
+    records = [r for r in rec.records
+               if r["kind"] == "sql" and r["inference"] == "dissociation"]
+    assert len(records) == 1
+    assert "dissociation" in records[0]["rungs"]
+    assert validate_flight_records(rec.records) == []

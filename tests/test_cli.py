@@ -198,3 +198,83 @@ def test_whatif_command_needs_database(capsys):
     code = main(["whatif", "q(x) :- R(x)"])
     assert code == 2
     assert "either --database" in capsys.readouterr().err
+
+
+def test_query_flight_log(csv_db, tmp_path, capsys):
+    from repro.obs import validate_flight_records
+
+    log = tmp_path / "flight.jsonl"
+    code = main([
+        "query", str(csv_db), "q(x) :- R(x), S(x,y), T(y)",
+        "--flight-log", str(log),
+    ])
+    assert code == 0
+    assert "flight records" in capsys.readouterr().out
+    assert validate_flight_records(str(log)) == []
+    import json
+
+    records = [json.loads(line) for line in log.read_text().splitlines()]
+    assert any(r["kind"] == "query" for r in records)
+
+
+def test_obs_metrics_replay_and_lint(tmp_path, capsys):
+    out_path = tmp_path / "metrics.prom"
+    code = main(["obs", "metrics", "--m", "15", "--out", str(out_path)])
+    assert code == 0
+    assert main(["obs", "lint", str(out_path)]) == 0
+    assert "valid OpenMetrics" in capsys.readouterr().out
+    text = out_path.read_text()
+    assert "repro_flight_query_count_total" in text
+    assert text.endswith("# EOF\n")
+
+
+def test_obs_metrics_from_flight_log(tmp_path, capsys):
+    log = tmp_path / "flight.jsonl"
+    assert main(["obs", "metrics", "--m", "15",
+                 "--out", str(tmp_path / "unused.prom")]) == 0
+    # produce a log via a replay sink, then read it back
+    from repro.obs import flight_recorder
+    from repro.obs.telemetry import record
+
+    with flight_recorder(log):
+        record("query", engine="columnar", seconds=0.01, answers=1)
+    capsys.readouterr()
+    assert main(["obs", "metrics", "--flight-log", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "repro_flight_query_count_total 1" in out
+
+
+def test_obs_slo_replay_passes(capsys):
+    assert main(["obs", "slo", "--m", "15"]) == 0
+    out = capsys.readouterr().out
+    assert "latency_p95" in out and "all objectives met" in out
+
+
+def test_obs_slo_violation_exits_nonzero(capsys):
+    # an impossible p50 objective must fail against any real replay
+    assert main(["obs", "slo", "--m", "15", "--p50", "1e-9"]) == 1
+    assert "OBJECTIVES VIOLATED" in capsys.readouterr().out
+
+
+def test_obs_slo_json(capsys):
+    import json
+
+    assert main(["obs", "slo", "--m", "15", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert {r["name"] for r in payload["slos"]} >= {"latency_p50",
+                                                    "error_rate"}
+
+
+def test_obs_lint_rejects_broken_exposition(tmp_path, capsys):
+    bad = tmp_path / "bad.prom"
+    bad.write_text("x_total 1\n")  # no TYPE, no EOF
+    assert main(["obs", "lint", str(bad)]) == 1
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_obs_validate_flight_log(tmp_path, capsys):
+    log = tmp_path / "flight.jsonl"
+    log.write_text('{"v": 1, "seq": 1, "ts": 0, "pid": 1, "kind": "bogus"}\n')
+    assert main(["obs", "validate", str(log)]) == 1
+    assert "unknown kind" in capsys.readouterr().err
