@@ -1,0 +1,370 @@
+"""Query-service soak benchmark; writes ``BENCH_serve.json``.
+
+Replays a concurrent workload against an in-process
+:class:`~repro.serve.Server` and measures what the serving layer promises:
+sustained throughput and tail latency *while faults are being injected*,
+with every served answer either bit-identical to a serial oracle (exact
+mode) or a sound enclosure of it (degraded modes), and every failure an
+explicit protocol rejection — degraded or rejected, never wrong.
+
+Two phases:
+
+**read-chaos** — ``--requests`` read-only queries from ``--clients``
+client threads over prepared Table 1 statements, with a chaos mix woven
+in: worker-crash fault plans through the resilient pool (retried, then
+degraded), near-zero deadlines (admission-rejected), tiny deadlines that
+expire mid-pipeline (degrade to dissociation bounds in ``auto`` mode), and
+plain exact requests. The database never moves, so one serial oracle per
+statement checks every response.
+
+**txn-churn** — a writer thread toggles one tuple's probability between
+two values (commit per toggle) while reader threads run exact queries
+concurrently. Snapshot isolation makes a stronger check possible: every
+reader's answer set must be bit-identical to the oracle of *one* of the
+two committed states — a torn read (mixing states) matches neither and
+counts as wrong.
+
+The whole run happens under a fresh flight recorder; the ``serve`` records
+drive the latency percentiles, the :data:`~repro.obs.SERVE_SLO_TARGETS`
+report, and a schema validation. Acceptance: zero wrong answers in both
+phases, only known rejection codes, a valid flight log, a passing SLO
+report, and a clean drain.
+
+Run ``PYTHONPATH=src python -m repro.bench.serve --help`` (or
+``repro bench --suite serve``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from repro.bench.reporting import (
+    acceptance_exit_code,
+    bench_environment,
+    write_bench_report,
+)
+from repro.core.executor import PartialLineageEvaluator
+from repro.core.plan import left_deep_plan
+from repro.obs import telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SERVE_SLO_TARGETS, registry_from_records, evaluate_slos
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.serve import AdmissionPolicy, Server, protocol
+from repro.workload.generator import WorkloadParams, generate_database
+from repro.workload.queries import benchmark_query
+
+#: Enclosure tolerance for degraded answers against the serial oracle.
+ENCLOSURE_TOLERANCE = 1e-9
+
+#: Statements the replay exercises (hierarchical + non-hierarchical mix).
+STATEMENTS = ("P1", "P2")
+
+#: Rejection codes that count as explicit backpressure, not failures.
+EXPECTED_REJECTIONS = frozenset(
+    {"rejected_overload", "rejected_deadline", "timeout", "budget_exceeded"}
+)
+
+
+def serial_oracle(db, name: str) -> dict:
+    """Exact per-answer probabilities from a fresh single-threaded run."""
+    bench = benchmark_query(name)
+    plan = left_deep_plan(bench.query, list(bench.join_order))
+    result = PartialLineageEvaluator(db, engine="columnar").evaluate(plan)
+    return result.answer_probabilities()
+
+
+def check_payload(payload: dict, oracle: dict) -> bool:
+    """True iff *payload* is exact-correct or a sound enclosure of *oracle*."""
+    got = {tuple(a["row"]): a for a in payload["answers"]}
+    if set(got) != set(oracle):
+        return False
+    for row, truth in oracle.items():
+        a = got[row]
+        if a["exact"] and payload["mode"] == "exact":
+            if a["probability"] != truth:
+                return False
+        elif not (
+            a["lower"] - ENCLOSURE_TOLERANCE
+            <= truth
+            <= a["upper"] + ENCLOSURE_TOLERANCE
+        ):
+            return False
+    return True
+
+
+def _chaos_kind(i: int) -> str:
+    """The request mix: mostly plain, every Nth a specific chaos flavour."""
+    if i % 7 == 3:
+        return "crash"        # worker-crash fault plan through the pool
+    if i % 11 == 5:
+        return "zero_deadline"  # rejected at admission, never dispatched
+    if i % 13 == 7:
+        return "tiny_deadline"  # expires mid-flight; auto degrades soundly
+    return "plain"
+
+
+def run_read_chaos(
+    server: Server, oracles: dict, requests: int, clients: int
+) -> dict:
+    """Phase 1: concurrent read-only replay with injected faults."""
+    counts = {
+        "ok": 0, "rejected": 0, "wrong": 0, "degraded": 0,
+        "unexpected_errors": 0,
+    }
+    lock = threading.Lock()
+    crash_plan = FaultPlan((FaultSpec("crash", chunk=0),))
+
+    def one(i: int) -> None:
+        name = STATEMENTS[i % len(STATEMENTS)]
+        kind = _chaos_kind(i)
+        kwargs: dict = {"mode": "auto", "deadline": 30.0}
+        if kind == "crash":
+            kwargs = {
+                "mode": "degrade", "deadline": 30.0,
+                "fault_plan": crash_plan, "pool_workers": 2,
+            }
+        elif kind == "zero_deadline":
+            kwargs = {"mode": "auto", "deadline": 0.0}
+        elif kind == "tiny_deadline":
+            kwargs = {"mode": "auto", "deadline": 0.002}
+        try:
+            payload = server.query(name, **kwargs)
+        except Exception as exc:
+            code = protocol.code_for_exception(exc)
+            with lock:
+                counts["rejected" if code in EXPECTED_REJECTIONS else
+                       "unexpected_errors"] += 1
+            return
+        good = check_payload(payload, oracles[name])
+        with lock:
+            counts["ok"] += 1
+            if payload["mode"] != "exact":
+                counts["degraded"] += 1
+            if not good:
+                counts["wrong"] += 1
+
+    start = time.perf_counter()
+    indexes = iter(range(requests))
+    ilock = threading.Lock()
+
+    def pump() -> None:
+        while True:
+            with ilock:
+                i = next(indexes, None)
+            if i is None:
+                return
+            one(i)
+
+    threads = [
+        threading.Thread(target=pump, name=f"bench-client-{c}")
+        for c in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - start
+    counts.update(
+        requests=requests, seconds=seconds,
+        qps=counts["ok"] / seconds if seconds > 0 else 0.0,
+    )
+    return counts
+
+
+def run_txn_churn(
+    server: Server, oracle_a: dict, oracle_b: dict,
+    row: tuple, p_a: float, p_b: float,
+    commits: int, readers: int, statement: str,
+) -> dict:
+    """Phase 2: exact readers racing a committing writer.
+
+    Every reader response must bit-match the oracle of exactly one
+    committed state; anything else is a torn (wrong) read.
+    """
+    counts = {"reads": 0, "wrong": 0, "commits": 0, "rollbacks": 0}
+    lock = threading.Lock()
+
+    def writer() -> None:
+        flip = False
+        for i in range(commits):
+            sid = server.begin()["session"]
+            target = p_b if not flip else p_a
+            server.set_prob(sid, "R1", row, target)
+            if i % 5 == 4:
+                # Churn the rollback path too: buffered, discarded, free.
+                server.rollback(sid)
+                with lock:
+                    counts["rollbacks"] += 1
+                continue
+            server.commit(sid)
+            flip = not flip
+            with lock:
+                counts["commits"] += 1
+
+    def reader() -> None:
+        # Fixed read count (not a stop flag): a fast writer must not be
+        # able to end the phase before any racing read completes.
+        for _ in range(max(4, commits)):
+            payload = server.query(statement, mode="exact", deadline=30.0)
+            got = {
+                tuple(a["row"]): a["probability"] for a in payload["answers"]
+            }
+            consistent = got == oracle_a or got == oracle_b
+            with lock:
+                counts["reads"] += 1
+                if not consistent:
+                    counts["wrong"] += 1
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=writer, name="bench-writer")] + [
+        threading.Thread(target=reader, name=f"bench-reader-{r}")
+        for r in range(readers)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - start
+    counts.update(
+        seconds=seconds,
+        qps=counts["reads"] / seconds if seconds > 0 else 0.0,
+    )
+    return counts
+
+
+def run_benchmark(
+    *,
+    n: int = 2,
+    m: int = 40,
+    seed: int = 0,
+    requests: int = 120,
+    clients: int = 6,
+    commits: int = 20,
+    readers: int = 3,
+) -> dict:
+    """Both phases against one server; returns the JSON payload."""
+    params = WorkloadParams(N=n, m=m, seed=seed)
+    db = generate_database(params)
+
+    # Pick the toggled tuple and precompute both committed-state oracles.
+    row, p_a = next(iter(db["R1"].items()))
+    p_b = p_a / 2 if p_a > 0.5 else min(1.0, p_a * 1.5 + 0.1)
+    oracles = {name: serial_oracle(db, name) for name in STATEMENTS}
+    db_b = generate_database(params)
+    db_b["R1"].set_probability(row, p_b)
+    churn_statement = STATEMENTS[0]
+    oracle_b = serial_oracle(db_b, churn_statement)
+
+    server = Server(
+        db,
+        policy=AdmissionPolicy(max_queue=16, workers=4),
+        default_deadline=30.0,
+        seed=seed,
+    )
+    for name in STATEMENTS:
+        bench = benchmark_query(name)
+        server.prepare(name, bench.text, join_order=list(bench.join_order))
+
+    with telemetry.flight_recorder(capacity=4 * (requests + 1000)) as recorder:
+        read_chaos = run_read_chaos(server, oracles, requests, clients)
+        txn_churn = run_txn_churn(
+            server, oracles[churn_statement], oracle_b,
+            row, p_a, p_b, commits, readers, churn_statement,
+        )
+        clean = server.drain()
+        records = recorder.records
+
+    serve_records = [r for r in records if r.get("kind") == "serve"]
+    registry = registry_from_records(serve_records)
+    latency = registry.histogram("serve.request.latency_ms")
+    slo = evaluate_slos(registry, SERVE_SLO_TARGETS)
+    flight_errors = telemetry.validate_flight_records(serve_records)
+
+    total_ok = read_chaos["ok"] + txn_churn["reads"]
+    total_seconds = read_chaos["seconds"] + txn_churn["seconds"]
+    acceptance = {
+        "tolerance": ENCLOSURE_TOLERANCE,
+        "zero_wrong_answers": (
+            read_chaos["wrong"] == 0 and txn_churn["wrong"] == 0
+        ),
+        "explicit_rejections_only": read_chaos["unexpected_errors"] == 0,
+        "flight_log_valid": not flight_errors,
+        "slo_pass": slo.ok,
+        "clean_drain": clean,
+        "sustained_qps": total_ok / total_seconds if total_seconds else 0.0,
+        "p50_ms": latency.percentile(0.50) if latency.count else 0.0,
+        "p99_ms": latency.percentile(0.99) if latency.count else 0.0,
+    }
+    return {
+        "benchmark": "serve",
+        "workload": {
+            "N": n, "m": m, "seed": seed,
+            "statements": list(STATEMENTS),
+            "requests": requests, "clients": clients,
+            "commits": commits, "readers": readers,
+        },
+        "environment": bench_environment(),
+        "read_chaos": read_chaos,
+        "txn_churn": txn_churn,
+        "slo": slo.as_dict(),
+        "flight_errors": flight_errors[:10],
+        "serve_records": len(serve_records),
+        "acceptance": acceptance,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.serve",
+        description="Concurrent replay with injected faults against the "
+                    "query service; sustained QPS + tail latency.",
+    )
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path (default: %(default)s)")
+    parser.add_argument("--n", type=int, default=2, help="workload N")
+    parser.add_argument("--m", type=int, default=40,
+                        help="workload instance size m")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--requests", type=int, default=120,
+                        help="read-chaos phase request count")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent client threads")
+    parser.add_argument("--commits", type=int, default=20,
+                        help="txn-churn phase writer iterations")
+    parser.add_argument("--readers", type=int, default=3,
+                        help="txn-churn phase reader threads")
+    args = parser.parse_args(argv)
+    if args.requests <= 0 or args.clients <= 0:
+        parser.error("--requests and --clients must be positive")
+
+    payload = run_benchmark(
+        n=args.n, m=args.m, seed=args.seed, requests=args.requests,
+        clients=args.clients, commits=args.commits, readers=args.readers,
+    )
+    registry = MetricsRegistry()
+    acc = payload["acceptance"]
+    registry.gauge("serve.bench.qps", acc["sustained_qps"])
+    registry.gauge("serve.bench.p99_ms", acc["p99_ms"])
+    registry.gauge("serve.bench.wrong", 0 if acc["zero_wrong_answers"] else 1)
+    path = write_bench_report(args.out, payload, registry)
+    rc = payload["read_chaos"]
+    tc = payload["txn_churn"]
+    print(f"read-chaos: {rc['ok']} ok / {rc['rejected']} rejected / "
+          f"{rc['degraded']} degraded / {rc['wrong']} wrong "
+          f"in {rc['seconds']:.2f}s ({rc['qps']:.1f} qps)")
+    print(f"txn-churn:  {tc['reads']} reads / {tc['commits']} commits / "
+          f"{tc['rollbacks']} rollbacks / {tc['wrong']} torn "
+          f"in {tc['seconds']:.2f}s")
+    print(f"latency:    p50 {acc['p50_ms']:.1f}ms  p99 {acc['p99_ms']:.1f}ms  "
+          f"sustained {acc['sustained_qps']:.1f} qps")
+    print(f"acceptance: {acc}")
+    print(f"wrote {path}")
+    return acceptance_exit_code(payload["acceptance"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,10 @@
 """Bench-trajectory regression sentinel over the committed ``BENCH_*.json``.
 
-The five suite reports each carry one or two *headline* metrics — scale-free
-speedup ratios that stay comparable across machines of different absolute
-speed (an 8x columnar speedup means the same thing on a laptop and in CI,
-unlike raw seconds). :data:`EXTRACTORS` names them per suite:
+The suite reports each carry one or two *headline* metrics — scale-free
+speedup ratios (or rates) that stay comparable across machines of
+different absolute speed (an 8x columnar speedup means the same thing on a
+laptop and in CI, unlike raw seconds). :data:`EXTRACTORS` names them per
+suite:
 
 ========== ==============================================================
 suite      headline metrics (path into the report payload)
@@ -14,6 +15,7 @@ rescore    ``acceptance.speedup``
 dissoc     ``acceptance.largest_instance_speedup``
 mc_dpll    ``sampling.karp_luby.speedup``,
            ``sampling.mc_query_probability.speedup``
+serve      ``acceptance.sustained_qps``
 ========== ==============================================================
 
 :func:`main` (behind ``python -m repro.bench.trajectory`` and the CI
@@ -73,6 +75,9 @@ EXTRACTORS: dict[str, dict[str, tuple[str, ...]]] = {
         "mc_query_probability_speedup": (
             "sampling", "mc_query_probability", "speedup",
         ),
+    },
+    "serve": {
+        "sustained_qps": ("acceptance", "sustained_qps"),
     },
 }
 

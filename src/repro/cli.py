@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands, mirroring how the paper's system is exercised:
+Eight subcommands, mirroring how the paper's system is exercised:
 
 ``repro query``
     Evaluate a conjunctive query over a CSV-backed probabilistic database
@@ -41,7 +41,16 @@ Seven subcommands, mirroring how the paper's system is exercised:
     scalar per-scenario OBDD walks against vectorized circuit batch
     re-scoring (``BENCH_rescore.json``); ``--suite dissoc`` compares
     bounds-first top-k certification against exact-all-answers inference
-    on the ranked workload (``BENCH_dissoc.json``).
+    on the ranked workload (``BENCH_dissoc.json``); ``--suite serve``
+    replays a concurrent workload with injected faults against an
+    in-process query service and records sustained QPS and latency
+    percentiles (``BENCH_serve.json``).
+``repro serve``
+    Run the fault-tolerant query-service daemon (:mod:`repro.serve`) over
+    a TCP or unix-domain socket: line-delimited JSON protocol, prepared
+    statements with warm caches, bounded-queue admission control with
+    queue-depth load shedding, transactional sessions with snapshot
+    isolation, hung-request reaping, and graceful drain on ``shutdown``.
 ``repro obs``
     Observability: ``obs metrics`` renders the per-query flight records as
     an OpenMetrics/Prometheus text exposition, ``obs slo`` evaluates
@@ -562,7 +571,76 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience import QueryBudget
+    from repro.serve import AdmissionPolicy, ServeDaemon, Server
+
+    if args.workload:
+        db = generate_database(
+            WorkloadParams(N=args.n, m=args.m, seed=args.seed)
+        )
+    elif args.database is not None:
+        db = load_database(args.database)
+    else:
+        print("error: serve needs --dir DIR or --workload", file=sys.stderr)
+        return 2
+    template = None
+    if args.max_network_nodes is not None or args.max_samples is not None:
+        template = QueryBudget(
+            max_network_nodes=args.max_network_nodes,
+            max_samples=args.max_samples,
+        )
+    server = Server(
+        db,
+        policy=AdmissionPolicy(
+            max_queue=args.max_queue, workers=args.serve_workers
+        ),
+        engine=args.engine,
+        default_deadline=args.default_deadline,
+        budget_template=template,
+        pool_workers=args.workers,
+        seed=args.seed,
+    )
+    for spec in args.prepare or []:
+        name, sep, text = spec.partition("=")
+        if not sep or not name or not text:
+            print(f"error: --prepare wants NAME=QUERY, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        server.prepare(name.strip(), text.strip())
+    daemon = ServeDaemon(
+        server, host=args.host, port=args.port, unix_path=args.socket
+    )
+    with _observed(args):
+        address = daemon.address
+        where = address if isinstance(address, str) else "{}:{}".format(*address)
+        print(f"serving on {where} "
+              f"({len(server.prepared)} prepared, "
+              f"{args.serve_workers} workers, queue {args.max_queue})",
+              flush=True)
+        try:
+            daemon.serve_forever()
+        except KeyboardInterrupt:
+            print("\ndraining ...", flush=True)
+        finally:
+            clean = daemon.stop()
+            print(f"drained {'cleanly' if clean else 'with stragglers'}")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
+    if args.suite == "serve":
+        from repro.bench import serve
+
+        out = args.out if args.out is not None else "BENCH_serve.json"
+        argv = [
+            "--out", out,
+            "--n", str(args.n),
+            "--m", str(args.m),
+            "--seed", str(args.seed),
+            "--requests", str(args.requests),
+        ]
+        return serve.main(argv)
     if args.suite == "dissoc":
         from repro.bench import dissoc
 
@@ -823,7 +901,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument("--suite", default="mc_dpll",
                    choices=("mc_dpll", "columnar", "parallel", "rescore",
-                            "dissoc"))
+                            "dissoc", "serve"))
     b.add_argument("--out", default=None,
                    help="output JSON path (default BENCH_<suite>.json)")
     b.add_argument("--samples", type=int, default=50_000,
@@ -845,7 +923,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="[parallel] process-pool sizes to sweep")
     b.add_argument("--batch", type=int, default=1000,
                    help="[rescore] scenarios per batch (default 1000)")
+    b.add_argument("--requests", type=int, default=120,
+                   help="[serve] replayed requests per phase (default 120)")
     b.set_defaults(func=cmd_bench)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant query-service daemon over a TCP or "
+             "unix socket (line-delimited JSON protocol)",
+    )
+    srv.add_argument("--dir", dest="database", default=None, metavar="DIR",
+                     help="CSV database directory to serve")
+    srv.add_argument("--workload", action="store_true",
+                     help="serve a generated Section 6.1 instance instead "
+                          "of a CSV directory")
+    srv.add_argument("--n", type=int, default=2, help="[workload] N")
+    srv.add_argument("--m", type=int, default=100,
+                     help="[workload] instance size m")
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7432,
+                     help="TCP port (0 picks a free port; default 7432)")
+    srv.add_argument("--socket", default=None, metavar="PATH",
+                     help="serve on a unix-domain socket instead of TCP")
+    srv.add_argument("--engine", default="columnar",
+                     choices=("columnar", "rows"))
+    srv.add_argument("--serve-workers", type=int, default=4,
+                     help="concurrent execution threads (default 4)")
+    srv.add_argument("--max-queue", type=int, default=32,
+                     help="bounded admission queue depth (default 32)")
+    srv.add_argument("--default-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="deadline applied to requests that bring none")
+    srv.add_argument("--max-network-nodes", type=int, default=None,
+                     help="global And-Or network size cap per request")
+    srv.add_argument("--max-samples", type=int, default=None,
+                     help="global sampling cap for the degradation ladder")
+    srv.add_argument("--workers", type=int, default=None,
+                     help="process-pool size for degraded inference")
+    srv.add_argument("--prepare", action="append", metavar="NAME=QUERY",
+                     help="prepare a statement at startup (repeatable)")
+    _add_observability_flags(srv)
+    srv.set_defaults(func=cmd_serve)
 
     o = sub.add_parser(
         "obs",

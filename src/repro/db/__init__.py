@@ -17,11 +17,15 @@ Modules
 ``worlds``
     Exhaustive possible-worlds enumeration. This is the semantic ground truth
     (Definition 2.1) against which every evaluator in the library is tested.
+``txn``
+    Buffered :class:`Transaction` objects with commit/rollback, copy-on-write
+    relation replacement, and snapshot isolation for concurrent readers.
 """
 
 from repro.db.database import ProbabilisticDatabase
 from repro.db.relation import ProbabilisticRelation
 from repro.db.schema import RelationSchema
+from repro.db.txn import Transaction
 from repro.db.statistics import (
     FanoutProfile,
     RelationStatistics,
@@ -39,6 +43,7 @@ __all__ = [
     "RelationSchema",
     "ProbabilisticRelation",
     "ProbabilisticDatabase",
+    "Transaction",
     "enumerate_worlds",
     "brute_force_probability",
     "brute_force_answer_probabilities",

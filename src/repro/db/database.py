@@ -8,6 +8,7 @@ relation mapping plus convenience constructors and world-level accounting.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 from repro.db.relation import ProbabilisticRelation
@@ -35,8 +36,24 @@ class ProbabilisticDatabase:
     def __init__(self, relations: Iterable[ProbabilisticRelation] = ()) -> None:
         self._relations: Dict[str, ProbabilisticRelation] = {}
         self._hooks: list = []
+        self._version = 0
+        # Serialises transaction commits against snapshot captures so a
+        # reader never sees a half-installed multi-relation commit.
+        self._txn_lock = threading.Lock()
+        self.subscribe(self._bump_version)
         for rel in relations:
             self.attach(rel)
+
+    def _bump_version(self, _name: str) -> None:
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation (attach, insert,
+        probability update, delete, transaction commit). Snapshots and
+        optimistic transactions compare versions to detect concurrent
+        changes."""
+        return self._version
 
     # ----------------------------------------------------------- population
     def attach(self, relation: ProbabilisticRelation) -> ProbabilisticRelation:
@@ -111,6 +128,43 @@ class ProbabilisticDatabase:
         for rel in self:
             out.attach(rel.copy())
         return out
+
+    # --------------------------------------------------------- transactions
+    def snapshot(self) -> "ProbabilisticDatabase":
+        """A cheap read view of the *currently committed* state.
+
+        The snapshot shares the current relation objects without wiring any
+        hooks into them. Because :meth:`repro.db.txn.Transaction.commit`
+        installs *new* relation objects instead of mutating the old ones in
+        place, a snapshot taken before a commit keeps seeing the
+        pre-commit instance — this is what gives in-flight queries snapshot
+        isolation in :mod:`repro.serve`. Direct (non-transactional) calls to
+        :meth:`ProbabilisticRelation.add` mutate the shared objects and are
+        visible through existing snapshots; use transactions when isolation
+        matters.
+        """
+        with self._txn_lock:
+            out = ProbabilisticDatabase.__new__(ProbabilisticDatabase)
+            out._relations = dict(self._relations)
+            out._hooks = []
+            out._version = self._version
+            out._txn_lock = threading.Lock()
+            return out
+
+    def begin(self):
+        """Start a buffered :class:`~repro.db.txn.Transaction` against this
+        database. Alias: :meth:`transaction` (usable as a context manager)."""
+        from repro.db.txn import Transaction
+
+        return Transaction(self)
+
+    def transaction(self):
+        """Synonym for :meth:`begin`, reading naturally in ``with`` blocks::
+
+            with db.transaction() as txn:
+                txn.insert("R", (3,), 0.5)
+        """
+        return self.begin()
 
     def deterministic_instance(self) -> dict[str, set[Row]]:
         """The instance containing every tuple, ignoring probabilities.

@@ -94,9 +94,47 @@ class ProbabilisticRelation:
         for hook in self._hooks:
             hook(self.name)
 
+    def set_probability(self, row: Iterable, probability: float) -> None:
+        """Update the existence probability of an *existing* row.
+
+        Raises
+        ------
+        ProbabilityError
+            If the probability is not in ``(0, 1]``.
+        SchemaError
+            If the row is not present in the relation.
+        """
+        r = self.schema.check_row(row)
+        p = float(probability)
+        if not 0.0 < p <= 1.0:
+            raise ProbabilityError(
+                f"tuple {r!r} in {self.name} has probability {p}, expected (0, 1]"
+            )
+        if r not in self._rows:
+            raise SchemaError(f"no tuple {r!r} in relation {self.name}")
+        self._rows[r] = p
+        for hook in self._hooks:
+            hook(self.name)
+
+    def remove(self, row: Iterable) -> None:
+        """Delete an existing row from the relation.
+
+        Raises
+        ------
+        SchemaError
+            If the row is not present in the relation.
+        """
+        r = self.schema.check_row(row)
+        if r not in self._rows:
+            raise SchemaError(f"no tuple {r!r} in relation {self.name}")
+        del self._rows[r]
+        for hook in self._hooks:
+            hook(self.name)
+
     def subscribe(self, hook) -> None:
         """Register a mutation hook, called as ``hook(relation_name)`` after
-        every successful :meth:`add`.
+        every successful :meth:`add`, :meth:`set_probability`, or
+        :meth:`remove`.
 
         Caches of artifacts derived from the instance (compiled lineage
         circuits, columnar base encodings) subscribe so a mutation flushes

@@ -16,6 +16,9 @@ inference problems, and resource-budget problems. The full tree::
     │   └── DPLLBudgetError  — (also a BudgetExceededError, see below)
     ├── CapacityError        — instance too large for an exhaustive computation
     ├── CircuitError         — arithmetic circuit violates a structural invariant
+    ├── TransactionError     — transaction misuse (op after commit/rollback)
+    │   └── TransactionConflictError — optimistic concurrency check failed
+    ├── AdmissionError       — the query service refused a request at admission
     └── BudgetExceededError  — a caller-imposed resource budget ran out
         ├── DeadlineExceededError — the wall-clock deadline passed
         └── DPLLBudgetError       — the DPLL call budget ran out
@@ -81,6 +84,30 @@ class CircuitError(ReproError):
     variable supports (decomposability), a sum that is not a guarded Shannon
     split (determinism), or malformed node arrays. Evaluation of such a
     circuit would not be multilinear-exact, so construction refuses it."""
+
+
+class TransactionError(ReproError):
+    """A transaction was used incorrectly (e.g. an operation after commit
+    or rollback, or a commit on an already-finished transaction)."""
+
+
+class TransactionConflictError(TransactionError):
+    """An optimistic-concurrency commit found the database changed underneath
+    the transaction. Retrying the whole transaction against the new committed
+    state can succeed."""
+
+
+class AdmissionError(ReproError):
+    """The query service refused a request at admission time.
+
+    This is the explicit-backpressure signal (429-style): the bounded queue
+    is full, the request's deadline already expired, or the server is
+    draining. The ``code`` attribute carries the machine-readable reason
+    (``rejected_overload``, ``rejected_deadline``, ``shutting_down``)."""
+
+    def __init__(self, message: str, code: str = "rejected") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 class BudgetExceededError(ReproError):

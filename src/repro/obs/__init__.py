@@ -33,6 +33,7 @@ from repro.obs.export import (
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.slo import (
     DEFAULT_SLO_TARGETS,
+    SERVE_SLO_TARGETS,
     SLOReport,
     SLOTarget,
     evaluate_slos,
@@ -82,6 +83,7 @@ __all__ = [
     "SLOTarget",
     "SLOReport",
     "DEFAULT_SLO_TARGETS",
+    "SERVE_SLO_TARGETS",
     "evaluate_slos",
     "registry_from_records",
     "slo_report_from_records",

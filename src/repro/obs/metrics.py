@@ -33,6 +33,7 @@ Examples
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 
 __all__ = ["Histogram", "MetricsRegistry"]
@@ -122,6 +123,11 @@ class Histogram:
 class MetricsRegistry:
     """Named counters, gauges, and histograms; one snapshot, one JSON shape.
 
+    All recording and reading methods are thread-safe: one registry can be
+    shared by every concurrent session of the query service, and concurrent
+    :meth:`inc`/:meth:`observe` calls never lose updates (the read-modify-
+    write cycles run under an internal re-entrant lock).
+
     Examples
     --------
     >>> reg = MetricsRegistry()
@@ -137,29 +143,37 @@ class MetricsRegistry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, object] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------ recording
     def inc(self, name: str, value: float = 1.0) -> None:
         """Add *value* to the counter *name* (created at 0)."""
-        self._counters[name] = self._counters.get(name, 0) + value
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
 
     def gauge(self, name: str, value) -> None:
         """Set the gauge *name* to *value* (last write wins)."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the histogram *name*."""
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            hist.observe(value)
 
     def histogram(self, name: str) -> Histogram:
-        """The histogram *name*, created empty on first access."""
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = Histogram()
-        return hist
+        """The histogram *name*, created empty on first access.
+
+        The returned object is shared; mutate it only from one thread or
+        via :meth:`observe` (which locks)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram()
+            return hist
 
     def absorb(self, prefix: str, stats) -> None:
         """Unify a stats object under *prefix*.
@@ -170,14 +184,15 @@ class MetricsRegistry:
         strings, flags) as gauges.
         """
         items = stats.as_dict() if hasattr(stats, "as_dict") else dict(stats)
-        for key, value in items.items():
-            name = f"{prefix}.{key}"
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
-                self._gauges[name] = value
-            elif isinstance(value, int):
-                self.inc(name, value)
-            else:
-                self._gauges[name] = value
+        with self._lock:
+            for key, value in items.items():
+                name = f"{prefix}.{key}"
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    self._gauges[name] = value
+                elif isinstance(value, int):
+                    self.inc(name, value)
+                else:
+                    self._gauges[name] = value
 
     def merge(self, snapshot: dict) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
@@ -185,33 +200,36 @@ class MetricsRegistry:
         Counters add; gauges take the incoming value; histograms add their
         summaries bucket-wise (the merge a worker pool needs).
         """
-        for name, value in snapshot.get("counters", {}).items():
-            self.inc(name, value)
-        self._gauges.update(snapshot.get("gauges", {}))
-        for name, summary in snapshot.get("histograms", {}).items():
-            hist = self.histogram(name)
-            if not summary.get("count"):
-                continue
-            hist.count += summary["count"]
-            hist.total += summary["sum"]
-            hist.min = min(hist.min, summary["min"])
-            hist.max = max(hist.max, summary["max"])
-            for label, n in summary.get("buckets", {}).items():
-                k = int(label.split("^", 1)[1])
-                hist.buckets[k] = hist.buckets.get(k, 0) + n
+        with self._lock:
+            for name, value in snapshot.get("counters", {}).items():
+                self.inc(name, value)
+            self._gauges.update(snapshot.get("gauges", {}))
+            for name, summary in snapshot.get("histograms", {}).items():
+                hist = self.histogram(name)
+                if not summary.get("count"):
+                    continue
+                hist.count += summary["count"]
+                hist.total += summary["sum"]
+                hist.min = min(hist.min, summary["min"])
+                hist.max = max(hist.max, summary["max"])
+                for label, n in summary.get("buckets", {}).items():
+                    k = int(label.split("^", 1)[1])
+                    hist.buckets[k] = hist.buckets.get(k, 0) + n
 
     # ------------------------------------------------------------- reading
     def counter(self, name: str) -> float:
         """Current value of a counter (0 when never incremented)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def snapshot(self) -> dict:
         """The whole registry as sorted, JSON-serialisable dicts."""
-        return {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "histograms": {
-                name: hist.as_dict()
-                for name, hist in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: hist.as_dict()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }

@@ -45,6 +45,7 @@ __all__ = [
     "SLOResult",
     "SLOReport",
     "DEFAULT_SLO_TARGETS",
+    "SERVE_SLO_TARGETS",
     "registry_from_records",
     "evaluate_slos",
     "slo_report_from_records",
@@ -159,6 +160,22 @@ DEFAULT_SLO_TARGETS = (
               threshold=0.5),
 )
 
+#: Objectives for the query service's request log (``serve`` records).
+#: Rejections are deliberate backpressure, not failures, so they get their
+#: own (loose) budget separate from the internal-error rate.
+SERVE_SLO_TARGETS = (
+    SLOTarget("serve_latency_p50", metric="serve.request.latency_ms",
+              percentile=0.50, threshold=2_000.0),
+    SLOTarget("serve_latency_p99", metric="serve.request.latency_ms",
+              percentile=0.99, threshold=30_000.0),
+    SLOTarget("serve_error_rate", ratio=("serve.request.errors",
+                                         "serve.request.count"),
+              threshold=0.01),
+    SLOTarget("serve_reject_rate", ratio=("serve.request.rejected",
+                                          "serve.request.count"),
+              threshold=0.75),
+)
+
 
 def registry_from_records(
     records, registry: MetricsRegistry | None = None
@@ -185,6 +202,21 @@ def registry_from_records(
                     reg.inc("flight.pool_chunk.requeued_serial")
                 reg.observe("flight.pool_chunk.attempts",
                             rec.get("attempts", 0))
+            elif kind == "serve":
+                status = rec.get("status", "ok")
+                reg.inc("serve.request.count")
+                reg.observe("serve.request.latency_ms",
+                            float(rec.get("seconds", 0.0) or 0.0) * 1e3)
+                reg.observe("serve.queue.depth", rec.get("queue_depth", 0))
+                if status.startswith("rejected") or status == "shutting_down":
+                    reg.inc("serve.request.rejected")
+                    reg.inc(f"serve.request.{status}")
+                elif status != "ok":
+                    reg.inc("serve.request.errors")
+                    reg.inc(f"serve.request.{status}")
+                if rec.get("shed"):
+                    reg.inc("serve.request.shed")
+                    reg.observe("serve.shed.level", rec.get("shed", 0))
             continue
         series = (f"flight.{kind}", "flight.query")
         seconds = float(rec.get("seconds", 0.0) or 0.0)

@@ -90,8 +90,22 @@ QUERY_FIELD_DEFAULTS: dict = {
     "error": None,
 }
 
+#: Fields every ``serve`` record carries (defaulted by
+#: :meth:`FlightRecorder.record`): the query service's request log line.
+SERVE_FIELD_DEFAULTS: dict = {
+    "op": "",
+    "status": "ok",
+    "code": "",
+    "queue_depth": 0,
+    "shed": 0,
+    "seconds": 0.0,
+    "session": "",
+    "prepared": "",
+    "error": None,
+}
+
 #: Known record kinds (anything else fails validation).
-RECORD_KINDS = QUERY_KINDS + ("pool_chunk",)
+RECORD_KINDS = QUERY_KINDS + ("pool_chunk", "serve")
 
 
 def query_hash(text: str) -> str:
@@ -140,6 +154,8 @@ class FlightRecorder:
         rec: dict = {}
         if kind in QUERY_KINDS:
             rec.update(QUERY_FIELD_DEFAULTS)
+        elif kind == "serve":
+            rec.update(SERVE_FIELD_DEFAULTS)
         rec.update(fields)
         rec["v"] = FLIGHT_SCHEMA_VERSION
         rec["kind"] = kind
@@ -304,6 +320,16 @@ def validate_flight_records(source) -> list[str]:
                 if field not in rec:
                     errors.append(f"{where}: pool_chunk record missing "
                                   f"{field!r}")
+                else:
+                    problem = _check_block(rec, where, field, type_)
+                    if problem:
+                        errors.append(problem)
+        elif rec["kind"] == "serve":
+            for field, type_ in (("op", str), ("status", str),
+                                 ("queue_depth", int), ("shed", int),
+                                 ("seconds", (int, float))):
+                if field not in rec:
+                    errors.append(f"{where}: serve record missing {field!r}")
                 else:
                     problem = _check_block(rec, where, field, type_)
                     if problem:

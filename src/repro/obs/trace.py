@@ -21,7 +21,9 @@ The design constraints, in order:
   remembers its ``pid``/``tid``).
 * **Thread-correct.** The current-span stack is thread-local; concurrent
   threads tracing into one tracer produce interleaved root spans, never
-  corrupted nesting.
+  corrupted nesting. The shared root forest itself is guarded by a lock,
+  so concurrent sessions of the query service never lose a root span to a
+  torn list append.
 
 Examples
 --------
@@ -138,7 +140,7 @@ class _OpenHandle:
         if stack:
             stack[-1].children.append(s)
         else:
-            self._tracer.roots.append(s)
+            self._tracer._add_root(s)
         stack.append(s)
         s.t0 = time.time()
         self._cpu0 = time.process_time()
@@ -172,9 +174,14 @@ class Tracer:
         #: Finished (or still open) top-level spans, in start order.
         self.roots: list[Span] = []
         self._tls = threading.local()
+        self._roots_lock = threading.Lock()
         self._prev: "Tracer | None" = None
 
     # ------------------------------------------------------------ recording
+    def _add_root(self, s: Span) -> None:
+        with self._roots_lock:
+            self.roots.append(s)
+
     def _stack(self) -> list[Span]:
         stack = getattr(self._tls, "stack", None)
         if stack is None:
@@ -209,13 +216,16 @@ class Tracer:
         if under is None:
             under = self.current()
         if under is None:
-            self.roots.extend(spans)
+            with self._roots_lock:
+                self.roots.extend(spans)
         else:
             under.children.extend(spans)
 
     def total_spans(self) -> int:
         """Number of spans recorded across the whole forest."""
-        return sum(root.total_spans() for root in self.roots)
+        with self._roots_lock:
+            roots = list(self.roots)
+        return sum(root.total_spans() for root in roots)
 
     # ----------------------------------------------------------- activation
     def __enter__(self) -> "Tracer":

@@ -19,6 +19,7 @@ probability-preserving renaming, so sharing the cached value is always sound
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
@@ -57,6 +58,10 @@ class CacheStats:
 class SubformulaCache:
     """Bounded LRU cache keyed by canonical subformula descriptions.
 
+    Operations are thread-safe (one lock around the LRU map and counters):
+    the query service shares a warm cache across concurrent requests, where
+    an unguarded ``move_to_end`` racing an eviction would otherwise raise.
+
     Examples
     --------
     >>> cache = SubformulaCache(max_entries=2)
@@ -72,7 +77,7 @@ class SubformulaCache:
     (1, 2, 1)
     """
 
-    __slots__ = ("max_entries", "stats", "_entries")
+    __slots__ = ("max_entries", "stats", "_entries", "_lock")
 
     def __init__(self, max_entries: int = 200_000) -> None:
         if max_entries <= 0:
@@ -80,33 +85,37 @@ class SubformulaCache:
         self.max_entries = max_entries
         self.stats = CacheStats()
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def get(self, key: Hashable):
         """Cached value for *key*, or ``None``; counts the hit or miss."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value) -> None:
         """Insert (or refresh) a binding, evicting the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def entries(self) -> list[tuple[Hashable, object]]:
         """All ``(key, value)`` bindings, LRU-first (picklable snapshot).
@@ -115,7 +124,8 @@ class SubformulaCache:
         components against a fresh cache, ships the entries back, and the
         caller folds them in with :meth:`merge`.
         """
-        return list(self._entries.items())
+        with self._lock:
+            return list(self._entries.items())
 
     def merge(self, entries: Iterable[tuple[Hashable, object]]) -> None:
         """Fold another cache's :meth:`entries` into this one.
@@ -126,7 +136,9 @@ class SubformulaCache:
         evictions.
         """
         for key, value in entries:
-            if key not in self._entries:
+            with self._lock:
+                known = key in self._entries
+            if not known:
                 self.put(key, value)
 
 

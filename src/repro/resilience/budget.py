@@ -86,12 +86,14 @@ class QueryBudget:
 
         The worker re-anchors with :meth:`start` against its own clock, so
         time already spent in the parent counts against the worker too
-        (minus pool dispatch latency, which we accept).
+        (minus pool dispatch latency, which we accept). A parent whose
+        deadline has already passed yields a zero-second worker budget (never
+        a negative one), which expires at the worker's first checkpoint.
         """
         remaining = self.remaining()
         return replace(
             self,
-            deadline_seconds=remaining if remaining is not None else None,
+            deadline_seconds=max(0.0, remaining) if remaining is not None else None,
             started_at=None,
         )
 
@@ -129,6 +131,18 @@ class QueryBudget:
         """True once the deadline has passed."""
         remaining = self.remaining()
         return remaining is not None and remaining <= 0.0
+
+    def admissible(self, min_seconds: float = 0.0) -> bool:
+        """Whether dispatching work under this budget can possibly succeed.
+
+        Admission control in :mod:`repro.serve` calls this *before* queueing
+        a request: a budget with no deadline is always admissible; one whose
+        remaining time is not strictly greater than *min_seconds* is
+        rejected up front instead of being dispatched to die at its first
+        mid-operator checkpoint.
+        """
+        remaining = self.remaining()
+        return remaining is None or remaining > min_seconds
 
     # ------------------------------------------------------------ checkpoints
     def checkpoint(self, stage: str = "") -> None:

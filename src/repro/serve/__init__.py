@@ -1,0 +1,54 @@
+"""``repro.serve`` — the fault-tolerant query-service daemon.
+
+A long-lived serving layer over one probabilistic database, designed so
+that overload and faults degrade answers (soundly) before they degrade the
+service:
+
+* :mod:`~repro.serve.protocol` — line-delimited JSON wire protocol with
+  machine-readable rejection codes (backpressure is explicit, 429-style).
+* :mod:`~repro.serve.prepared` — prepared statements with warm
+  per-statement state: parsed plan, base-encode cache, rename-invariant
+  subformula cache, circuit cache.
+* :mod:`~repro.serve.scheduler` — bounded-queue admission control, queue-
+  depth load shedding onto cheaper evaluation rungs, hung-request reaping,
+  graceful drain.
+* :mod:`~repro.serve.session` — per-client sessions holding buffered
+  transactions with snapshot isolation and commit-only cache invalidation.
+* :mod:`~repro.serve.server` — the in-process :class:`Server` tying the
+  layers together (also the protocol dispatcher).
+* :mod:`~repro.serve.daemon` — the TCP/unix socket front-end
+  (:class:`ServeDaemon`) and blocking :class:`ServeClient`.
+
+Quick start (in-process)::
+
+    server = Server(db, default_deadline=5.0)
+    server.prepare("p1", "q(h) :- R(h,x), S(h,x,y)")
+    payload = server.query("p1")          # {"answers": [...], "mode": ...}
+    server.drain()
+
+or over a socket: ``repro serve --dir DB --port 7432`` and connect a
+:class:`ServeClient`.
+"""
+
+from repro.serve.daemon import ServeClient, ServeDaemon, ServeError
+from repro.serve.prepared import PreparedQuery
+from repro.serve.protocol import ERROR_CODES, OPS, PROTOCOL_VERSION
+from repro.serve.scheduler import AdmissionPolicy, ScheduledRequest, Scheduler
+from repro.serve.server import Server
+from repro.serve.session import Session, SessionManager
+
+__all__ = [
+    "AdmissionPolicy",
+    "ERROR_CODES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "PreparedQuery",
+    "ScheduledRequest",
+    "Scheduler",
+    "Server",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "Session",
+    "SessionManager",
+]

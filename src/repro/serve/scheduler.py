@@ -1,0 +1,289 @@
+"""Concurrent request scheduler: bounded queue, admission control, shedding.
+
+The scheduler is where the daemon's robustness policy lives:
+
+* **Admission control.** Every request passes :class:`AdmissionPolicy`
+  before touching the queue. A full queue is an immediate
+  ``rejected_overload`` (the HTTP-429 analogue — explicit backpressure,
+  never unbounded buffering); a request whose
+  :class:`~repro.resilience.QueryBudget` deadline is already (or nearly)
+  spent is ``rejected_deadline`` — it would only die at its first
+  mid-operator checkpoint, so it is refused before a worker ever sees it.
+* **Load shedding.** Admitted requests are stamped with a *shed level*
+  derived from queue depth: level 0 runs the requested mode, level 1
+  forces the degradation ladder (sound enclosures at bounded cost), level
+  2 forces extensional-speed dissociation bounds only. Under pressure the
+  service gets cheaper per request instead of slower for everyone.
+* **Hung-request reaping.** A reaper thread watches every outstanding
+  request; once a deadline is more than a grace period past due, the
+  client's future is completed with ``timeout`` and the eventual late
+  result is discarded. Workers are cooperative (budgets checkpoint), so
+  the thread itself unwinds at the next checkpoint — the reaper exists so
+  one wedged request cannot hold its client (or the drain) hostage.
+* **Graceful drain.** :meth:`Scheduler.drain` stops admission (new
+  requests get ``shutting_down``), lets queued and in-flight work finish,
+  then joins the workers. Nothing is dropped; nothing new starts.
+
+Execution workers are threads: the heavy NumPy kernels release the GIL,
+process-level parallelism stays available *per request* through the
+resilient pool, and request state (snapshots, caches) stays shareable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+
+from repro.errors import AdmissionError, DeadlineExceededError
+
+__all__ = ["AdmissionPolicy", "ScheduledRequest", "Scheduler"]
+
+#: Human names of the shed levels stamped onto admitted requests.
+SHED_LEVELS = ("none", "degrade", "bounds")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Declarative admission/shedding/reaping policy of one scheduler."""
+
+    #: Bounded queue: admission rejects (``rejected_overload``) beyond this
+    #: many queued-but-not-started requests.
+    max_queue: int = 32
+    #: Concurrent execution threads.
+    workers: int = 4
+    #: Minimum remaining deadline a request must bring to be admitted;
+    #: requests at or below it are ``rejected_deadline``.
+    min_deadline_seconds: float = 0.0
+    #: Queue-depth fraction at which admitted queries are shed to the
+    #: degradation ladder (level 1).
+    shed_degrade_fraction: float = 0.5
+    #: Queue-depth fraction at which admitted queries are shed to
+    #: dissociation-bounds-only evaluation (level 2).
+    shed_bounds_fraction: float = 0.85
+    #: Reaper scan period.
+    reap_interval_seconds: float = 0.02
+    #: Extra seconds past a request's deadline before the reaper responds
+    #: on its behalf (cooperative checkpoints usually answer first).
+    reap_grace_seconds: float = 0.25
+
+    def shed_level(self, depth: int) -> int:
+        """The shed level (0/1/2) for a request admitted at queue *depth*."""
+        if self.max_queue <= 0:
+            return 0
+        fraction = depth / self.max_queue
+        if fraction >= self.shed_bounds_fraction:
+            return 2
+        if fraction >= self.shed_degrade_fraction:
+            return 1
+        return 0
+
+
+@dataclass(eq=False)  # identity semantics: requests live in sets
+class ScheduledRequest:
+    """One admitted request: the work closure plus its scheduling stamps."""
+
+    fn: object
+    budget: object = None
+    label: str = ""
+    #: Shed level stamped at admission (0 = run as requested).
+    shed: int = 0
+    #: Queue depth observed at admission.
+    queue_depth: int = 0
+    seq: int = 0
+    future: Future = field(default_factory=Future)
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: float | None = None
+
+
+class Scheduler:
+    """Bounded-queue thread scheduler with admission control and reaping.
+
+    *registry* (a thread-safe :class:`~repro.obs.MetricsRegistry`) receives
+    ``serve.scheduler.*`` counters and the queue-depth histogram; pass
+    ``None`` to skip metrics.
+    """
+
+    def __init__(self, policy: AdmissionPolicy | None = None, registry=None):
+        self.policy = policy or AdmissionPolicy()
+        self.registry = registry
+        self._queue: queue.Queue = queue.Queue()
+        self._outstanding: set[ScheduledRequest] = set()
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._draining = False
+        self._stopped = False
+        self._workers = [
+            threading.Thread(
+                target=self._work, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(self.policy.workers)
+        ]
+        for t in self._workers:
+            t.start()
+        self._reaper = threading.Thread(
+            target=self._reap, name="serve-reaper", daemon=True
+        )
+        self._reaper.start()
+
+    # ------------------------------------------------------------ admission
+    def submit(self, fn, *, budget=None, label: str = "") -> ScheduledRequest:
+        """Admit and enqueue one request; returns it with ``future`` pending.
+
+        *fn* is called as ``fn(request)`` on a worker thread; its return
+        value resolves ``request.future``.
+
+        Raises
+        ------
+        AdmissionError
+            With code ``shutting_down``, ``rejected_deadline``, or
+            ``rejected_overload`` — the request was refused and will never
+            run.
+        """
+        with self._lock:
+            if self._draining or self._stopped:
+                self._count("serve.scheduler.rejected_draining")
+                raise AdmissionError("server is draining", code="shutting_down")
+            if budget is not None and not budget.start().admissible(
+                self.policy.min_deadline_seconds
+            ):
+                self._count("serve.scheduler.rejected_deadline")
+                raise AdmissionError(
+                    f"remaining deadline at or below "
+                    f"{self.policy.min_deadline_seconds:g}s at admission",
+                    code="rejected_deadline",
+                )
+            depth = self._queue.qsize()
+            if depth >= self.policy.max_queue:
+                self._count("serve.scheduler.rejected_overload")
+                raise AdmissionError(
+                    f"queue full ({depth}/{self.policy.max_queue})",
+                    code="rejected_overload",
+                )
+            request = ScheduledRequest(
+                fn=fn, budget=budget, label=label,
+                shed=self.policy.shed_level(depth),
+                queue_depth=depth, seq=next(self._seq),
+            )
+            self._outstanding.add(request)
+            self._count("serve.scheduler.admitted")
+            if request.shed:
+                self._count(f"serve.scheduler.shed_level{request.shed}")
+            if self.registry is not None:
+                self.registry.observe("serve.queue.depth", depth)
+            self._queue.put(request)
+            return request
+
+    # ------------------------------------------------------------ execution
+    def _work(self) -> None:
+        while True:
+            try:
+                request = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                if self._stopped:
+                    return
+                continue
+            try:
+                if request.future.done():
+                    # Reaped (or cancelled) while queued; never start it.
+                    self._count("serve.scheduler.discarded_queued")
+                    continue
+                request.started_at = time.monotonic()
+                try:
+                    value = request.fn(request)
+                except BaseException as exc:  # per-request crash containment
+                    self._resolve(request, error=exc)
+                else:
+                    self._resolve(request, value=value)
+            finally:
+                self._forget(request)
+                self._queue.task_done()
+
+    def _resolve(self, request: ScheduledRequest, value=None, error=None) -> None:
+        try:
+            if error is not None:
+                request.future.set_exception(error)
+                self._count("serve.scheduler.failed")
+            else:
+                request.future.set_result(value)
+                self._count("serve.scheduler.completed")
+        except InvalidStateError:
+            # The reaper answered first; the late result is discarded.
+            self._count("serve.scheduler.late_result")
+
+    def _forget(self, request: ScheduledRequest) -> None:
+        with self._lock:
+            self._outstanding.discard(request)
+
+    # -------------------------------------------------------------- reaping
+    def _reap(self) -> None:
+        while not self._stopped:
+            time.sleep(self.policy.reap_interval_seconds)
+            with self._lock:
+                candidates = list(self._outstanding)
+            for request in candidates:
+                budget = request.budget
+                if budget is None or request.future.done():
+                    continue
+                remaining = budget.remaining()
+                if remaining is None:
+                    continue
+                if remaining < -self.policy.reap_grace_seconds:
+                    try:
+                        request.future.set_exception(DeadlineExceededError(
+                            f"request reaped {-remaining:.3f}s past its "
+                            f"deadline"
+                        ))
+                    except InvalidStateError:
+                        continue
+                    self._count("serve.scheduler.reaped")
+
+    # ---------------------------------------------------------------- drain
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admission, finish outstanding work, stop the workers.
+
+        Returns ``True`` for a clean drain (everything finished inside
+        *timeout*); ``False`` if outstanding work remained when the timeout
+        struck (workers are stopped regardless).
+        """
+        with self._lock:
+            self._draining = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        clean = True
+        while True:
+            with self._lock:
+                left = len(self._outstanding)
+            if left == 0:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                clean = False
+                break
+            time.sleep(0.01)
+        self._stopped = True
+        for t in self._workers:
+            t.join(timeout=1.0)
+        self._reaper.join(timeout=1.0)
+        self._count("serve.scheduler.drained")
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ---------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "queued": self._queue.qsize(),
+                "outstanding": len(self._outstanding),
+                "workers": len(self._workers),
+                "max_queue": self.policy.max_queue,
+                "draining": self._draining,
+            }
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.inc(name)

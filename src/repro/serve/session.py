@@ -1,0 +1,114 @@
+"""Sessions: per-client transaction state of the query service.
+
+A :class:`Session` is the server-side handle one client holds across
+requests: its identifier, its (at most one) open
+:class:`~repro.db.Transaction`, and usage stamps. The
+:class:`SessionManager` hands out ids and looks sessions up under a lock,
+so concurrent connections can open/close sessions freely.
+
+Transaction semantics at the session level:
+
+* ``begin`` opens a buffered transaction against the root database; a
+  second ``begin`` on the same session is a ``txn_state`` error.
+* ``insert`` / ``set_prob`` / ``delete`` buffer into the transaction
+  (eagerly validated, invisible to every reader).
+* ``commit`` installs the buffered changes atomically (new relation
+  objects; in-flight query snapshots keep the old ones) and fires the
+  cache-invalidation hooks exactly once per touched relation.
+* ``rollback`` discards the buffer; no hook fires, warm caches survive.
+
+Queries never run *inside* a transaction's uncommitted view: the service
+serves the committed snapshot (snapshot isolation), which keeps every
+cache shared and every answer reproducible against the committed state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+
+from repro.db.txn import Transaction
+from repro.errors import TransactionError
+
+__all__ = ["Session", "SessionManager"]
+
+
+class Session:
+    """One client's server-side state."""
+
+    def __init__(self, session_id: str) -> None:
+        self.id = session_id
+        self.txn: Transaction | None = None
+        self.opened_at = time.time()
+        self.requests = 0
+
+    def require_txn(self) -> Transaction:
+        """The open transaction, or a ``txn_state`` error."""
+        if self.txn is None or not self.txn.active:
+            raise TransactionError(
+                f"session {self.id} has no open transaction (begin first)"
+            )
+        return self.txn
+
+    def as_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "requests": self.requests,
+            "txn": self.txn.state if self.txn is not None else None,
+            "txn_ops": self.txn.operations if self.txn is not None else 0,
+        }
+
+
+class SessionManager:
+    """Thread-safe session table."""
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def open(self) -> Session:
+        """Create and register a fresh session."""
+        with self._lock:
+            session = Session(f"s{next(self._ids)}")
+            self._sessions[session.id] = session
+            return session
+
+    def get(self, session_id: str) -> Session:
+        """Look a session up; unknown ids are a ``txn_state`` error."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise TransactionError(f"unknown session {session_id!r}")
+        session.requests += 1
+        return session
+
+    def close(self, session_id: str) -> None:
+        """Drop a session, rolling back any transaction left open."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise TransactionError(f"unknown session {session_id!r}")
+        if session.txn is not None and session.txn.active:
+            session.txn.rollback()
+
+    def close_all(self) -> int:
+        """Drop every session (drain path); returns how many rolled back."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        rolled_back = 0
+        for session in sessions:
+            if session.txn is not None and session.txn.active:
+                session.txn.rollback()
+                rolled_back += 1
+        return rolled_back
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def as_dicts(self) -> list[dict]:
+        with self._lock:
+            return [s.as_dict() for s in self._sessions.values()]

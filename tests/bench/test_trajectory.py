@@ -167,13 +167,13 @@ def test_main_errors_without_reports(tmp_path, capsys):
     assert "no BENCH_" in capsys.readouterr().err
 
 
-def test_committed_history_covers_all_five_suites():
+def test_committed_history_covers_all_suites():
     import pathlib
 
     repo = pathlib.Path(__file__).resolve().parents[2]
     history = load_history(repo / "BENCH_trajectory.json")
     assert set(history["suites"]) == {
-        "columnar", "parallel", "rescore", "dissoc", "mc_dpll",
+        "columnar", "parallel", "rescore", "dissoc", "mc_dpll", "serve",
     }
     for entries in history["suites"].values():
         assert entries and all(e["metrics"] for e in entries)

@@ -141,3 +141,51 @@ class TestStrictExecution:
             result.answer_probabilities(
                 budget=QueryBudget(deadline_seconds=0.0)
             )
+
+
+class TestAdmissionEdgeCases:
+    """sub()/for_worker()/admissible() at the edges the scheduler lives on."""
+
+    def test_admissible_unlimited_always(self):
+        assert QueryBudget().admissible() is True
+        assert QueryBudget().admissible(10.0) is True
+
+    def test_admissible_zero_deadline_is_refused(self):
+        b = QueryBudget(deadline_seconds=0.0).start()
+        assert b.admissible() is False
+
+    def test_admissible_respects_minimum_floor(self):
+        b = QueryBudget(deadline_seconds=0.5).start()
+        assert b.admissible(0.0) is True
+        assert b.admissible(1.0) is False
+
+    def test_admissible_expired_budget_is_refused(self):
+        b = QueryBudget(deadline_seconds=-1.0).start()
+        assert b.admissible() is False
+
+    def test_for_worker_of_expired_budget_clamps_to_zero(self):
+        # An expired parent must hand workers a zero deadline, never a
+        # negative one (a negative deadline_seconds would confuse
+        # remaining()/admissible() on the worker side).
+        b = QueryBudget(deadline_seconds=-5.0).start()
+        w = b.for_worker()
+        assert w.deadline_seconds == 0.0
+        assert w.start().admissible() is False
+
+    def test_for_worker_just_expired_is_zero_not_negative(self):
+        b = QueryBudget(deadline_seconds=0.0).start()
+        time.sleep(0.01)
+        assert b.for_worker().deadline_seconds == 0.0
+
+    def test_sub_of_zero_deadline_stays_inadmissible(self):
+        b = QueryBudget(deadline_seconds=0.0).start()
+        child = b.sub(0.5)
+        assert child.expired
+        assert child.admissible() is False
+
+    def test_sub_keeps_caps_and_admissibility(self):
+        b = QueryBudget(deadline_seconds=60.0, max_network_nodes=7).start()
+        child = b.sub(0.25)
+        assert child.max_network_nodes == 7
+        assert child.admissible() is True
+        assert child.admissible(60.0) is False  # carved slice is smaller

@@ -1,0 +1,120 @@
+"""Socket daemon end to end: TCP, unix sockets, error containment."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.db import ProbabilisticDatabase
+from repro.serve import Server, ServeClient, ServeDaemon, ServeError
+
+
+def make_db() -> ProbabilisticDatabase:
+    db = ProbabilisticDatabase()
+    db.add_relation("R", ("A",), {(1,): 0.5, (2,): 0.4})
+    db.add_relation("S", ("A", "B"), {(1, 1): 0.5, (2, 1): 0.9})
+    return db
+
+
+@pytest.fixture
+def daemon():
+    server = Server(make_db(), default_deadline=30.0)
+    server.prepare("q", "q(a) :- R(a), S(a,b)")
+    daemon = ServeDaemon(server, port=0).start()
+    yield daemon
+    daemon.stop(drain_timeout=10.0)
+
+
+class TestTCP:
+    def test_ping_and_query(self, daemon):
+        with ServeClient(daemon.address) as c:
+            assert c.ping()["pong"] is True
+            resp = c.query("q", mode="exact")
+            assert resp["ok"] and resp["mode"] == "exact"
+            assert len(resp["answers"]) == 2
+
+    def test_request_ids_echo(self, daemon):
+        with ServeClient(daemon.address) as c:
+            first = c.call("ping")
+            second = c.call("ping")
+            assert second["id"] == first["id"] + 1
+
+    def test_txn_flow_over_the_wire(self, daemon):
+        with ServeClient(daemon.address) as c:
+            sid = c.begin()["session"]
+            c.insert(sid, "R", [9], 0.5)
+            c.set_prob(sid, "R", [1], 0.75)
+            out = c.commit(sid)
+            assert out["touched"] == ["R"]
+            resp = c.query("q", mode="exact")
+            rows = [a["row"] for a in resp["answers"]]
+            assert [1] in rows  # wire rows are JSON arrays
+
+    def test_error_responses_not_disconnects(self, daemon):
+        with ServeClient(daemon.address) as c:
+            with pytest.raises(ServeError) as err:
+                c.require("query", prepared="nope")
+            assert err.value.code == "bad_request"
+            # The connection survived the failure.
+            assert c.ping()["pong"] is True
+
+    def test_malformed_line_is_bad_request(self, daemon):
+        host, port = daemon.address
+        with socket.create_connection((host, port), timeout=10.0) as raw:
+            f = raw.makefile("rwb")
+            f.write(b"this is not json\n")
+            f.flush()
+            resp = json.loads(f.readline())
+            assert not resp["ok"]
+            assert resp["error"]["code"] == "bad_request"
+            # Stream still usable afterwards.
+            f.write(b'{"op": "ping", "id": 1}\n')
+            f.flush()
+            assert json.loads(f.readline())["ok"]
+
+    def test_concurrent_clients_all_answered(self, daemon):
+        results = []
+        lock = threading.Lock()
+
+        def hammer() -> None:
+            with ServeClient(daemon.address) as c:
+                for _ in range(5):
+                    resp = c.query("q", mode="exact")
+                    with lock:
+                        results.append(resp["ok"])
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [True] * 20
+
+    def test_shutdown_drains_and_closes(self, daemon):
+        with ServeClient(daemon.address) as c:
+            resp = c.shutdown(timeout=10.0)
+            assert resp["drained"] is True
+        assert daemon.server.closed
+        # New connections are refused once the listener stopped.
+        assert daemon.wait_closed(timeout=5.0)
+        host, port = daemon.address
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5).close()
+
+
+class TestUnixSocket:
+    def test_roundtrip_and_cleanup(self, tmp_path):
+        path = str(tmp_path / "repro.sock")
+        server = Server(make_db(), default_deadline=30.0)
+        server.prepare("q", "q(a) :- R(a), S(a,b)")
+        daemon = ServeDaemon(server, unix_path=path).start()
+        try:
+            with ServeClient(daemon.address) as c:
+                assert c.ping()["pong"] is True
+                assert c.query("q")["ok"]
+        finally:
+            daemon.stop(drain_timeout=10.0)
+        import os
+
+        assert not os.path.exists(path)

@@ -1,0 +1,202 @@
+"""Scheduler robustness: admission, shedding, reaping, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import AdmissionError, DeadlineExceededError
+from repro.obs.metrics import MetricsRegistry
+from repro.resilience import QueryBudget
+from repro.serve import AdmissionPolicy, Scheduler
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+def make_scheduler(registry, **overrides) -> Scheduler:
+    policy = AdmissionPolicy(**{"workers": 2, "max_queue": 4, **overrides})
+    return Scheduler(policy, registry)
+
+
+class TestExecution:
+    def test_submit_runs_and_resolves(self, registry):
+        s = make_scheduler(registry)
+        try:
+            req = s.submit(lambda r: 40 + 2)
+            assert req.future.result(timeout=5.0) == 42
+            assert registry.counter("serve.scheduler.completed") == 1
+        finally:
+            s.drain(timeout=5.0)
+
+    def test_worker_exception_is_contained(self, registry):
+        s = make_scheduler(registry)
+        try:
+            bad = s.submit(lambda r: 1 / 0)
+            good = s.submit(lambda r: "fine")
+            with pytest.raises(ZeroDivisionError):
+                bad.future.result(timeout=5.0)
+            # The crash never took the worker down with it.
+            assert good.future.result(timeout=5.0) == "fine"
+        finally:
+            s.drain(timeout=5.0)
+
+    def test_request_sees_its_own_stamps(self, registry):
+        s = make_scheduler(registry)
+        try:
+            req = s.submit(lambda r: (r.shed, r.seq), label="probe")
+            shed, seq = req.future.result(timeout=5.0)
+            assert shed == 0 and seq >= 1
+            assert req.label == "probe"
+        finally:
+            s.drain(timeout=5.0)
+
+
+class TestAdmission:
+    def test_overload_rejection_is_explicit(self, registry):
+        s = make_scheduler(registry, workers=1, max_queue=2)
+        release = threading.Event()
+        try:
+            # Wedge the single worker, then fill the queue.
+            s.submit(lambda r: release.wait(5.0))
+            time.sleep(0.05)  # let the worker pick the blocker up
+            for _ in range(2):
+                s.submit(lambda r: None)
+            with pytest.raises(AdmissionError) as err:
+                s.submit(lambda r: None)
+            assert err.value.code == "rejected_overload"
+            assert registry.counter("serve.scheduler.rejected_overload") == 1
+        finally:
+            release.set()
+            s.drain(timeout=5.0)
+
+    def test_zero_deadline_rejected_at_admission_not_dispatched(self, registry):
+        """The satellite edge case: an already-expired budget must be
+        refused up front — the work closure never runs."""
+        s = make_scheduler(registry)
+        ran = threading.Event()
+        try:
+            with pytest.raises(AdmissionError) as err:
+                s.submit(
+                    lambda r: ran.set(),
+                    budget=QueryBudget(deadline_seconds=0.0),
+                )
+            assert err.value.code == "rejected_deadline"
+            time.sleep(0.1)
+            assert not ran.is_set()
+            assert registry.counter("serve.scheduler.admitted") == 0
+        finally:
+            s.drain(timeout=5.0)
+
+    def test_min_deadline_policy_floor(self, registry):
+        s = make_scheduler(registry, min_deadline_seconds=1.0)
+        try:
+            with pytest.raises(AdmissionError):
+                s.submit(
+                    lambda r: None, budget=QueryBudget(deadline_seconds=0.5)
+                )
+            # Above the floor (and unlimited budgets) pass.
+            s.submit(
+                lambda r: None, budget=QueryBudget(deadline_seconds=5.0)
+            ).future.result(timeout=5.0)
+            s.submit(lambda r: None, budget=None).future.result(timeout=5.0)
+        finally:
+            s.drain(timeout=5.0)
+
+
+class TestShedding:
+    def test_shed_level_tracks_queue_depth(self):
+        policy = AdmissionPolicy(
+            max_queue=10, shed_degrade_fraction=0.5, shed_bounds_fraction=0.8
+        )
+        assert policy.shed_level(0) == 0
+        assert policy.shed_level(4) == 0
+        assert policy.shed_level(5) == 1
+        assert policy.shed_level(8) == 2
+        assert policy.shed_level(10) == 2
+
+    def test_requests_stamped_under_pressure(self, registry):
+        s = make_scheduler(registry, workers=1, max_queue=4,
+                           shed_degrade_fraction=0.25,
+                           shed_bounds_fraction=0.75)
+        release = threading.Event()
+        try:
+            s.submit(lambda r: release.wait(5.0))
+            time.sleep(0.05)
+            stamped = [s.submit(lambda r: None).shed for _ in range(4)]
+            # Depths 0..3 over max_queue 4 -> levels 0, 1, 1, 2.
+            assert stamped == [0, 1, 1, 2]
+        finally:
+            release.set()
+            s.drain(timeout=5.0)
+
+
+class TestReaping:
+    def test_hung_request_is_reaped(self, registry):
+        s = make_scheduler(
+            registry, reap_interval_seconds=0.01, reap_grace_seconds=0.02
+        )
+        hang = threading.Event()
+        try:
+            budget = QueryBudget(deadline_seconds=0.05)
+            req = s.submit(lambda r: hang.wait(5.0), budget=budget)
+            with pytest.raises(DeadlineExceededError):
+                req.future.result(timeout=5.0)
+            assert registry.counter("serve.scheduler.reaped") == 1
+            # The worker's eventual return is discarded, not delivered.
+            hang.set()
+            time.sleep(0.1)
+            assert registry.counter("serve.scheduler.late_result") == 1
+        finally:
+            hang.set()
+            s.drain(timeout=5.0)
+
+    def test_queued_but_reaped_request_never_starts(self, registry):
+        s = make_scheduler(
+            registry, workers=1,
+            reap_interval_seconds=0.01, reap_grace_seconds=0.0,
+        )
+        release = threading.Event()
+        ran = threading.Event()
+        try:
+            s.submit(lambda r: release.wait(5.0))
+            time.sleep(0.05)
+            doomed = s.submit(
+                lambda r: ran.set(),
+                budget=QueryBudget(deadline_seconds=0.05),
+            )
+            with pytest.raises(DeadlineExceededError):
+                doomed.future.result(timeout=5.0)
+            release.set()
+            time.sleep(0.1)
+            assert not ran.is_set()
+            assert registry.counter("serve.scheduler.discarded_queued") == 1
+        finally:
+            release.set()
+            s.drain(timeout=5.0)
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_refuses(self, registry):
+        s = make_scheduler(registry)
+        slow = s.submit(lambda r: (time.sleep(0.1), "done")[1])
+        assert s.drain(timeout=5.0) is True
+        assert slow.future.result(timeout=0.0) == "done"
+        with pytest.raises(AdmissionError) as err:
+            s.submit(lambda r: None)
+        assert err.value.code == "shutting_down"
+
+    def test_drain_is_idempotent(self, registry):
+        s = make_scheduler(registry)
+        assert s.drain(timeout=5.0) is True
+        assert s.drain(timeout=5.0) is True
+
+    def test_dirty_drain_reports_false(self, registry):
+        s = make_scheduler(registry, workers=1)
+        release = threading.Event()
+        s.submit(lambda r: release.wait(5.0))
+        time.sleep(0.05)
+        assert s.drain(timeout=0.05) is False
+        release.set()
